@@ -1,0 +1,137 @@
+// Command rhsd-bench regenerates the paper's evaluation artifacts on the
+// synthetic benchmark suite:
+//
+//	rhsd-bench -exp table1              # detector comparison (Table 1)
+//	rhsd-bench -exp figure9 -out out/   # qualitative panels (Figure 9)
+//	rhsd-bench -exp figure10            # ablation study (Figure 10)
+//	rhsd-bench -exp all -out out/
+//
+// All experiments run the FastProfile: a proportionally shrunk
+// configuration that executes in minutes on one CPU core. Absolute
+// numbers therefore differ from the paper's GPU-scale results; the
+// comparison *shape* (who wins, by roughly how much) is the reproduction
+// target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/eval"
+)
+
+func main() {
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, all")
+	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
+	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
+	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
+	nTest := flag.Int("test-regions", 0, "override test regions per case (0 = profile default)")
+	seed := flag.Int64("seed", 0, "override model seed (0 = profile default)")
+	flag.Parse()
+
+	p := eval.FastProfile()
+	if *trainSteps > 0 {
+		p.HSD.TrainSteps = *trainSteps
+	}
+	if *nTrain > 0 {
+		p.NTrain = *nTrain
+	}
+	if *nTest > 0 {
+		p.NTest = *nTest
+	}
+	if *seed != 0 {
+		p.HSD.Seed = *seed
+	}
+	if err := p.Validate(); err != nil {
+		fatal(err)
+	}
+
+	progress := func(s string) {
+		fmt.Printf("[%s] %s\n", time.Now().Format("15:04:05"), s)
+	}
+
+	progress("generating benchmark cases")
+	data := eval.LoadData(p)
+	for _, ds := range data.Cases {
+		progress(fmt.Sprintf("%s: train %v | test %v",
+			ds.Name, dataset.ComputeStats(ds.Train), dataset.ComputeStats(ds.Test)))
+	}
+
+	runTable1 := *expFlag == "table1" || *expFlag == "all"
+	runFig9 := *expFlag == "figure9" || *expFlag == "all"
+	runFig10 := *expFlag == "figure10" || *expFlag == "all"
+	runROC := *expFlag == "roc" || *expFlag == "all"
+	runExtAbl := *expFlag == "ablation-ext" || *expFlag == "all"
+	runExtTable := *expFlag == "table1-ext" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable {
+		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
+	}
+
+	if runTable1 {
+		tbl, err := eval.RunTable1(p, data, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nTable 1 — comparison with state-of-the-art")
+		fmt.Println(tbl.Render(eval.DetTCAD))
+		if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+			fatal(err)
+		}
+		csvPath := *outFlag + "/table1.csv"
+		if err := os.WriteFile(csvPath, []byte(tbl.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		progress("wrote " + csvPath)
+	}
+
+	if runFig10 {
+		variants, err := eval.RunFigure10(p, data, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(eval.RenderFigure10(variants))
+	}
+
+	if runExtTable {
+		tbl, err := eval.RunExtendedTable1(p, data, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nExtended Table 1 — the paper's other method classes")
+		fmt.Println(tbl.Render(eval.DetOurs))
+	}
+
+	if runExtAbl {
+		variants, err := eval.RunExtendedAblation(p, data, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nExtended ablation — anchor diversity and NMS choice")
+		fmt.Println(eval.RenderFigure10(variants))
+	}
+
+	if runROC {
+		rs, err := eval.RunROC(p, data, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(eval.RenderROCResults(rs))
+	}
+
+	if runFig9 {
+		if err := eval.RunFigure9(p, data, *outFlag, progress); err != nil {
+			fatal(err)
+		}
+		progress("figure 9 panels in " + *outFlag)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command rhsd-detect runs one-pass region-based hotspot detection on a
+// layout file with a trained checkpoint.
+//
+//	rhsd-detect -ckpt rhsd.ckpt -layout region.layout
+//	rhsd-detect -ckpt rhsd.ckpt -layout chip.layout -png out.png
+//
+// Layouts larger than one model region are scanned with overlapping
+// region tiles and the per-tile detections are merged with hotspot NMS.
+// Detections print as CSV (clip centre, size, score) in layout nm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/metrics"
+	"rhsd/internal/viz"
+)
+
+func main() {
+	ckpt := flag.String("ckpt", "rhsd.ckpt", "model checkpoint from rhsd-train")
+	layoutPath := flag.String("layout", "", "layout file (BOUNDS/RECT format)")
+	pngPath := flag.String("png", "", "optional detection-map PNG output")
+	thresh := flag.Float64("threshold", 0, "override score threshold (0 = config default)")
+	flag.Parse()
+
+	if *layoutPath == "" {
+		fatal(fmt.Errorf("-layout is required"))
+	}
+	f, err := os.Open(*layoutPath)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := layout.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := eval.FastProfile().HSD
+	if *thresh > 0 {
+		cfg.ScoreThreshold = *thresh
+	}
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Load(*ckpt); err != nil {
+		fatal(err)
+	}
+
+	dets := m.DetectLayout(l, l.Bounds)
+	fmt.Println("cx_nm,cy_nm,w_nm,h_nm,score")
+	for _, d := range dets {
+		fmt.Printf("%.1f,%.1f,%.1f,%.1f,%.4f\n",
+			d.Clip.CX(), d.Clip.CY(), d.Clip.W(), d.Clip.H(), d.Score)
+	}
+	fmt.Fprintf(os.Stderr, "rhsd-detect: %d hotspot clips\n", len(dets))
+
+	if *pngPath != "" {
+		md := make([]metrics.Detection, len(dets))
+		for i, d := range dets {
+			md[i] = metrics.Detection{Clip: d.Clip, Score: d.Score}
+		}
+		c := viz.RenderRegion(l, nil, md, 768)
+		if err := c.SaveFile(*pngPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rhsd-detect: wrote %s\n", *pngPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-detect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command rhsd-gendata synthesizes the benchmark suite to disk: one
+// directory per case with train/ and test/ splits, one layout file per
+// region plus a ground-truth hotspot listing produced by the litho proxy.
+//
+//	rhsd-gendata -out data/ -region-nm 768 -train 10 -test 8
+//
+// The layout files use the line-oriented format of internal/layout
+// (BOUNDS/RECT records); hotspots.csv holds region-relative nm centres.
+// See internal/dataset for the exact directory contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/litho"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	regionNM := flag.Int("region-nm", 768, "region side length in nm")
+	nTrain := flag.Int("train", 10, "training regions per case")
+	nTest := flag.Int("test", 8, "test regions per case")
+	flag.Parse()
+
+	model := litho.DefaultModel()
+	for _, spec := range dataset.CaseSpecs(*regionNM) {
+		ds := dataset.Generate(spec, model, *nTrain, *nTest)
+		if err := dataset.WriteDataset(*out, ds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: train %v | test %v\n",
+			ds.Name, dataset.ComputeStats(ds.Train), dataset.ComputeStats(ds.Test))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-gendata:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command rhsd-litho runs the lithography proxy on a layout file: it
+// reports the simulated hotspots (the ground-truth generator used by the
+// benchmarks) and a process-window robustness summary.
+//
+//	rhsd-litho -layout region.layout
+//	rhsd-litho -layout region.layout -defocus 20 -png aerial.png
+//
+// Accepts the text layout format of rhsd-gendata or a GDSII stream
+// (detected by extension .gds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"strings"
+
+	"rhsd/internal/layout"
+	"rhsd/internal/litho"
+)
+
+func main() {
+	layoutPath := flag.String("layout", "", "layout file (.layout text format or .gds stream)")
+	defocus := flag.Float64("defocus", 20, "defocus corner in nm for the window report")
+	pngPath := flag.String("png", "", "optional aerial-image PNG output")
+	pitch := flag.Float64("pitch", 0, "override simulation pitch in nm/px (0 = model default)")
+	flag.Parse()
+
+	if *layoutPath == "" {
+		fatal(fmt.Errorf("-layout is required"))
+	}
+	f, err := os.Open(*layoutPath)
+	if err != nil {
+		fatal(err)
+	}
+	var l *layout.Layout
+	if strings.HasSuffix(*layoutPath, ".gds") {
+		l, err = layout.ReadGDS(f)
+	} else {
+		l, err = layout.Load(f)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	m := litho.DefaultModel()
+	if *pitch > 0 {
+		m.PitchNM = *pitch
+	}
+	fmt.Printf("layout: %d shapes in %v nm\n", len(l.Rects), l.Bounds)
+
+	hs := m.Simulate(l, l.Bounds)
+	fmt.Printf("simulated hotspots: %d\n", len(hs))
+	for i, h := range hs {
+		fmt.Printf("  %2d: %-6s at (%.0f, %.0f) nm, %d px\n",
+			i, h.Kind, h.Center.CX(), h.Center.CY(), h.Pixels)
+	}
+
+	rep := m.AnalyzeWindow(l, l.Bounds, *defocus)
+	fmt.Printf("process window: %v\n", rep)
+
+	if *pngPath != "" {
+		mask := l.Rasterize(l.Bounds, m.PitchNM)
+		aerial := m.Aerial(mask)
+		h, w := aerial.Dim(1), aerial.Dim(2)
+		img := image.NewGray(image.Rect(0, 0, w, h))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				v := aerial.At(0, y, x)
+				if v > 1 {
+					v = 1
+				}
+				img.SetGray(x, y, color.Gray{Y: uint8(v * 255)})
+			}
+		}
+		out, err := os.Create(*pngPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := png.Encode(out, img); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("aerial image written to %s\n", *pngPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-litho:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command rhsd-sweep trains R-HSD variants over a small hyperparameter
+// grid with periodic evaluation — the calibration workflow behind the
+// fast profile's defaults.
+//
+//	rhsd-sweep -grid lr -steps 900 -eval-every 300
+//	rhsd-sweep -grid threshold -out sweep.csv
+//
+// Built-in grids: lr, threshold, proposals, l2, width.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+)
+
+func main() {
+	grid := flag.String("grid", "threshold", "grid to sweep: lr, threshold, proposals, l2, width")
+	steps := flag.Int("steps", 900, "training steps per point")
+	evalEvery := flag.Int("eval-every", 300, "evaluation period in steps")
+	nTrain := flag.Int("train-regions", 0, "override training regions per case")
+	nTest := flag.Int("test-regions", 0, "override test regions per case")
+	out := flag.String("out", "", "optional CSV output path")
+	flag.Parse()
+
+	p := eval.FastProfile()
+	p.HSD.TrainSteps = *steps
+	if *nTrain > 0 {
+		p.NTrain = *nTrain
+	}
+	if *nTest > 0 {
+		p.NTest = *nTest
+	}
+
+	points, err := gridPoints(*grid)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rhsd-sweep: grid %q, %d points × %d steps\n", *grid, len(points), *steps)
+	data := eval.LoadData(p)
+	samples, err := eval.RunSweep(p, data, points, *evalEvery, func(s eval.SweepSample) {
+		fmt.Printf("  %-20s step %4d: acc %6.2f%%  FA %6.1f\n", s.Point, s.Step, s.Accuracy, s.FA)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\nbest per point (by accuracy):")
+	for name, s := range eval.BestByAccuracy(samples) {
+		fmt.Printf("  %-20s step %4d: acc %6.2f%%  FA %6.1f\n", name, s.Step, s.Accuracy, s.FA)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(eval.SweepCSV(samples)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func gridPoints(name string) ([]eval.SweepPoint, error) {
+	mk := func(label string, f func(*hsd.Config)) eval.SweepPoint {
+		return eval.SweepPoint{Name: label, Mutate: f}
+	}
+	switch name {
+	case "lr":
+		return []eval.SweepPoint{
+			mk("lr=0.005", func(c *hsd.Config) { c.LearningRate = 0.005 }),
+			mk("lr=0.01", func(c *hsd.Config) { c.LearningRate = 0.01 }),
+			mk("lr=0.02", func(c *hsd.Config) { c.LearningRate = 0.02 }),
+		}, nil
+	case "threshold":
+		return []eval.SweepPoint{
+			mk("thr=0.4", func(c *hsd.Config) { c.ScoreThreshold = 0.4 }),
+			mk("thr=0.5", func(c *hsd.Config) { c.ScoreThreshold = 0.5 }),
+			mk("thr=0.6", func(c *hsd.Config) { c.ScoreThreshold = 0.6 }),
+		}, nil
+	case "proposals":
+		return []eval.SweepPoint{
+			mk("props=16", func(c *hsd.Config) { c.ProposalCount = 16 }),
+			mk("props=32", func(c *hsd.Config) { c.ProposalCount = 32 }),
+			mk("props=48", func(c *hsd.Config) { c.ProposalCount = 48 }),
+		}, nil
+	case "l2":
+		return []eval.SweepPoint{
+			mk("l2=0", func(c *hsd.Config) { c.L2Beta = 0 }),
+			mk("l2=0.003", func(c *hsd.Config) { c.L2Beta = 0.003 }),
+			mk("l2=0.01", func(c *hsd.Config) { c.L2Beta = 0.01 }),
+		}, nil
+	case "width":
+		return []eval.SweepPoint{
+			mk("w=8", func(c *hsd.Config) { c.InceptionWidth = 8 }),
+			mk("w=12", func(c *hsd.Config) { c.InceptionWidth = 12 }),
+			mk("w=16", func(c *hsd.Config) { c.InceptionWidth = 16 }),
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown grid %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command rhsd-train trains an R-HSD model on layout regions and writes a
+// checkpoint.
+//
+//	rhsd-train -data data/ -ckpt model.ckpt -steps 700
+//
+// It consumes the directory layout written by rhsd-gendata: each case's
+// train/ directory holds region_*.layout files and a hotspots.csv. With
+// -data unset it synthesizes the benchmark in memory (the common path for
+// experiments; gendata/train round-trips exist so users can bring their
+// own layouts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "dataset directory from rhsd-gendata (empty = synthesize in memory)")
+	ckpt := flag.String("ckpt", "rhsd.ckpt", "checkpoint output path")
+	steps := flag.Int("steps", 0, "training steps (0 = profile default)")
+	seed := flag.Int64("seed", 0, "model seed (0 = profile default)")
+	logEvery := flag.Int("log-every", 50, "progress logging period in steps")
+	historyPath := flag.String("history", "", "optional CSV of per-step losses")
+	flag.Parse()
+
+	p := eval.FastProfile()
+	if *steps > 0 {
+		p.HSD.TrainSteps = *steps
+	}
+	if *seed != 0 {
+		p.HSD.Seed = *seed
+	}
+
+	var samples []hsd.Sample
+	if *dataDir == "" {
+		fmt.Println("rhsd-train: synthesizing benchmark training halves in memory")
+		data := eval.LoadData(p)
+		for _, r := range data.MergedTrain {
+			samples = append(samples, hsd.MakeSample(r.Layout, r.HotspotPoints(), p.HSD))
+		}
+	} else {
+		var err error
+		samples, err = loadSamples(*dataDir, p.HSD)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no training samples found"))
+	}
+	fmt.Printf("rhsd-train: %d training regions, %d steps\n", len(samples), p.HSD.TrainSteps)
+
+	m, err := hsd.NewModel(p.HSD)
+	if err != nil {
+		fatal(err)
+	}
+	tr := hsd.NewTrainer(m)
+	history := tr.Run(samples, func(step int, st hsd.StepStats) {
+		if *logEvery > 0 && step%*logEvery == 0 {
+			fmt.Printf("step %5d  loss %.4f (cls %.3f reg %.3f refCls %.3f refReg %.3f L2 %.3f)\n",
+				step, st.Total(), st.RPNCls, st.RPNReg, st.RefineCls, st.RefineReg, st.L2)
+		}
+	})
+	if *historyPath != "" {
+		f, err := os.Create(*historyPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(f, "step,total,rpn_cls,rpn_reg,refine_cls,refine_reg,l2")
+		for i, st := range history {
+			fmt.Fprintf(f, "%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+				i, st.Total(), st.RPNCls, st.RPNReg, st.RefineCls, st.RefineReg, st.L2)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rhsd-train: loss history written to %s\n", *historyPath)
+	}
+	if err := m.Save(*ckpt); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rhsd-train: checkpoint written to %s\n", *ckpt)
+}
+
+// loadSamples walks <dir>/<Case>/train directories produced by
+// rhsd-gendata.
+func loadSamples(dir string, cfg hsd.Config) ([]hsd.Sample, error) {
+	caseDirs, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var samples []hsd.Sample
+	for _, cd := range caseDirs {
+		if !cd.IsDir() {
+			continue
+		}
+		regions, err := dataset.LoadSplit(filepath.Join(dir, cd.Name(), "train"))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		for _, r := range regions {
+			samples = append(samples, hsd.MakeSample(r.Layout, r.Hotspot, cfg))
+		}
+	}
+	return samples, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-train:", err)
+	os.Exit(1)
+}

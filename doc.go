@@ -1,0 +1,12 @@
+// Package rhsd is the root of a from-scratch Go reproduction of
+// "Faster Region-based Hotspot Detection" (Chen, Zhong, Yang, Geng, Zeng,
+// Yu — DAC 2019): an end-to-end region-based lithography hotspot detector
+// together with every substrate it needs — a tensor/neural-network stack,
+// Manhattan layout modelling, a lithography-simulation proxy, a synthetic
+// benchmark suite and three baseline detectors — plus the harness that
+// regenerates the paper's Table 1 and Figures 5, 9 and 10.
+//
+// The implementation lives under internal/; executables under cmd/;
+// runnable walkthroughs under examples/. Start with README.md, DESIGN.md
+// and the quickstart example.
+package rhsd

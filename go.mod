@@ -1,0 +1,3 @@
+module rhsd
+
+go 1.22

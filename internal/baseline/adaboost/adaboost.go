@@ -1,0 +1,279 @@
+// Package adaboost implements a classical machine-learning hotspot
+// detector in the style the paper's introduction surveys ([6]: Matsunawa,
+// Gao, Yu, Pan — "A new lithography hotspot detection framework based on
+// AdaBoost classifier and simplified feature extraction", SPIE 2015):
+// simplified density features over a clip, a boosted ensemble of decision
+// stumps, and the conventional sliding-window scan. It extends the
+// Table-1 comparison with the pre-CNN generation of learning detectors.
+package adaboost
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/metrics"
+)
+
+// Config holds the detector's parameters.
+type Config struct {
+	// ClipNM is the clip size; GridCells the simplified-feature density
+	// grid per axis (features = GridCells² densities + row/col sums).
+	ClipNM        float64
+	GridCells     int
+	RasterPitchNM float64
+	// Rounds is the number of boosting rounds (stumps).
+	Rounds int
+	// Bias shifts the ensemble decision toward recall, like the deep
+	// baseline's biased learning: classify hotspot when margin > -Bias.
+	Bias float64
+	// NegPerRegion controls negative mining.
+	NegPerRegion int
+	Seed         int64
+}
+
+// DefaultConfig matches the fast evaluation profile's geometry.
+func DefaultConfig() Config {
+	return Config{
+		ClipNM:        192,
+		GridCells:     8,
+		RasterPitchNM: 4,
+		Rounds:        80,
+		Bias:          0.05,
+		NegPerRegion:  12,
+		Seed:          41,
+	}
+}
+
+// stump is one weak learner: sign(s) * (x[feature] > threshold ? 1 : -1).
+type stump struct {
+	feature   int
+	threshold float64
+	polarity  float64 // +1 or −1
+	alpha     float64 // ensemble weight
+}
+
+// Detector is the boosted-stump sliding-window detector.
+type Detector struct {
+	Config Config
+	stumps []stump
+	nFeat  int
+}
+
+// New builds an untrained detector.
+func New(c Config) *Detector { return &Detector{Config: c} }
+
+// features extracts the simplified feature vector of the clip centred at
+// (cx, cy): the density grid plus per-row and per-column density sums
+// (capturing horizontal/vertical structure cheaply).
+func (d *Detector) features(l *layout.Layout, cx, cy float64) []float64 {
+	c := d.Config
+	half := c.ClipNM / 2
+	win := l.Window(layout.R(int(cx-half), int(cy-half), int(cx+half), int(cy+half)))
+	raster := win.Rasterize(layout.R(0, 0, int(c.ClipNM), int(c.ClipNM)), c.RasterPitchNM)
+	g := c.GridCells
+	feats := make([]float64, g*g+2*g)
+	h, w := raster.Dim(1), raster.Dim(2)
+	cellH := float64(h) / float64(g)
+	cellW := float64(w) / float64(g)
+	for gy := 0; gy < g; gy++ {
+		for gx := 0; gx < g; gx++ {
+			y0, y1 := int(float64(gy)*cellH), int(float64(gy+1)*cellH)
+			x0, x1 := int(float64(gx)*cellW), int(float64(gx+1)*cellW)
+			var sum float64
+			n := 0
+			for y := y0; y < y1 && y < h; y++ {
+				for x := x0; x < x1 && x < w; x++ {
+					sum += float64(raster.At(0, y, x))
+					n++
+				}
+			}
+			var density float64
+			if n > 0 {
+				density = sum / float64(n)
+			}
+			feats[gy*g+gx] = density
+			feats[g*g+gy] += density / float64(g)   // row sums
+			feats[g*g+g+gx] += density / float64(g) // column sums
+		}
+	}
+	return feats
+}
+
+// example is one labelled clip feature vector.
+type example struct {
+	x []float64
+	y float64 // +1 hotspot, −1 non-hotspot
+}
+
+// Train runs AdaBoost.M1 over mined clip examples.
+func (d *Detector) Train(regions []*dataset.Region) {
+	c := d.Config
+	rng := newLCG(uint64(c.Seed))
+	var ex []example
+	for _, r := range regions {
+		pts := r.HotspotPoints()
+		for _, p := range pts {
+			ex = append(ex, example{x: d.features(r.Layout, p[0], p[1]), y: 1})
+		}
+		size := float64(r.Layout.Bounds.X1)
+		for n := 0; n < c.NegPerRegion; n++ {
+			cx := c.ClipNM/2 + rng.float64()*(size-c.ClipNM)
+			cy := c.ClipNM/2 + rng.float64()*(size-c.ClipNM)
+			if coreHasHotspot(cx, cy, c.ClipNM, pts) {
+				continue
+			}
+			ex = append(ex, example{x: d.features(r.Layout, cx, cy), y: -1})
+		}
+	}
+	if len(ex) == 0 {
+		return
+	}
+	d.nFeat = len(ex[0].x)
+	// Initial weights: uniform.
+	w := make([]float64, len(ex))
+	for i := range w {
+		w[i] = 1.0 / float64(len(ex))
+	}
+	d.stumps = d.stumps[:0]
+	for round := 0; round < c.Rounds; round++ {
+		best, bestErr := d.bestStump(ex, w)
+		if bestErr >= 0.5-1e-9 {
+			break // no weak learner better than chance remains
+		}
+		if bestErr < 1e-12 {
+			bestErr = 1e-12
+		}
+		best.alpha = 0.5 * math.Log((1-bestErr)/bestErr)
+		d.stumps = append(d.stumps, best)
+		// Reweight and renormalize.
+		var z float64
+		for i, e := range ex {
+			w[i] *= math.Exp(-best.alpha * e.y * stumpPredict(best, e.x))
+			z += w[i]
+		}
+		for i := range w {
+			w[i] /= z
+		}
+	}
+}
+
+// bestStump exhaustively searches features × candidate thresholds for the
+// minimum weighted error.
+func (d *Detector) bestStump(ex []example, w []float64) (stump, float64) {
+	best := stump{}
+	bestErr := math.Inf(1)
+	vals := make([]float64, len(ex))
+	for f := 0; f < d.nFeat; f++ {
+		for i, e := range ex {
+			vals[i] = e.x[f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for k := 0; k+1 < len(sorted); k++ {
+			if sorted[k] == sorted[k+1] {
+				continue
+			}
+			thr := (sorted[k] + sorted[k+1]) / 2
+			for _, pol := range [2]float64{1, -1} {
+				var err float64
+				for i, e := range ex {
+					pred := pol
+					if e.x[f] <= thr {
+						pred = -pol
+					}
+					if pred != e.y {
+						err += w[i]
+					}
+				}
+				if err < bestErr {
+					bestErr = err
+					best = stump{feature: f, threshold: thr, polarity: pol}
+				}
+			}
+		}
+	}
+	return best, bestErr
+}
+
+func stumpPredict(s stump, x []float64) float64 {
+	if x[s.feature] > s.threshold {
+		return s.polarity
+	}
+	return -s.polarity
+}
+
+// Margin returns the normalized ensemble margin in [−1, 1].
+func (d *Detector) Margin(x []float64) float64 {
+	var sum, total float64
+	for _, s := range d.stumps {
+		sum += s.alpha * stumpPredict(s, x)
+		total += s.alpha
+	}
+	if total == 0 {
+		return -1
+	}
+	return sum / total
+}
+
+// DetectRegion scans the region at core stride, reporting clips whose
+// biased ensemble margin is positive.
+func (d *Detector) DetectRegion(r *dataset.Region) []metrics.Detection {
+	c := d.Config
+	stride := c.ClipNM / 3
+	size := float64(r.Layout.Bounds.X1)
+	var dets []metrics.Detection
+	for cy := c.ClipNM / 2; cy+c.ClipNM/2 <= size; cy += stride {
+		for cx := c.ClipNM / 2; cx+c.ClipNM/2 <= size; cx += stride {
+			m := d.Margin(d.features(r.Layout, cx, cy))
+			if m > -c.Bias {
+				dets = append(dets, metrics.Detection{
+					Clip:  geom.RectCWH(cx, cy, c.ClipNM, c.ClipNM),
+					Score: (m + 1) / 2,
+				})
+			}
+		}
+	}
+	return dets
+}
+
+// Evaluate scores the detector over test regions with wall-clock timing.
+func (d *Detector) Evaluate(regions []*dataset.Region) metrics.Outcome {
+	var total metrics.Outcome
+	for _, r := range regions {
+		start := time.Now()
+		dets := d.DetectRegion(r)
+		elapsed := time.Since(start)
+		o := metrics.Evaluate(dets, r.HotspotPoints())
+		o.Elapsed = elapsed
+		total.Add(o)
+	}
+	return total
+}
+
+func coreHasHotspot(cx, cy, clipNM float64, pts [][2]float64) bool {
+	core := geom.RectCWH(cx, cy, clipNM, clipNM).Core()
+	for _, p := range pts {
+		if core.Contains(p[0], p[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// lcg is a tiny deterministic generator so the package does not share
+// rand.Rand state with callers.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) float64() float64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return float64(l.s>>11) / float64(1<<53)
+}
+
+// Ensemble exposes the learned stump count (for tests and reporting).
+func (d *Detector) Ensemble() int { return len(d.stumps) }

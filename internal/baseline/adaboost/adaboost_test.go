@@ -1,0 +1,127 @@
+package adaboost
+
+import (
+	"testing"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/litho"
+)
+
+func smallData(nTrain, nTest int) *dataset.Dataset {
+	spec := dataset.CaseSpecs(768)[0]
+	return dataset.Generate(spec, litho.DefaultModel(), nTrain, nTest)
+}
+
+func TestFeatureVectorShapeAndRange(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(1, 0)
+	f := d.features(data.Train[0].Layout, 384, 384)
+	g := d.Config.GridCells
+	if len(f) != g*g+2*g {
+		t.Fatalf("feature length %d want %d", len(f), g*g+2*g)
+	}
+	for i, v := range f {
+		if v < 0 || v > 1.0001 {
+			t.Fatalf("feature %d = %v out of [0,1]", i, v)
+		}
+	}
+}
+
+func TestTrainBuildsEnsemble(t *testing.T) {
+	c := DefaultConfig()
+	c.Rounds = 20
+	d := New(c)
+	data := smallData(3, 0)
+	d.Train(data.Train)
+	if d.Ensemble() == 0 {
+		t.Fatal("no stumps learned")
+	}
+	if d.Ensemble() > c.Rounds {
+		t.Fatalf("ensemble %d exceeds rounds %d", d.Ensemble(), c.Rounds)
+	}
+}
+
+func TestMarginSeparatesTrainingClasses(t *testing.T) {
+	c := DefaultConfig()
+	c.Rounds = 40
+	d := New(c)
+	data := smallData(4, 0)
+	d.Train(data.Train)
+	// On training hotspots the mean margin must exceed the mean margin of
+	// random background clips.
+	var posSum, negSum float64
+	var nPos, nNeg int
+	rng := newLCG(7)
+	for _, r := range data.Train {
+		pts := r.HotspotPoints()
+		for _, p := range pts {
+			posSum += d.Margin(d.features(r.Layout, p[0], p[1]))
+			nPos++
+		}
+		for k := 0; k < 8; k++ {
+			cx := 96 + rng.float64()*(768-192)
+			cy := 96 + rng.float64()*(768-192)
+			if coreHasHotspot(cx, cy, c.ClipNM, pts) {
+				continue
+			}
+			negSum += d.Margin(d.features(r.Layout, cx, cy))
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		t.Skip("degenerate sample")
+	}
+	if !(posSum/float64(nPos) > negSum/float64(nNeg)) {
+		t.Fatalf("margins do not separate: pos %v neg %v",
+			posSum/float64(nPos), negSum/float64(nNeg))
+	}
+}
+
+func TestUntrainedDetectsNothing(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(1, 0)
+	if dets := d.DetectRegion(data.Train[0]); len(dets) != 0 {
+		t.Fatalf("untrained ensemble fired %d times", len(dets))
+	}
+}
+
+func TestBiasMonotone(t *testing.T) {
+	c := DefaultConfig()
+	c.Rounds = 25
+	d := New(c)
+	data := smallData(3, 1)
+	d.Train(data.Train)
+	r := data.Test[0]
+	d.Config.Bias = 0
+	n0 := len(d.DetectRegion(r))
+	d.Config.Bias = 0.5
+	n1 := len(d.DetectRegion(r))
+	if n1 < n0 {
+		t.Fatalf("higher bias cannot reduce detections: %d -> %d", n0, n1)
+	}
+}
+
+func TestEvaluateWellFormed(t *testing.T) {
+	c := DefaultConfig()
+	c.Rounds = 20
+	d := New(c)
+	data := smallData(2, 1)
+	d.Train(data.Train)
+	o := d.Evaluate(data.Test)
+	if o.Detected > o.GroundTruth || o.Elapsed <= 0 {
+		t.Fatalf("outcome %+v", o)
+	}
+}
+
+func TestLCGDeterministic(t *testing.T) {
+	a, b := newLCG(5), newLCG(5)
+	for i := 0; i < 10; i++ {
+		va, vb := a.float64(), b.float64()
+		if va != vb {
+			t.Fatal("lcg must be deterministic")
+		}
+		if va < 0 || va >= 1 {
+			t.Fatalf("lcg out of [0,1): %v", va)
+		}
+	}
+}

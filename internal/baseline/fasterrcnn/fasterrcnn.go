@@ -1,0 +1,367 @@
+// Package fasterrcnn implements the "Faster R-CNN [23]" baseline of
+// Table 1: a two-stage region-proposal detector in its generic
+// object-detection configuration — plain convolutional backbone, anchor
+// scales designed for natural images (large relative to hotspot clips),
+// whole-box IoU matching and conventional NMS. The paper's finding is that
+// this unadapted configuration "performs very poorly on hotspot detection
+// tasks": the anchor prior rarely overlaps the small hotspot clips enough
+// to generate positive samples, so the detector fires seldom (low accuracy
+// and low false-alarm counts, as in Table 1's Faster R-CNN column).
+package fasterrcnn
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rhsd/internal/baseline/generic"
+	"rhsd/internal/dataset"
+	"rhsd/internal/geom"
+	"rhsd/internal/hsd"
+	"rhsd/internal/metrics"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// Config holds the baseline's hyperparameters.
+type Config struct {
+	InputSize int
+	PitchNM   float64
+	// AnchorBases are anchor side lengths in pixels. The generic defaults
+	// are sized for natural-image objects, i.e. several times larger than
+	// a hotspot clip.
+	AnchorBases  []float64
+	AnchorRatios []float64
+	Backbone     [3]int
+	HeadChannels int
+	RoISize      int
+	RefineFC     int
+	PosIoU       float64
+	NegIoU       float64
+	NMSThreshold float64
+	Proposals    int
+	ScoreThresh  float64
+	BatchAnchors int
+	TrainSteps   int
+	LearningRate float64
+	Momentum     float64
+	Seed         int64
+}
+
+// DefaultConfig returns the generic configuration used by the benchmark
+// harness at the fast profile (region raster 64 px, hotspot clips 16 px).
+func DefaultConfig() Config {
+	return Config{
+		InputSize:    64,
+		PitchNM:      12,
+		AnchorBases:  []float64{48, 64}, // natural-image scale: 3–4× a clip
+		AnchorRatios: []float64{0.5, 1, 2},
+		Backbone:     [3]int{8, 16, 24},
+		HeadChannels: 32,
+		RoISize:      7,
+		RefineFC:     48,
+		PosIoU:       0.5,
+		NegIoU:       0.3,
+		NMSThreshold: 0.5,
+		Proposals:    16,
+		ScoreThresh:  0.5,
+		BatchAnchors: 48,
+		TrainSteps:   500,
+		LearningRate: 0.01,
+		Momentum:     0.9,
+		Seed:         21,
+	}
+}
+
+const stride = 8
+
+// Detector is the generic two-stage baseline.
+type Detector struct {
+	Config Config
+
+	backbone *nn.Sequential
+	rpnTrunk *nn.Sequential
+	rpnCls   *nn.Conv2D
+	rpnReg   *nn.Conv2D
+	roi      *hsd.RoIPool
+	refineFC *nn.Sequential
+	refCls   *nn.Dense
+	refReg   *nn.Dense
+
+	anchors []geom.Rect
+	perCell int
+	featW   int
+	rng     *rand.Rand
+}
+
+// New builds an untrained detector.
+func New(c Config) *Detector {
+	rng := rand.New(rand.NewSource(c.Seed))
+	d := &Detector{Config: c, rng: rng}
+	d.backbone = generic.Backbone("frcnn", c.Backbone, rng)
+	d.rpnTrunk = nn.NewSequential(
+		nn.NewConv2D("frcnn.rpn", c.Backbone[2], c.HeadChannels, 3, 1, 1, rng),
+		nn.NewLeakyReLU(0.05),
+	)
+	d.perCell = len(c.AnchorBases) * len(c.AnchorRatios)
+	d.rpnCls = nn.NewConv2D("frcnn.cls", c.HeadChannels, 2*d.perCell, 1, 1, 0, rng)
+	d.rpnReg = nn.NewConv2D("frcnn.reg", c.HeadChannels, 4*d.perCell, 1, 1, 0, rng)
+	d.roi = hsd.NewRoIPool(c.RoISize, stride)
+	d.refineFC = nn.NewSequential(
+		nn.NewFlatten(),
+		nn.NewDense("frcnn.fc", c.Backbone[2]*c.RoISize*c.RoISize, c.RefineFC, rng),
+		nn.NewLeakyReLU(0.05),
+	)
+	d.refCls = nn.NewDense("frcnn.refcls", c.RefineFC, 2, rng)
+	d.refReg = nn.NewDense("frcnn.refreg", c.RefineFC, 4, rng)
+	d.featW = c.InputSize / stride
+	d.anchors = generic.Anchors(d.featW, stride, c.AnchorBases, c.AnchorRatios)
+	return d
+}
+
+func (d *Detector) params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, d.backbone.Params()...)
+	ps = append(ps, d.rpnTrunk.Params()...)
+	ps = append(ps, d.rpnCls.Params()...)
+	ps = append(ps, d.rpnReg.Params()...)
+	ps = append(ps, d.refineFC.Params()...)
+	ps = append(ps, d.refCls.Params()...)
+	ps = append(ps, d.refReg.Params()...)
+	return ps
+}
+
+func (d *Detector) anchorAt(cls, reg *tensor.Tensor, i int) (l0, l1 float32, enc geom.BoxEncoding) {
+	a := i % d.perCell
+	cell := i / d.perCell
+	y := cell / d.featW
+	x := cell % d.featW
+	l0 = cls.At(0, 2*a, y, x)
+	l1 = cls.At(0, 2*a+1, y, x)
+	enc = geom.BoxEncoding{
+		LX: float64(reg.At(0, 4*a, y, x)),
+		LY: float64(reg.At(0, 4*a+1, y, x)),
+		LW: float64(reg.At(0, 4*a+2, y, x)),
+		LH: float64(reg.At(0, 4*a+3, y, x)),
+	}
+	return
+}
+
+func (d *Detector) scatter(g *tensor.Tensor, i, ch int, v float32, per int) {
+	a := i % d.perCell
+	cell := i / d.perCell
+	y := cell / d.featW
+	x := cell % d.featW
+	g.Set(g.At(0, per*a+ch, y, x)+v, 0, per*a+ch, y, x)
+}
+
+// sampleOf converts a region into the raster + GT clips the detector
+// trains on. GT clips are the hotspot-centred clips of size ClipNM.
+func (d *Detector) sampleOf(r *dataset.Region, clipNM float64) (raster *tensor.Tensor, gt []geom.Rect) {
+	c := d.Config
+	x := generic.Raster2Ch(r.Layout, c.InputSize, c.PitchNM)
+	for _, p := range r.HotspotPoints() {
+		gt = append(gt, geom.RectCWH(p[0]/c.PitchNM, p[1]/c.PitchNM, clipNM/c.PitchNM, clipNM/c.PitchNM))
+	}
+	return x, gt
+}
+
+// Train fits both stages on the training regions. clipNM is the
+// ground-truth clip size shared by all detectors in a benchmark run.
+func (d *Detector) Train(regions []*dataset.Region, clipNM float64) {
+	c := d.Config
+	if len(regions) == 0 {
+		return
+	}
+	opt := nn.NewSGD(c.LearningRate, c.Momentum, 0, 1)
+	for step := 0; step < c.TrainSteps; step++ {
+		r := regions[d.rng.Intn(len(regions))]
+		x, gt := d.sampleOf(r, clipNM)
+		feat := d.backbone.Forward(x)
+		trunk := d.rpnTrunk.Forward(feat)
+		clsMap := d.rpnCls.Forward(trunk)
+		regMap := d.rpnReg.Forward(trunk)
+
+		targets := generic.Assign(d.anchors, gt, c.PosIoU, c.NegIoU)
+		batch := targets.SampleBatch(d.rng, c.BatchAnchors)
+		gCls := tensor.New(clsMap.Shape()...)
+		gReg := tensor.New(regMap.Shape()...)
+		if len(batch) > 0 {
+			logits := tensor.New(len(batch), 2)
+			labels := make([]int, len(batch))
+			for k, i := range batch {
+				l0, l1, _ := d.anchorAt(clsMap, regMap, i)
+				logits.Set(l0, k, 0)
+				logits.Set(l1, k, 1)
+				labels[k] = int(targets.Label[i])
+			}
+			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			for k, i := range batch {
+				d.scatter(gCls, i, 0, grad.At(k, 0), 2)
+				d.scatter(gCls, i, 1, grad.At(k, 1), 2)
+			}
+		}
+		var pos []int
+		for _, i := range batch {
+			if targets.Label[i] == 1 {
+				pos = append(pos, i)
+			}
+		}
+		if len(pos) > 0 {
+			pred := tensor.New(len(pos), 4)
+			tgt := tensor.New(len(pos), 4)
+			wts := make([]float32, len(pos))
+			for k, i := range pos {
+				_, _, enc := d.anchorAt(clsMap, regMap, i)
+				for j, v := range enc.Vec4() {
+					pred.Set(float32(v), k, j)
+				}
+				for j, v := range targets.Reg[i].Vec4() {
+					tgt.Set(float32(v), k, j)
+				}
+				wts[k] = 1
+			}
+			_, grad := nn.SmoothL1(pred, tgt, wts, float64(len(pos)))
+			for k, i := range pos {
+				for j := 0; j < 4; j++ {
+					d.scatter(gReg, i, j, grad.At(k, j), 4)
+				}
+			}
+		}
+
+		// Second stage on proposals + GT.
+		props := d.proposals(clsMap, regMap)
+		rois := make([]geom.Rect, 0, len(props)+len(gt))
+		for _, p := range props {
+			rois = append(rois, p.Clip)
+		}
+		rois = append(rois, gt...)
+		var gFeatRef *tensor.Tensor
+		if len(rois) > 0 {
+			pooled := d.roi.Forward(feat, rois)
+			hidden := d.refineFC.Forward(pooled)
+			refCls := d.refCls.Forward(hidden)
+			refReg := d.refReg.Forward(hidden)
+			labels := make([]int, len(rois))
+			regTgt := tensor.New(len(rois), 4)
+			regW := make([]float32, len(rois))
+			nPos := 0
+			for i, rb := range rois {
+				for _, g := range gt {
+					if geom.IoU(rb, g) >= 0.5 {
+						labels[i] = 1
+						regW[i] = 1
+						for j, v := range geom.Encode(g, rb).Vec4() {
+							regTgt.Set(float32(v), i, j)
+						}
+						nPos++
+						break
+					}
+				}
+			}
+			_, gRefCls := nn.SoftmaxCrossEntropy(refCls, labels)
+			_, gRefReg := nn.SmoothL1(refReg, regTgt, regW, float64(max(1, nPos)))
+			gHidden := d.refCls.Backward(gRefCls)
+			gHidden.Add(d.refReg.Backward(gRefReg))
+			gPooled := d.refineFC.Backward(gHidden)
+			gFeatRef = d.roi.Backward(gPooled)
+		}
+
+		gTrunk := d.rpnCls.Backward(gCls)
+		gTrunk.Add(d.rpnReg.Backward(gReg))
+		gFeat := d.rpnTrunk.Backward(gTrunk)
+		if gFeatRef != nil {
+			gFeat.Add(gFeatRef)
+		}
+		d.backbone.Backward(gFeat)
+		opt.Update(d.params())
+	}
+}
+
+// proposals decodes and filters RPN output with conventional NMS.
+func (d *Detector) proposals(clsMap, regMap *tensor.Tensor) []hsd.ScoredClip {
+	c := d.Config
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	cand := make([]hsd.ScoredClip, 0, len(d.anchors))
+	for i, a := range d.anchors {
+		l0, l1, enc := d.anchorAt(clsMap, regMap, i)
+		box := geom.Decode(enc, a).Clip(bounds)
+		if box.W() < 2 || box.H() < 2 {
+			continue
+		}
+		cand = append(cand, hsd.ScoredClip{Clip: box, Score: sigmoid(l1 - l0)})
+	}
+	kept := hsd.ConventionalNMS(hsd.TopK(cand, 256), c.NMSThreshold)
+	return hsd.TopK(kept, c.Proposals)
+}
+
+// DetectRegion runs the two-stage inference on one region, returning
+// detections in region nm coordinates.
+func (d *Detector) DetectRegion(r *dataset.Region, clipNM float64) []metrics.Detection {
+	c := d.Config
+	x, _ := d.sampleOf(r, clipNM)
+	feat := d.backbone.Forward(x)
+	trunk := d.rpnTrunk.Forward(feat)
+	clsMap := d.rpnCls.Forward(trunk)
+	regMap := d.rpnReg.Forward(trunk)
+	props := d.proposals(clsMap, regMap)
+	if len(props) == 0 {
+		return nil
+	}
+	rois := make([]geom.Rect, len(props))
+	for i, p := range props {
+		rois[i] = p.Clip
+	}
+	pooled := d.roi.Forward(feat, rois)
+	hidden := d.refineFC.Forward(pooled)
+	refCls := d.refCls.Forward(hidden)
+	refReg := d.refReg.Forward(hidden)
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	var scored []hsd.ScoredClip
+	for i, rb := range rois {
+		score := sigmoid(refCls.At(i, 1) - refCls.At(i, 0))
+		if score < c.ScoreThresh {
+			continue
+		}
+		enc := geom.BoxEncoding{
+			LX: float64(refReg.At(i, 0)), LY: float64(refReg.At(i, 1)),
+			LW: float64(refReg.At(i, 2)), LH: float64(refReg.At(i, 3)),
+		}
+		box := geom.Decode(enc, rb).Clip(bounds)
+		if box.W() < 2 || box.H() < 2 {
+			continue
+		}
+		scored = append(scored, hsd.ScoredClip{Clip: box, Score: score})
+	}
+	final := hsd.ConventionalNMS(scored, c.NMSThreshold)
+	dets := make([]metrics.Detection, len(final))
+	for i, s := range final {
+		dets[i] = metrics.Detection{Clip: s.Clip.Scale(c.PitchNM), Score: s.Score}
+	}
+	return dets
+}
+
+// Evaluate scores the detector over test regions with wall-clock timing.
+func (d *Detector) Evaluate(regions []*dataset.Region, clipNM float64) metrics.Outcome {
+	var total metrics.Outcome
+	for _, r := range regions {
+		start := time.Now()
+		dets := d.DetectRegion(r, clipNM)
+		elapsed := time.Since(start)
+		o := metrics.Evaluate(dets, r.HotspotPoints())
+		o.Elapsed = elapsed
+		total.Add(o)
+	}
+	return total
+}
+
+func sigmoid(x float32) float64 {
+	d := float64(x)
+	if d > 40 {
+		return 1
+	}
+	if d < -40 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-d))
+}

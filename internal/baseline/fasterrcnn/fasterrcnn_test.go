@@ -1,0 +1,58 @@
+package fasterrcnn
+
+import (
+	"testing"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/litho"
+)
+
+func smallData(n int) *dataset.Dataset {
+	spec := dataset.CaseSpecs(768)[0]
+	return dataset.Generate(spec, litho.DefaultModel(), n, n)
+}
+
+func TestNewBuildsAnchorGrid(t *testing.T) {
+	d := New(DefaultConfig())
+	want := d.featW * d.featW * d.perCell
+	if len(d.anchors) != want {
+		t.Fatalf("anchors %d want %d", len(d.anchors), want)
+	}
+	// Generic anchors are several times larger than a 16 px clip.
+	if d.anchors[len(d.anchors)/2].W() < 30 {
+		t.Fatalf("generic anchors should be natural-image sized, got %v",
+			d.anchors[len(d.anchors)/2])
+	}
+}
+
+func TestDetectRegionUntrainedWellFormed(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(1)
+	dets := d.DetectRegion(data.Test[0], 192)
+	for _, det := range dets {
+		if det.Clip.W() <= 0 || det.Clip.H() <= 0 {
+			t.Fatalf("degenerate detection %v", det.Clip)
+		}
+		if det.Score < d.Config.ScoreThresh {
+			t.Fatalf("sub-threshold detection leaked: %v", det.Score)
+		}
+	}
+}
+
+func TestTrainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short")
+	}
+	c := DefaultConfig()
+	c.TrainSteps = 40
+	d := New(c)
+	data := smallData(2)
+	d.Train(data.Train, 192)
+	out := d.Evaluate(data.Test[:1], 192)
+	if out.Detected > out.GroundTruth {
+		t.Fatalf("impossible outcome %+v", out)
+	}
+	if out.Elapsed <= 0 {
+		t.Fatal("timing not recorded")
+	}
+}

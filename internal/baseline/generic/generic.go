@@ -1,0 +1,162 @@
+// Package generic provides the shared machinery of the two
+// object-detection baselines in Table 1 — Faster R-CNN [23] and SSD [24]
+// — "two classic techniques [that] match our region-based hotspot
+// detection objectives well" but are configured as generic object
+// detectors rather than specialized for hotspots: a plain convolutional
+// backbone (no encoder-decoder, no inception), natural-image anchor
+// scales, whole-box IoU matching and conventional NMS.
+package generic
+
+import (
+	"math"
+	"math/rand"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// InputChannels matches the region raster depth of the specialized
+// detector (metal + inverted metal) so all compared detectors consume the
+// same input representation.
+const InputChannels = 2
+
+// Raster2Ch rasterizes a layout into the shared two-channel region
+// representation [1, 2, size, size]: channel 0 is metal, channel 1 its
+// complement.
+func Raster2Ch(l *layout.Layout, size int, pitchNM float64) *tensor.Tensor {
+	raster := l.Rasterize(l.Bounds, pitchNM)
+	x := tensor.New(1, InputChannels, size, size)
+	for i := size * size; i < 2*size*size; i++ {
+		x.Data()[i] = 1
+	}
+	h, w := raster.Dim(1), raster.Dim(2)
+	for y := 0; y < min(h, size); y++ {
+		for xx := 0; xx < min(w, size); xx++ {
+			v := raster.At(0, y, xx)
+			x.Set(v, 0, 0, y, xx)
+			x.Set(1-v, 0, 1, y, xx)
+		}
+	}
+	return x
+}
+
+// Backbone builds the plain VGG-style feature extractor: three
+// conv+ReLU+pool stages for a total stride of 8.
+func Backbone(prefix string, channels [3]int, rng *rand.Rand) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewConv2D(prefix+".c1", InputChannels, channels[0], 3, 1, 1, rng),
+		nn.NewLeakyReLU(0.05),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(prefix+".c2", channels[0], channels[1], 3, 1, 1, rng),
+		nn.NewLeakyReLU(0.05),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D(prefix+".c3", channels[1], channels[2], 3, 1, 1, rng),
+		nn.NewLeakyReLU(0.05),
+		nn.NewMaxPool2D(2, 2),
+	)
+}
+
+// Anchors enumerates an anchor grid over a feat×feat map with the given
+// stride: one box per (cell, base, ratio) with area base² and aspect
+// h/w = ratio, in input-pixel coordinates, cell-major with the per-cell
+// group contiguous.
+func Anchors(feat, stride int, bases, ratios []float64) []geom.Rect {
+	out := make([]geom.Rect, 0, feat*feat*len(bases)*len(ratios))
+	for y := 0; y < feat; y++ {
+		cy := (float64(y) + 0.5) * float64(stride)
+		for x := 0; x < feat; x++ {
+			cx := (float64(x) + 0.5) * float64(stride)
+			for _, b := range bases {
+				for _, ar := range ratios {
+					r := math.Sqrt(ar)
+					out = append(out, geom.RectCWH(cx, cy, b/r, b*r))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Targets is the anchor training assignment.
+type Targets struct {
+	Label     []int8 // 1 positive, 0 negative, -1 ignored
+	MatchedGT []int32
+	Reg       []geom.BoxEncoding
+}
+
+// Assign labels anchors by whole-box IoU with posIoU/negIoU thresholds
+// plus the best-anchor-per-GT rule.
+func Assign(anchors, gt []geom.Rect, posIoU, negIoU float64) *Targets {
+	n := len(anchors)
+	t := &Targets{Label: make([]int8, n), MatchedGT: make([]int32, n), Reg: make([]geom.BoxEncoding, n)}
+	if len(gt) == 0 {
+		return t
+	}
+	bestIoU := make([]float64, n)
+	gtBest := make([]float64, len(gt))
+	gtBestAnchor := make([]int32, len(gt))
+	for g := range gtBestAnchor {
+		gtBestAnchor[g] = -1
+	}
+	for i, a := range anchors {
+		for g, box := range gt {
+			iou := geom.IoU(a, box)
+			if iou > bestIoU[i] {
+				bestIoU[i] = iou
+				t.MatchedGT[i] = int32(g)
+			}
+			if iou > gtBest[g] {
+				gtBest[g] = iou
+				gtBestAnchor[g] = int32(i)
+			}
+		}
+	}
+	for i := range anchors {
+		switch {
+		case bestIoU[i] >= posIoU:
+			t.Label[i] = 1
+		case bestIoU[i] <= negIoU:
+			t.Label[i] = 0
+		default:
+			t.Label[i] = -1
+		}
+	}
+	for g, ai := range gtBestAnchor {
+		if ai >= 0 && gtBest[g] > 0 {
+			t.Label[ai] = 1
+			t.MatchedGT[ai] = int32(g)
+		}
+	}
+	for i := range anchors {
+		if t.Label[i] == 1 {
+			t.Reg[i] = geom.Encode(gt[t.MatchedGT[i]], anchors[i])
+		}
+	}
+	return t
+}
+
+// SampleBatch draws up to budget anchor indices with at most half
+// positives, mirroring the standard region-proposal training recipe.
+func (t *Targets) SampleBatch(rng *rand.Rand, budget int) []int {
+	var pos, neg []int
+	for i, l := range t.Label {
+		switch l {
+		case 1:
+			pos = append(pos, i)
+		case 0:
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	if len(pos) > budget/2 {
+		pos = pos[:budget/2]
+	}
+	rest := budget - len(pos)
+	if len(neg) > rest {
+		neg = neg[:rest]
+	}
+	return append(append([]int{}, pos...), neg...)
+}

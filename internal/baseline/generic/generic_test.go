@@ -1,0 +1,93 @@
+package generic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/tensor"
+)
+
+func TestBackboneStride8(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := Backbone("t", [3]int{4, 6, 8}, rng)
+	x := tensor.New(1, InputChannels, 64, 64)
+	y := b.Forward(x)
+	if y.Dim(1) != 8 || y.Dim(2) != 8 || y.Dim(3) != 8 {
+		t.Fatalf("backbone output %v want [1 8 8 8]", y.Shape())
+	}
+}
+
+func TestAnchorsCountAndGeometry(t *testing.T) {
+	a := Anchors(4, 8, []float64{16, 32}, []float64{0.5, 1, 2})
+	if len(a) != 4*4*6 {
+		t.Fatalf("anchor count %d", len(a))
+	}
+	// Area preserved per base within ratio group.
+	if math.Abs(a[0].Area()-256) > 1e-6 || math.Abs(a[3].Area()-1024) > 1e-6 {
+		t.Fatalf("areas: %v %v", a[0].Area(), a[3].Area())
+	}
+	if math.Abs(a[0].H()/a[0].W()-0.5) > 1e-9 {
+		t.Fatalf("ratio: %v", a[0])
+	}
+}
+
+func TestAssignRules(t *testing.T) {
+	anchors := []geom.Rect{
+		geom.RectCWH(10, 10, 16, 16),
+		geom.RectCWH(50, 50, 16, 16),
+		geom.RectCWH(12, 10, 16, 16),
+	}
+	gt := []geom.Rect{geom.RectCWH(10, 10, 16, 16)}
+	tg := Assign(anchors, gt, 0.5, 0.3)
+	if tg.Label[0] != 1 {
+		t.Fatalf("exact match must be positive: %v", tg.Label)
+	}
+	if tg.Label[1] != 0 {
+		t.Fatalf("disjoint must be negative: %v", tg.Label)
+	}
+	if tg.Label[2] != 1 { // IoU = 14*16/(2*256-224) ≈ 0.78
+		t.Fatalf("high-IoU must be positive: %v", tg.Label)
+	}
+	// Regression encoding for the exact anchor is zero.
+	if tg.Reg[0] != (geom.BoxEncoding{}) {
+		t.Fatalf("exact reg: %+v", tg.Reg[0])
+	}
+}
+
+func TestAssignBestAnchorRule(t *testing.T) {
+	// GT too small for any anchor to clear 0.5: the best still turns
+	// positive.
+	anchors := []geom.Rect{
+		geom.RectCWH(10, 10, 32, 32),
+		geom.RectCWH(50, 50, 32, 32),
+	}
+	gt := []geom.Rect{geom.RectCWH(10, 10, 8, 8)}
+	tg := Assign(anchors, gt, 0.5, 0.01)
+	if tg.Label[0] != 1 {
+		t.Fatalf("best anchor must be claimed: %v", tg.Label)
+	}
+}
+
+func TestAssignNoGT(t *testing.T) {
+	anchors := []geom.Rect{geom.RectCWH(10, 10, 16, 16)}
+	tg := Assign(anchors, nil, 0.5, 0.3)
+	if tg.Label[0] != 0 {
+		t.Fatal("no GT → all negative")
+	}
+}
+
+func TestSampleBatchExcludesIgnored(t *testing.T) {
+	tg := &Targets{Label: []int8{1, -1, 0, 0, -1, 1}}
+	rng := rand.New(rand.NewSource(2))
+	batch := tg.SampleBatch(rng, 4)
+	for _, i := range batch {
+		if tg.Label[i] == -1 {
+			t.Fatal("ignored anchor sampled")
+		}
+	}
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+}

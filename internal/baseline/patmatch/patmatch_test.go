@@ -1,0 +1,99 @@
+package patmatch
+
+import (
+	"testing"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/litho"
+)
+
+func smallData(nTrain, nTest int) *dataset.Dataset {
+	spec := dataset.CaseSpecs(768)[0]
+	return dataset.Generate(spec, litho.DefaultModel(), nTrain, nTest)
+}
+
+func TestGridShapeAndRange(t *testing.T) {
+	m := New(DefaultConfig())
+	data := smallData(1, 0)
+	g := m.grid(data.Train[0].Layout, 384, 384)
+	if g.Dim(1) != m.Config.GridCells || g.Dim(2) != m.Config.GridCells {
+		t.Fatalf("grid shape %v", g.Shape())
+	}
+	for _, v := range g.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("density %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestTrainMinesJitteredTemplates(t *testing.T) {
+	m := New(DefaultConfig())
+	data := smallData(3, 0)
+	want := 0
+	for _, r := range data.Train {
+		want += len(r.Hotspots)
+	}
+	m.Train(data.Train)
+	if len(m.Templates) != 9*want {
+		t.Fatalf("templates %d want %d (9 per hotspot)", len(m.Templates), 9*want)
+	}
+}
+
+func TestExactPatternMatchesItself(t *testing.T) {
+	m := New(DefaultConfig())
+	data := smallData(1, 0)
+	r := data.Train[0]
+	if len(r.Hotspots) == 0 {
+		t.Skip("region without hotspots")
+	}
+	m.Train([]*dataset.Region{r})
+	p := r.HotspotPoints()[0]
+	g := m.grid(r.Layout, p[0], p[1])
+	if s := m.MatchScore(g); s < 0.999 {
+		t.Fatalf("self-match score %v", s)
+	}
+}
+
+func TestEmptyLibraryMatchesNothing(t *testing.T) {
+	m := New(DefaultConfig())
+	data := smallData(1, 0)
+	g := m.grid(data.Train[0].Layout, 384, 384)
+	if m.MatchScore(g) != 0 {
+		t.Fatal("empty library must score 0")
+	}
+	if dets := m.DetectRegion(data.Train[0]); len(dets) != 0 {
+		t.Fatalf("empty library produced %d detections", len(dets))
+	}
+}
+
+func TestSeenVsUnseenGap(t *testing.T) {
+	// The paper's criticism of pattern matching: high recall on *seen*
+	// patterns, no confidence on unseen ones. Detect on the training
+	// regions (seen) vs test regions (unseen) and expect a recall gap.
+	m := New(DefaultConfig())
+	data := smallData(4, 4)
+	m.Train(data.Train)
+	seen := m.Evaluate(data.Train)
+	unseen := m.Evaluate(data.Test)
+	if seen.Accuracy() < 0.8 {
+		t.Fatalf("seen-pattern recall too low: %v", seen.Accuracy())
+	}
+	if unseen.Accuracy() > seen.Accuracy() {
+		t.Fatalf("unseen recall (%v) should not beat seen recall (%v)",
+			unseen.Accuracy(), seen.Accuracy())
+	}
+}
+
+func TestStricterThresholdMonotone(t *testing.T) {
+	data := smallData(3, 1)
+	loose := New(DefaultConfig())
+	loose.Config.Threshold = 0.2
+	strict := New(DefaultConfig())
+	strict.Config.Threshold = 0.02
+	loose.Train(data.Train)
+	strict.Train(data.Train)
+	r := data.Test[0]
+	if len(strict.DetectRegion(r)) > len(loose.DetectRegion(r)) {
+		t.Fatal("stricter threshold cannot produce more matches")
+	}
+}

@@ -1,0 +1,321 @@
+// Package ssd implements the "SSD [24]" baseline of Table 1: a one-stage
+// single-shot detector with default boxes on two feature scales, generic
+// whole-box matching and conventional NMS. Its default boxes are close
+// enough to hotspot-clip scale to fire, but with no second-stage
+// classification to veto weak candidates the detector is false-alarm
+// heavy — the behaviour Table 1 reports (decent accuracy, nearly an order
+// of magnitude more false alarms).
+package ssd
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"rhsd/internal/baseline/generic"
+	"rhsd/internal/dataset"
+	"rhsd/internal/geom"
+	"rhsd/internal/hsd"
+	"rhsd/internal/metrics"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// Config holds the baseline's hyperparameters.
+type Config struct {
+	InputSize int
+	PitchNM   float64
+	// Bases1 are default-box sizes on the stride-8 map; Bases2 on the
+	// stride-16 map.
+	Bases1, Bases2 []float64
+	Ratios         []float64
+	Backbone       [3]int
+	Extra          int // channels of the stride-16 extra stage
+	PosIoU         float64
+	NegIoU         float64
+	NMSThreshold   float64
+	ScoreThresh    float64
+	BatchAnchors   int
+	TrainSteps     int
+	LearningRate   float64
+	Momentum       float64
+	Seed           int64
+}
+
+// DefaultConfig returns the configuration used by the benchmark harness
+// at the fast profile.
+func DefaultConfig() Config {
+	return Config{
+		InputSize:    64,
+		PitchNM:      12,
+		Bases1:       []float64{12, 20},
+		Bases2:       []float64{28, 40},
+		Ratios:       []float64{0.5, 1, 2},
+		Backbone:     [3]int{8, 16, 24},
+		Extra:        24,
+		PosIoU:       0.45,
+		NegIoU:       0.3,
+		NMSThreshold: 0.5,
+		// One-stage detectors are thresholded low to reach usable recall;
+		// that is precisely what makes them false-alarm heavy here.
+		ScoreThresh:  0.35,
+		BatchAnchors: 64,
+		TrainSteps:   500,
+		LearningRate: 0.01,
+		Momentum:     0.9,
+		Seed:         31,
+	}
+}
+
+const stride1 = 8
+
+// Detector is the one-stage baseline.
+type Detector struct {
+	Config Config
+
+	backbone *nn.Sequential
+	extra    *nn.Sequential // stride-8 → stride-16 stage
+	head1Cls *nn.Conv2D
+	head1Reg *nn.Conv2D
+	head2Cls *nn.Conv2D
+	head2Reg *nn.Conv2D
+
+	anchors1, anchors2 []geom.Rect
+	per1, per2         int
+	feat1, feat2       int
+	rng                *rand.Rand
+}
+
+// New builds an untrained detector.
+func New(c Config) *Detector {
+	rng := rand.New(rand.NewSource(c.Seed))
+	d := &Detector{Config: c, rng: rng}
+	d.backbone = generic.Backbone("ssd", c.Backbone, rng)
+	d.extra = nn.NewSequential(
+		nn.NewConv2D("ssd.extra", c.Backbone[2], c.Extra, 3, 2, 1, rng),
+		nn.NewLeakyReLU(0.05),
+	)
+	d.per1 = len(c.Bases1) * len(c.Ratios)
+	d.per2 = len(c.Bases2) * len(c.Ratios)
+	d.head1Cls = nn.NewConv2D("ssd.h1c", c.Backbone[2], 2*d.per1, 3, 1, 1, rng)
+	d.head1Reg = nn.NewConv2D("ssd.h1r", c.Backbone[2], 4*d.per1, 3, 1, 1, rng)
+	d.head2Cls = nn.NewConv2D("ssd.h2c", c.Extra, 2*d.per2, 3, 1, 1, rng)
+	d.head2Reg = nn.NewConv2D("ssd.h2r", c.Extra, 4*d.per2, 3, 1, 1, rng)
+	d.feat1 = c.InputSize / stride1
+	d.feat2 = d.feat1 / 2
+	d.anchors1 = generic.Anchors(d.feat1, stride1, c.Bases1, c.Ratios)
+	d.anchors2 = generic.Anchors(d.feat2, 2*stride1, c.Bases2, c.Ratios)
+	return d
+}
+
+func (d *Detector) params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, d.backbone.Params()...)
+	ps = append(ps, d.extra.Params()...)
+	ps = append(ps, d.head1Cls.Params()...)
+	ps = append(ps, d.head1Reg.Params()...)
+	ps = append(ps, d.head2Cls.Params()...)
+	ps = append(ps, d.head2Reg.Params()...)
+	return ps
+}
+
+// allAnchors returns the concatenated anchor list; index < len(anchors1)
+// addresses scale 1.
+func (d *Detector) allAnchors() []geom.Rect {
+	out := make([]geom.Rect, 0, len(d.anchors1)+len(d.anchors2))
+	out = append(out, d.anchors1...)
+	return append(out, d.anchors2...)
+}
+
+// headAt reads the logits/regression of global anchor index i from the
+// two head maps.
+func (d *Detector) headAt(c1, r1, c2, r2 *tensor.Tensor, i int) (l0, l1 float32, enc geom.BoxEncoding) {
+	if i < len(d.anchors1) {
+		return readHead(c1, r1, i, d.per1, d.feat1)
+	}
+	return readHead(c2, r2, i-len(d.anchors1), d.per2, d.feat2)
+}
+
+func readHead(cls, reg *tensor.Tensor, i, per, featW int) (l0, l1 float32, enc geom.BoxEncoding) {
+	a := i % per
+	cell := i / per
+	y := cell / featW
+	x := cell % featW
+	l0 = cls.At(0, 2*a, y, x)
+	l1 = cls.At(0, 2*a+1, y, x)
+	enc = geom.BoxEncoding{
+		LX: float64(reg.At(0, 4*a, y, x)),
+		LY: float64(reg.At(0, 4*a+1, y, x)),
+		LW: float64(reg.At(0, 4*a+2, y, x)),
+		LH: float64(reg.At(0, 4*a+3, y, x)),
+	}
+	return
+}
+
+func scatterHead(g *tensor.Tensor, i, per, featW, width, ch int, v float32) {
+	a := i % per
+	cell := i / per
+	y := cell / featW
+	x := cell % featW
+	g.Set(g.At(0, width*a+ch, y, x)+v, 0, width*a+ch, y, x)
+}
+
+func (d *Detector) sampleOf(r *dataset.Region, clipNM float64) (*tensor.Tensor, []geom.Rect) {
+	c := d.Config
+	x := generic.Raster2Ch(r.Layout, c.InputSize, c.PitchNM)
+	var gt []geom.Rect
+	for _, p := range r.HotspotPoints() {
+		gt = append(gt, geom.RectCWH(p[0]/c.PitchNM, p[1]/c.PitchNM, clipNM/c.PitchNM, clipNM/c.PitchNM))
+	}
+	return x, gt
+}
+
+// forward runs the backbone and both head scales.
+func (d *Detector) forward(x *tensor.Tensor) (c1, r1, c2, r2 *tensor.Tensor) {
+	feat1 := d.backbone.Forward(x)
+	feat2 := d.extra.Forward(feat1)
+	return d.head1Cls.Forward(feat1), d.head1Reg.Forward(feat1),
+		d.head2Cls.Forward(feat2), d.head2Reg.Forward(feat2)
+}
+
+// Train fits the single-stage heads on the training regions.
+func (d *Detector) Train(regions []*dataset.Region, clipNM float64) {
+	c := d.Config
+	if len(regions) == 0 {
+		return
+	}
+	anchors := d.allAnchors()
+	opt := nn.NewSGD(c.LearningRate, c.Momentum, 0, 1)
+	for step := 0; step < c.TrainSteps; step++ {
+		r := regions[d.rng.Intn(len(regions))]
+		x, gt := d.sampleOf(r, clipNM)
+		c1, r1, c2, r2 := d.forward(x)
+		targets := generic.Assign(anchors, gt, c.PosIoU, c.NegIoU)
+		batch := targets.SampleBatch(d.rng, c.BatchAnchors)
+		gC1 := tensor.New(c1.Shape()...)
+		gR1 := tensor.New(r1.Shape()...)
+		gC2 := tensor.New(c2.Shape()...)
+		gR2 := tensor.New(r2.Shape()...)
+		if len(batch) > 0 {
+			logits := tensor.New(len(batch), 2)
+			labels := make([]int, len(batch))
+			for k, i := range batch {
+				l0, l1, _ := d.headAt(c1, r1, c2, r2, i)
+				logits.Set(l0, k, 0)
+				logits.Set(l1, k, 1)
+				labels[k] = int(targets.Label[i])
+			}
+			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			for k, i := range batch {
+				d.scatterCls(gC1, gC2, i, grad.At(k, 0), grad.At(k, 1))
+			}
+		}
+		var pos []int
+		for _, i := range batch {
+			if targets.Label[i] == 1 {
+				pos = append(pos, i)
+			}
+		}
+		if len(pos) > 0 {
+			pred := tensor.New(len(pos), 4)
+			tgt := tensor.New(len(pos), 4)
+			wts := make([]float32, len(pos))
+			for k, i := range pos {
+				_, _, enc := d.headAt(c1, r1, c2, r2, i)
+				for j, v := range enc.Vec4() {
+					pred.Set(float32(v), k, j)
+				}
+				for j, v := range targets.Reg[i].Vec4() {
+					tgt.Set(float32(v), k, j)
+				}
+				wts[k] = 1
+			}
+			_, grad := nn.SmoothL1(pred, tgt, wts, float64(len(pos)))
+			for k, i := range pos {
+				for j := 0; j < 4; j++ {
+					d.scatterReg(gR1, gR2, i, j, grad.At(k, j))
+				}
+			}
+		}
+		gFeat2 := d.head2Cls.Backward(gC2)
+		gFeat2.Add(d.head2Reg.Backward(gR2))
+		gFeat1 := d.extra.Backward(gFeat2)
+		gFeat1.Add(d.head1Cls.Backward(gC1))
+		gFeat1.Add(d.head1Reg.Backward(gR1))
+		d.backbone.Backward(gFeat1)
+		opt.Update(d.params())
+	}
+}
+
+func (d *Detector) scatterCls(g1, g2 *tensor.Tensor, i int, v0, v1 float32) {
+	if i < len(d.anchors1) {
+		scatterHead(g1, i, d.per1, d.feat1, 2, 0, v0)
+		scatterHead(g1, i, d.per1, d.feat1, 2, 1, v1)
+	} else {
+		j := i - len(d.anchors1)
+		scatterHead(g2, j, d.per2, d.feat2, 2, 0, v0)
+		scatterHead(g2, j, d.per2, d.feat2, 2, 1, v1)
+	}
+}
+
+func (d *Detector) scatterReg(g1, g2 *tensor.Tensor, i, ch int, v float32) {
+	if i < len(d.anchors1) {
+		scatterHead(g1, i, d.per1, d.feat1, 4, ch, v)
+	} else {
+		scatterHead(g2, i-len(d.anchors1), d.per2, d.feat2, 4, ch, v)
+	}
+}
+
+// DetectRegion runs single-shot inference on one region, returning
+// detections in region nm coordinates.
+func (d *Detector) DetectRegion(r *dataset.Region, clipNM float64) []metrics.Detection {
+	c := d.Config
+	x, _ := d.sampleOf(r, clipNM)
+	c1, r1, c2, r2 := d.forward(x)
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	anchors := d.allAnchors()
+	var cand []hsd.ScoredClip
+	for i, a := range anchors {
+		l0, l1, enc := d.headAt(c1, r1, c2, r2, i)
+		score := sigmoid(l1 - l0)
+		if score < c.ScoreThresh {
+			continue
+		}
+		box := geom.Decode(enc, a).Clip(bounds)
+		if box.W() < 2 || box.H() < 2 {
+			continue
+		}
+		cand = append(cand, hsd.ScoredClip{Clip: box, Score: score})
+	}
+	final := hsd.ConventionalNMS(hsd.TopK(cand, 256), c.NMSThreshold)
+	dets := make([]metrics.Detection, len(final))
+	for i, s := range final {
+		dets[i] = metrics.Detection{Clip: s.Clip.Scale(c.PitchNM), Score: s.Score}
+	}
+	return dets
+}
+
+// Evaluate scores the detector over test regions with wall-clock timing.
+func (d *Detector) Evaluate(regions []*dataset.Region, clipNM float64) metrics.Outcome {
+	var total metrics.Outcome
+	for _, r := range regions {
+		start := time.Now()
+		dets := d.DetectRegion(r, clipNM)
+		elapsed := time.Since(start)
+		o := metrics.Evaluate(dets, r.HotspotPoints())
+		o.Elapsed = elapsed
+		total.Add(o)
+	}
+	return total
+}
+
+func sigmoid(x float32) float64 {
+	v := float64(x)
+	if v > 40 {
+		return 1
+	}
+	if v < -40 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-v))
+}

@@ -1,0 +1,69 @@
+package ssd
+
+import (
+	"testing"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/litho"
+)
+
+func smallData(n int) *dataset.Dataset {
+	spec := dataset.CaseSpecs(768)[0]
+	return dataset.Generate(spec, litho.DefaultModel(), n, n)
+}
+
+func TestTwoScaleAnchors(t *testing.T) {
+	d := New(DefaultConfig())
+	if d.feat2 != d.feat1/2 {
+		t.Fatalf("scale-2 map %d want %d", d.feat2, d.feat1/2)
+	}
+	if len(d.anchors1) != d.feat1*d.feat1*d.per1 {
+		t.Fatalf("scale-1 anchors %d", len(d.anchors1))
+	}
+	if len(d.anchors2) != d.feat2*d.feat2*d.per2 {
+		t.Fatalf("scale-2 anchors %d", len(d.anchors2))
+	}
+	// Scale-2 boxes are larger.
+	if d.anchors2[0].Area() <= d.anchors1[0].Area() {
+		t.Fatal("scale-2 default boxes should be larger")
+	}
+}
+
+func TestHeadIndexRoundTrip(t *testing.T) {
+	d := New(DefaultConfig())
+	x, _ := d.sampleOf(smallData(1).Test[0], 192)
+	c1, r1, c2, r2 := d.forward(x)
+	// Reading the last anchor of each scale must not panic and must index
+	// consistent positions.
+	d.headAt(c1, r1, c2, r2, len(d.anchors1)-1)
+	d.headAt(c1, r1, c2, r2, len(d.anchors1)+len(d.anchors2)-1)
+}
+
+func TestDetectRegionUntrainedWellFormed(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(1)
+	dets := d.DetectRegion(data.Test[0], 192)
+	for _, det := range dets {
+		if det.Score < d.Config.ScoreThresh {
+			t.Fatalf("sub-threshold detection leaked: %v", det.Score)
+		}
+	}
+}
+
+func TestTrainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short")
+	}
+	c := DefaultConfig()
+	c.TrainSteps = 40
+	d := New(c)
+	data := smallData(2)
+	d.Train(data.Train, 192)
+	out := d.Evaluate(data.Test[:1], 192)
+	if out.Detected > out.GroundTruth {
+		t.Fatalf("impossible outcome %+v", out)
+	}
+	if out.Elapsed <= 0 {
+		t.Fatal("timing not recorded")
+	}
+}

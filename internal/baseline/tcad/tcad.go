@@ -1,0 +1,263 @@
+// Package tcad implements the paper's main comparator, labelled "TCAD'18
+// [16]" in Table 1: the clip-based hotspot detector of Yang et al.,
+// "Layout hotspot detection with feature tensor generation and deep biased
+// learning" (IEEE TCAD 2018), embedded in the conventional sliding-window
+// flow of Figure 1.
+//
+// The flow is: extract overlapping clips across the region, convert each
+// clip to a DCT feature tensor (frequency-domain feature expression), and
+// classify each clip with a small CNN trained with biased learning for the
+// unbalanced hotspot/non-hotspot distribution. The detector is accurate
+// but pays the two costs the paper attributes to it: the overlapping scan
+// makes it slow on large regions, and the recall-oriented bias makes it
+// false-alarm heavy.
+package tcad
+
+import (
+	"math/rand"
+	"time"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/dct"
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/metrics"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// Config holds the clip classifier's hyperparameters.
+type Config struct {
+	// ClipPx is the clip raster size in pixels (must be a multiple of
+	// DCTBlock).
+	ClipPx int
+	// PitchNM converts layout nm to raster pixels.
+	PitchNM float64
+	// DCTBlock and DCTKeep define the feature tensor: DCTBlock×DCTBlock
+	// blocks with the first DCTKeep zig-zag coefficients kept.
+	DCTBlock int
+	DCTKeep  int
+	// Conv1, Conv2 and FC are the CNN widths.
+	Conv1, Conv2, FC int
+	// Bias is the biased-learning decision shift: a clip is reported as
+	// hotspot when P(hotspot) > 0.5 − Bias. Positive bias trades false
+	// alarms for recall, the deliberate choice of [16] for unbalanced
+	// data.
+	Bias float64
+	// TrainSteps, BatchSize, LearningRate, Momentum configure SGD.
+	TrainSteps   int
+	BatchSize    int
+	LearningRate float64
+	Momentum     float64
+	// NegPerRegion is the number of random negative clips mined from each
+	// training region.
+	NegPerRegion int
+	// Seed fixes initialization and sampling.
+	Seed int64
+}
+
+// DefaultConfig returns settings matched to the fast evaluation profile.
+func DefaultConfig() Config {
+	return Config{
+		ClipPx:       16,
+		PitchNM:      12,
+		DCTBlock:     8,
+		DCTKeep:      12,
+		Conv1:        12,
+		Conv2:        16,
+		FC:           32,
+		Bias:         0.2,
+		TrainSteps:   400,
+		BatchSize:    16,
+		LearningRate: 0.01,
+		Momentum:     0.9,
+		NegPerRegion: 12,
+		Seed:         11,
+	}
+}
+
+// ClipNM returns the physical clip size.
+func (c Config) ClipNM() float64 { return float64(c.ClipPx) * c.PitchNM }
+
+// Detector is the trained sliding-window hotspot detector.
+type Detector struct {
+	Config Config
+
+	net *nn.Sequential
+	rng *rand.Rand
+}
+
+// New builds an untrained detector.
+func New(c Config) *Detector {
+	rng := rand.New(rand.NewSource(c.Seed))
+	fb := c.ClipPx / c.DCTBlock
+	net := nn.NewSequential(
+		nn.NewConv2D("c1", c.DCTKeep, c.Conv1, 3, 1, 1, rng),
+		nn.NewLeakyReLU(0.05),
+		nn.NewConv2D("c2", c.Conv1, c.Conv2, 3, 1, 1, rng),
+		nn.NewLeakyReLU(0.05),
+		nn.NewFlatten(),
+		nn.NewDense("fc1", c.Conv2*fb*fb, c.FC, rng),
+		nn.NewLeakyReLU(0.05),
+		nn.NewDense("fc2", c.FC, 2, rng),
+	)
+	return &Detector{Config: c, net: net, rng: rng}
+}
+
+// clipFeature rasterizes the clip window centred at (cx, cy) nm and
+// produces its DCT feature tensor [keep, fb, fb].
+func (d *Detector) clipFeature(r *dataset.Region, cx, cy float64) *tensor.Tensor {
+	c := d.Config
+	half := c.ClipNM() / 2
+	win := r.Layout.Window(layout.R(int(cx-half), int(cy-half), int(cx+half), int(cy+half)))
+	raster := win.Rasterize(win.Bounds, c.PitchNM)
+	// Pad or crop to the exact clip raster.
+	img := tensor.New(1, c.ClipPx, c.ClipPx)
+	h, w := raster.Dim(1), raster.Dim(2)
+	for y := 0; y < minInt(h, c.ClipPx); y++ {
+		for x := 0; x < minInt(w, c.ClipPx); x++ {
+			img.Set(raster.At(0, y, x), 0, y, x)
+		}
+	}
+	return dct.FeatureTensor(img, c.DCTBlock, c.DCTKeep)
+}
+
+// trainExample is one labelled clip feature.
+type trainExample struct {
+	feat  *tensor.Tensor
+	label int
+}
+
+// mineExamples builds the balanced clip training set: positives centred on
+// (jittered) hotspots, negatives at random clip positions whose core holds
+// no hotspot.
+func (d *Detector) mineExamples(regions []*dataset.Region) []trainExample {
+	c := d.Config
+	var out []trainExample
+	for _, r := range regions {
+		pts := r.HotspotPoints()
+		for _, p := range pts {
+			// Original plus two jittered copies within the core.
+			for j := 0; j < 3; j++ {
+				jx := (d.rng.Float64() - 0.5) * c.ClipNM() / 4
+				jy := (d.rng.Float64() - 0.5) * c.ClipNM() / 4
+				if j == 0 {
+					jx, jy = 0, 0
+				}
+				out = append(out, trainExample{
+					feat:  d.clipFeature(r, p[0]+jx, p[1]+jy),
+					label: 1,
+				})
+			}
+		}
+		size := float64(r.Layout.Bounds.X1)
+		for n := 0; n < c.NegPerRegion; n++ {
+			cx := c.ClipNM()/2 + d.rng.Float64()*(size-c.ClipNM())
+			cy := c.ClipNM()/2 + d.rng.Float64()*(size-c.ClipNM())
+			if coreHasHotspot(cx, cy, c.ClipNM(), pts) {
+				continue
+			}
+			out = append(out, trainExample{feat: d.clipFeature(r, cx, cy), label: 0})
+		}
+	}
+	return out
+}
+
+// Train fits the clip classifier on the training regions.
+func (d *Detector) Train(regions []*dataset.Region) {
+	c := d.Config
+	examples := d.mineExamples(regions)
+	if len(examples) == 0 {
+		return
+	}
+	var pos, neg []trainExample
+	for _, e := range examples {
+		if e.label == 1 {
+			pos = append(pos, e)
+		} else {
+			neg = append(neg, e)
+		}
+	}
+	opt := nn.NewSGD(c.LearningRate, c.Momentum, 0, 1)
+	fb := c.ClipPx / c.DCTBlock
+	for step := 0; step < c.TrainSteps; step++ {
+		// Balanced batches are the training-side half of biased learning:
+		// the minority hotspot class is oversampled to parity.
+		batch := tensor.New(c.BatchSize, c.DCTKeep, fb, fb)
+		labels := make([]int, c.BatchSize)
+		for i := 0; i < c.BatchSize; i++ {
+			var e trainExample
+			if i%2 == 0 && len(pos) > 0 {
+				e = pos[d.rng.Intn(len(pos))]
+			} else if len(neg) > 0 {
+				e = neg[d.rng.Intn(len(neg))]
+			} else {
+				e = pos[d.rng.Intn(len(pos))]
+			}
+			copy(batch.Data()[i*e.feat.Size():(i+1)*e.feat.Size()], e.feat.Data())
+			labels[i] = e.label
+		}
+		logits := d.net.Forward(batch)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		d.net.Backward(grad)
+		opt.Update(d.net.Params())
+	}
+}
+
+// DetectRegion runs the conventional overlapping scan: clips at a stride
+// of one core (one third of the clip) in each direction, every clip
+// classified independently. Returns hotspot detections in region nm.
+func (d *Detector) DetectRegion(r *dataset.Region) []metrics.Detection {
+	c := d.Config
+	clip := c.ClipNM()
+	stride := clip / 3
+	size := float64(r.Layout.Bounds.X1)
+	var dets []metrics.Detection
+	for cy := clip / 2; cy+clip/2 <= size; cy += stride {
+		for cx := clip / 2; cx+clip/2 <= size; cx += stride {
+			feat := d.clipFeature(r, cx, cy)
+			batch := feat.Reshape(1, feat.Dim(0), feat.Dim(1), feat.Dim(2))
+			logits := d.net.Forward(batch)
+			p := nn.Softmax(logits).At(0, 1)
+			if float64(p) > 0.5-c.Bias {
+				dets = append(dets, metrics.Detection{
+					Clip:  geom.RectCWH(cx, cy, clip, clip),
+					Score: float64(p),
+				})
+			}
+		}
+	}
+	return dets
+}
+
+// Evaluate runs DetectRegion over test regions and scores the paper's
+// metrics, including wall-clock detection time.
+func (d *Detector) Evaluate(regions []*dataset.Region) metrics.Outcome {
+	var total metrics.Outcome
+	for _, r := range regions {
+		start := time.Now()
+		dets := d.DetectRegion(r)
+		elapsed := time.Since(start)
+		o := metrics.Evaluate(dets, r.HotspotPoints())
+		o.Elapsed = elapsed
+		total.Add(o)
+	}
+	return total
+}
+
+func coreHasHotspot(cx, cy, clipNM float64, pts [][2]float64) bool {
+	core := geom.RectCWH(cx, cy, clipNM, clipNM).Core()
+	for _, p := range pts {
+		if core.Contains(p[0], p[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package tcad
+
+import (
+	"testing"
+
+	"rhsd/internal/dataset"
+	"rhsd/internal/litho"
+)
+
+func smallData(n int) *dataset.Dataset {
+	spec := dataset.CaseSpecs(768)[0]
+	return dataset.Generate(spec, litho.DefaultModel(), n, n)
+}
+
+func TestConfigClipNM(t *testing.T) {
+	c := DefaultConfig()
+	if c.ClipNM() != float64(c.ClipPx)*c.PitchNM {
+		t.Fatal("ClipNM inconsistent")
+	}
+	if c.ClipPx%c.DCTBlock != 0 {
+		t.Fatal("default clip not divisible by DCT block")
+	}
+}
+
+func TestClipFeatureShape(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(1)
+	f := d.clipFeature(data.Train[0], 300, 300)
+	fb := d.Config.ClipPx / d.Config.DCTBlock
+	if f.Dim(0) != d.Config.DCTKeep || f.Dim(1) != fb || f.Dim(2) != fb {
+		t.Fatalf("feature shape %v", f.Shape())
+	}
+}
+
+func TestClipFeatureBoundaryClipsDoNotPanic(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(1)
+	r := data.Train[0]
+	// Clips hanging off every edge.
+	for _, p := range [][2]float64{{0, 0}, {768, 768}, {0, 400}, {768, 0}} {
+		f := d.clipFeature(r, p[0], p[1])
+		if f == nil {
+			t.Fatal("nil feature")
+		}
+	}
+}
+
+func TestMineExamplesBalanceAndLabels(t *testing.T) {
+	d := New(DefaultConfig())
+	data := smallData(2)
+	ex := d.mineExamples(data.Train)
+	if len(ex) == 0 {
+		t.Fatal("no examples mined")
+	}
+	pos, neg := 0, 0
+	for _, e := range ex {
+		if e.label == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("need both classes: pos=%d neg=%d", pos, neg)
+	}
+}
+
+func TestTrainAndDetectSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short")
+	}
+	c := DefaultConfig()
+	c.TrainSteps = 150
+	d := New(c)
+	data := smallData(3)
+	d.Train(data.Train)
+	out := d.Evaluate(data.Test[:1])
+	// The detector must produce a well-formed outcome; quality is the
+	// bench harness's business.
+	if out.GroundTruth < 0 || out.Detected > out.GroundTruth {
+		t.Fatalf("malformed outcome %+v", out)
+	}
+	if out.Elapsed <= 0 {
+		t.Fatal("timing not recorded")
+	}
+}
+
+func TestBiasIncreasesDetections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short")
+	}
+	c := DefaultConfig()
+	c.TrainSteps = 120
+	d := New(c)
+	data := smallData(2)
+	d.Train(data.Train)
+	r := data.Test[0]
+	d.Config.Bias = 0
+	n0 := len(d.DetectRegion(r))
+	d.Config.Bias = 0.45
+	n1 := len(d.DetectRegion(r))
+	if n1 < n0 {
+		t.Fatalf("higher bias cannot reduce detections: %d -> %d", n0, n1)
+	}
+}

@@ -1,0 +1,307 @@
+// Package dataset synthesizes the benchmark suite used to evaluate the
+// detectors. The paper evaluates on three designs from the ICCAD 2016 CAD
+// contest — proprietary EUV metal-layer layouts labelled by industrial
+// lithography simulation — so this package substitutes statistically
+// distinct synthetic "cases" labelled by the litho proxy in
+// internal/litho.
+//
+// Each case is a set of independently generated layout regions sharing the
+// case's pattern statistics (wire orientation, pitch, density, risky-motif
+// mix). Like the paper (§4), each case is split into a training half and a
+// testing half, and the training halves of all cases are merged to train a
+// single model.
+//
+// Regions contain mostly clean routing plus sparse "risky" motifs —
+// sub-resolution widths, tight parallel gaps, line-end tip gaps — whose
+// printability failure under the process window produces the ground-truth
+// hotspots. Decoy motifs that look aggressive but print cleanly are also
+// inserted so that false-alarm behaviour is measurable.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/litho"
+)
+
+// Spec describes the pattern statistics of one benchmark case.
+type Spec struct {
+	Name string
+	Seed int64
+	// RegionNM is the side length of each square region in nm.
+	RegionNM int
+	// Vertical selects wire orientation; Mixed overlays both orientations
+	// in alternating bands.
+	Vertical bool
+	Mixed    bool
+	// WireWidthNM / WireSpaceNM define the safe routing pitch.
+	WireWidthNM int
+	WireSpaceNM int
+	// TrackDensity is the probability a routing track is populated.
+	TrackDensity float64
+	// RiskPerRegion is the expected number of risky motifs per region.
+	RiskPerRegion float64
+	// DecoyPerRegion is the expected number of aggressive-but-printable
+	// decoy motifs per region.
+	DecoyPerRegion float64
+}
+
+// Region is one benchmark sample: layout geometry plus simulator-labelled
+// ground truth.
+type Region struct {
+	// Layout holds region-relative geometry with bounds [0,RegionNM)².
+	Layout *layout.Layout
+	// Hotspots are ground-truth process weak points from litho simulation,
+	// in nm relative to the region origin.
+	Hotspots []litho.Hotspot
+}
+
+// HotspotPoints returns the ground-truth weak-point centres.
+func (r *Region) HotspotPoints() [][2]float64 { return litho.HotspotPoints(r.Hotspots) }
+
+// GTClips returns ground-truth hotspot clips of the given size centred on
+// each weak point — the regression targets for region-based detection.
+func (r *Region) GTClips(clipNM float64) []geom.Rect {
+	out := make([]geom.Rect, len(r.Hotspots))
+	for i, h := range r.Hotspots {
+		out[i] = geom.RectCWH(h.Center.CX(), h.Center.CY(), clipNM, clipNM)
+	}
+	return out
+}
+
+// Dataset is a benchmark case with its train/test split.
+type Dataset struct {
+	Name  string
+	Spec  Spec
+	Train []*Region
+	Test  []*Region
+}
+
+// CaseSpecs returns the three benchmark cases (analogues of ICCAD-2016
+// Case2/3/4 — the contest's Case1 has no lithography defects and is
+// excluded, as in the paper). regionNM scales the region size so callers
+// can trade fidelity for runtime.
+func CaseSpecs(regionNM int) []Spec {
+	return []Spec{
+		{
+			// Case2 analogue: dense unidirectional horizontal metal,
+			// few but subtle hotspots.
+			Name: "Case2", Seed: 20001, RegionNM: regionNM,
+			WireWidthNM: 32, WireSpaceNM: 48,
+			TrackDensity: 0.78, RiskPerRegion: 2.0, DecoyPerRegion: 3.0,
+		},
+		{
+			// Case3 analogue: mixed-orientation routing, highest hotspot
+			// density.
+			Name: "Case3", Seed: 30001, RegionNM: regionNM, Mixed: true,
+			WireWidthNM: 30, WireSpaceNM: 42,
+			TrackDensity: 0.70, RiskPerRegion: 3.5, DecoyPerRegion: 2.0,
+		},
+		{
+			// Case4 analogue: sparser vertical metal with clustered risky
+			// geometry.
+			Name: "Case4", Seed: 40001, RegionNM: regionNM, Vertical: true,
+			WireWidthNM: 34, WireSpaceNM: 56,
+			TrackDensity: 0.55, RiskPerRegion: 2.5, DecoyPerRegion: 2.5,
+		},
+	}
+}
+
+// Generate builds a benchmark case with nTrain training and nTest testing
+// regions, labelling every region with the litho model. Generation is
+// deterministic in spec.Seed.
+func Generate(spec Spec, m litho.Model, nTrain, nTest int) *Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Dataset{Name: spec.Name, Spec: spec}
+	for i := 0; i < nTrain+nTest; i++ {
+		r := genRegion(spec, rng, m)
+		if i < nTrain {
+			d.Train = append(d.Train, r)
+		} else {
+			d.Test = append(d.Test, r)
+		}
+	}
+	return d
+}
+
+// genRegion draws one region from the case distribution and labels it.
+func genRegion(spec Spec, rng *rand.Rand, m litho.Model) *Region {
+	l := layout.New(layout.R(0, 0, spec.RegionNM, spec.RegionNM))
+	switch {
+	case spec.Mixed:
+		// Alternating horizontal/vertical bands.
+		band := spec.RegionNM / 2
+		fillTracks(l, rng, spec, false, layout.R(0, 0, spec.RegionNM, band))
+		fillTracks(l, rng, spec, true, layout.R(0, band, spec.RegionNM, spec.RegionNM))
+	case spec.Vertical:
+		fillTracks(l, rng, spec, true, l.Bounds)
+	default:
+		fillTracks(l, rng, spec, false, l.Bounds)
+	}
+
+	nRisk := poissonish(rng, spec.RiskPerRegion)
+	for i := 0; i < nRisk; i++ {
+		addRiskyMotif(l, rng, spec)
+	}
+	nDecoy := poissonish(rng, spec.DecoyPerRegion)
+	for i := 0; i < nDecoy; i++ {
+		addDecoyMotif(l, rng, spec)
+	}
+
+	hs := m.Simulate(l, l.Bounds)
+	return &Region{Layout: l, Hotspots: hs}
+}
+
+// poissonish draws a small non-negative count with the given mean using a
+// simple inverse-CDF Poisson sampler (mean is always tiny here).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's algorithm; fine for mean < 20.
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 64 {
+			return k
+		}
+	}
+}
+
+// fillTracks populates routing tracks within the band with randomly broken
+// wire segments at the case's safe pitch.
+func fillTracks(l *layout.Layout, rng *rand.Rand, spec Spec, vertical bool, band layout.Rect) {
+	pitch := spec.WireWidthNM + spec.WireSpaceNM
+	var span, breadth int
+	if vertical {
+		span = band.H()
+		breadth = band.W()
+	} else {
+		span = band.W()
+		breadth = band.H()
+	}
+	for t := spec.WireSpaceNM; t+spec.WireWidthNM <= breadth; t += pitch {
+		if rng.Float64() > spec.TrackDensity {
+			continue
+		}
+		// Break the track into 1–3 segments with gaps.
+		pos := 0
+		for pos < span {
+			segLen := span/3 + rng.Intn(span/2+1)
+			end := pos + segLen
+			if end > span {
+				end = span
+			}
+			if end-pos >= 3*spec.WireWidthNM {
+				if vertical {
+					l.Add(layout.R(band.X0+t, band.Y0+pos, band.X0+t+spec.WireWidthNM, band.Y0+end))
+				} else {
+					l.Add(layout.R(band.X0+pos, band.Y0+t, band.X0+end, band.Y0+t+spec.WireWidthNM))
+				}
+			}
+			pos = end + 2*spec.WireSpaceNM + rng.Intn(spec.WireSpaceNM+1)
+		}
+	}
+}
+
+// addRiskyMotif inserts one lithographically aggressive pattern at a
+// random location. The three motif families mirror classic metal-layer
+// weak points: sub-resolution necks, tight parallel runs and tip-to-tip
+// line ends.
+func addRiskyMotif(l *layout.Layout, rng *rand.Rand, spec Spec) {
+	margin := 4 * (spec.WireWidthNM + spec.WireSpaceNM)
+	if spec.RegionNM <= 2*margin {
+		return
+	}
+	cx := margin + rng.Intn(spec.RegionNM-2*margin)
+	cy := margin + rng.Intn(spec.RegionNM-2*margin)
+	length := 120 + rng.Intn(120)
+	switch rng.Intn(3) {
+	case 0:
+		// Isolated sub-resolution line: fails open at min dose.
+		wd := 12 + rng.Intn(4)
+		l.Add(layout.R(cx, cy, cx+wd, cy+length))
+	case 1:
+		// Tight parallel pair: bridges at max dose.
+		wd := spec.WireWidthNM
+		gap := 10 + rng.Intn(4)
+		l.Add(layout.R(cx, cy, cx+wd, cy+length))
+		l.Add(layout.R(cx+wd+gap, cy, cx+2*wd+gap, cy+length))
+	default:
+		// Tip-to-tip gap flanked by parallel neighbours: the flare of the
+		// neighbours bridges the tiny gap.
+		wd := spec.WireWidthNM
+		gap := 12 + rng.Intn(6)
+		half := length / 2
+		l.Add(layout.R(cx, cy, cx+wd, cy+half))
+		l.Add(layout.R(cx, cy+half+gap, cx+wd, cy+length+gap))
+		l.Add(layout.R(cx-wd-14, cy, cx-14, cy+length+gap))
+		l.Add(layout.R(cx+wd+14, cy, cx+2*wd+14, cy+length+gap))
+	}
+}
+
+// addDecoyMotif inserts a pattern that *looks* aggressive (dense, jogged)
+// but prints within the process window — the source of potential false
+// alarms.
+func addDecoyMotif(l *layout.Layout, rng *rand.Rand, spec Spec) {
+	margin := 4 * (spec.WireWidthNM + spec.WireSpaceNM)
+	if spec.RegionNM <= 2*margin {
+		return
+	}
+	cx := margin + rng.Intn(spec.RegionNM-2*margin)
+	cy := margin + rng.Intn(spec.RegionNM-2*margin)
+	length := 100 + rng.Intn(100)
+	wd := spec.WireWidthNM
+	switch rng.Intn(3) {
+	case 0:
+		// Comb: dense but at a printable pitch.
+		gap := spec.WireSpaceNM - 8
+		for i := 0; i < 3; i++ {
+			x := cx + i*(wd+gap)
+			l.Add(layout.R(x, cy, x+wd, cy+length))
+		}
+	case 1:
+		// Jogged wire (an L/Z shape).
+		l.Add(layout.R(cx, cy, cx+wd, cy+length/2))
+		l.Add(layout.R(cx, cy+length/2-wd, cx+length/2, cy+length/2))
+		l.Add(layout.R(cx+length/2-wd, cy+length/2-wd, cx+length/2, cy+length))
+	default:
+		// Wide tip-to-tip gap: safely printable.
+		gap := 3 * spec.WireSpaceNM
+		l.Add(layout.R(cx, cy, cx+wd, cy+length))
+		l.Add(layout.R(cx, cy+length+gap, cx+wd, cy+2*length+gap))
+	}
+}
+
+// Stats summarizes a dataset for reporting.
+type Stats struct {
+	Regions  int
+	Hotspots int
+	PerKind  map[string]int
+}
+
+// ComputeStats tallies regions and hotspots over a region set.
+func ComputeStats(regions []*Region) Stats {
+	s := Stats{PerKind: map[string]int{}}
+	for _, r := range regions {
+		s.Regions++
+		s.Hotspots += len(r.Hotspots)
+		for _, h := range r.Hotspots {
+			s.PerKind[h.Kind.String()]++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d regions, %d hotspots (%v)", s.Regions, s.Hotspots, s.PerKind)
+}

@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/litho"
+)
+
+func testModel() litho.Model { return litho.DefaultModel() }
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := CaseSpecs(768)[0]
+	a := Generate(spec, testModel(), 2, 2)
+	b := Generate(spec, testModel(), 2, 2)
+	if len(a.Train) != 2 || len(a.Test) != 2 {
+		t.Fatalf("split sizes: %d/%d", len(a.Train), len(a.Test))
+	}
+	for i := range a.Train {
+		ra, rb := a.Train[i], b.Train[i]
+		if len(ra.Layout.Rects) != len(rb.Layout.Rects) {
+			t.Fatalf("region %d geometry differs", i)
+		}
+		if len(ra.Hotspots) != len(rb.Hotspots) {
+			t.Fatalf("region %d labels differ", i)
+		}
+	}
+}
+
+func TestGenerateGeometryInBounds(t *testing.T) {
+	spec := CaseSpecs(768)[1]
+	d := Generate(spec, testModel(), 3, 0)
+	for _, r := range d.Train {
+		b := r.Layout.Bounds
+		if b.W() != 768 || b.H() != 768 {
+			t.Fatalf("region bounds %v", b)
+		}
+		for _, rc := range r.Layout.Rects {
+			// Motifs may poke slightly past bounds by construction margin;
+			// they must at least overlap the region.
+			if !rc.Overlaps(b) {
+				t.Fatalf("rect %v completely outside bounds %v", rc, b)
+			}
+		}
+	}
+}
+
+func TestHotspotsWithinRegion(t *testing.T) {
+	for _, spec := range CaseSpecs(768) {
+		d := Generate(spec, testModel(), 4, 0)
+		for _, r := range d.Train {
+			for _, h := range r.Hotspots {
+				cx, cy := h.Center.CX(), h.Center.CY()
+				if cx < 0 || cy < 0 || cx > 768 || cy > 768 {
+					t.Fatalf("%s: hotspot outside region: %v", spec.Name, h.Center)
+				}
+			}
+		}
+	}
+}
+
+func TestCasesProduceHotspots(t *testing.T) {
+	// Every case must yield a non-trivial number of hotspots over a few
+	// regions — otherwise there is nothing to train on.
+	for _, spec := range CaseSpecs(768) {
+		d := Generate(spec, testModel(), 6, 6)
+		st := ComputeStats(append(append([]*Region{}, d.Train...), d.Test...))
+		if st.Hotspots < 3 {
+			t.Fatalf("%s: too few hotspots: %v", spec.Name, st)
+		}
+	}
+}
+
+func TestCasesAreStatisticallyDistinct(t *testing.T) {
+	specs := CaseSpecs(768)
+	m := testModel()
+	density := make([]float64, len(specs))
+	for i, spec := range specs {
+		d := Generate(spec, m, 4, 0)
+		var sum float64
+		for _, r := range d.Train {
+			sum += r.Layout.Density(8)
+		}
+		density[i] = sum / float64(len(d.Train))
+	}
+	// Case4 is the sparsest by construction.
+	if !(density[2] < density[0]) || !(density[2] < density[1]) {
+		t.Fatalf("density ordering unexpected: %v", density)
+	}
+}
+
+func TestGTClipsCentredOnHotspots(t *testing.T) {
+	spec := CaseSpecs(768)[0]
+	d := Generate(spec, testModel(), 4, 0)
+	for _, r := range d.Train {
+		clips := r.GTClips(200)
+		if len(clips) != len(r.Hotspots) {
+			t.Fatal("clip count mismatch")
+		}
+		for i, c := range clips {
+			if c.W() != 200 || c.H() != 200 {
+				t.Fatalf("clip size %v", c)
+			}
+			h := r.Hotspots[i]
+			if c.CX() != h.Center.CX() || c.CY() != h.Center.CY() {
+				t.Fatal("clip not centred on hotspot")
+			}
+			// The hotspot point must be inside the clip core.
+			if !c.Core().Contains(h.Center.CX(), h.Center.CY()) {
+				t.Fatal("hotspot outside clip core")
+			}
+		}
+	}
+}
+
+func TestPoissonishMeanRoughlyCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 4000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += poissonish(rng, 2.5)
+	}
+	mean := float64(sum) / n
+	if mean < 2.2 || mean > 2.8 {
+		t.Fatalf("poisson mean %v want ≈2.5", mean)
+	}
+	if poissonish(rng, 0) != 0 {
+		t.Fatal("zero mean must give zero")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	spec := CaseSpecs(768)[2]
+	d := Generate(spec, testModel(), 3, 0)
+	st := ComputeStats(d.Train)
+	if st.Regions != 3 {
+		t.Fatalf("regions %d", st.Regions)
+	}
+	total := 0
+	for _, v := range st.PerKind {
+		total += v
+	}
+	if total != st.Hotspots {
+		t.Fatalf("per-kind sum %d != total %d", total, st.Hotspots)
+	}
+}
+
+func TestVerticalCaseOrientation(t *testing.T) {
+	spec := CaseSpecs(768)[2] // Case4 is vertical
+	if !spec.Vertical {
+		t.Skip("spec layout changed")
+	}
+	d := Generate(spec, testModel(), 2, 0)
+	tall, wide := 0, 0
+	for _, r := range d.Train {
+		for _, rc := range r.Layout.Rects {
+			if rc.H() > rc.W() {
+				tall++
+			} else {
+				wide++
+			}
+		}
+	}
+	if tall <= wide {
+		t.Fatalf("vertical case should be dominated by tall shapes: tall=%d wide=%d", tall, wide)
+	}
+}

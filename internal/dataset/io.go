@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rhsd/internal/layout"
+)
+
+// Disk format shared by rhsd-gendata, rhsd-train and user-supplied data:
+//
+//	<root>/<CaseName>/<split>/region_NNN.layout   (text BOUNDS/RECT records)
+//	<root>/<CaseName>/<split>/hotspots.csv        (region,cx_nm,cy_nm,kind)
+//
+// where <split> is "train" or "test". Hotspot coordinates are
+// region-relative nanometres.
+
+// WriteSplit stores one split of a case under dir.
+func WriteSplit(dir string, regions []*Region) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gt, err := os.Create(filepath.Join(dir, "hotspots.csv"))
+	if err != nil {
+		return err
+	}
+	defer gt.Close()
+	if _, err := fmt.Fprintln(gt, "region,cx_nm,cy_nm,kind"); err != nil {
+		return err
+	}
+	for i, r := range regions {
+		name := fmt.Sprintf("region_%03d.layout", i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := r.Layout.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		for _, h := range r.Hotspots {
+			if _, err := fmt.Fprintf(gt, "%s,%.1f,%.1f,%s\n",
+				name, h.Center.CX(), h.Center.CY(), h.Kind); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteDataset stores a full case (train and test splits) under root.
+func WriteDataset(root string, d *Dataset) error {
+	if err := WriteSplit(filepath.Join(root, d.Name, "train"), d.Train); err != nil {
+		return err
+	}
+	return WriteSplit(filepath.Join(root, d.Name, "test"), d.Test)
+}
+
+// LoadedRegion pairs a region's geometry with its labelled hotspot points
+// as read from disk (the failure-kind metadata collapses to points, which
+// is all the detectors consume).
+type LoadedRegion struct {
+	Name    string
+	Layout  *layout.Layout
+	Hotspot [][2]float64
+}
+
+// LoadSplit reads one split directory written by WriteSplit.
+func LoadSplit(dir string) ([]LoadedRegion, error) {
+	gt, err := LoadHotspotsCSV(filepath.Join(dir, "hotspots.csv"))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".layout") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]LoadedRegion, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		l, err := layout.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, LoadedRegion{Name: name, Layout: l, Hotspot: gt[name]})
+	}
+	return out, nil
+}
+
+// LoadHotspotsCSV parses a hotspots.csv into per-region point lists.
+func LoadHotspotsCSV(path string) (map[string][][2]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][][2]float64{}
+	sc := bufio.NewScanner(f)
+	first := true
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if first {
+			first = false
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("%s:%d: malformed line %q", path, line, text)
+		}
+		cx, err1 := strconv.ParseFloat(parts[1], 64)
+		cy, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad coordinates in %q", path, line, text)
+		}
+		out[parts[0]] = append(out[parts[0]], [2]float64{cx, cy})
+	}
+	return out, sc.Err()
+}

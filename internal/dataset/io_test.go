@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteLoadSplitRoundtrip(t *testing.T) {
+	spec := CaseSpecs(768)[0]
+	ds := Generate(spec, testModel(), 3, 2)
+	root := t.TempDir()
+	if err := WriteDataset(root, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	train, err := LoadSplit(filepath.Join(root, ds.Name, "train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 3 {
+		t.Fatalf("train regions %d", len(train))
+	}
+	test, err := LoadSplit(filepath.Join(root, ds.Name, "test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test) != 2 {
+		t.Fatalf("test regions %d", len(test))
+	}
+	for i, r := range train {
+		orig := ds.Train[i]
+		if len(r.Layout.Rects) != len(orig.Layout.Rects) {
+			t.Fatalf("region %d geometry count differs", i)
+		}
+		if len(r.Hotspot) != len(orig.Hotspots) {
+			t.Fatalf("region %d hotspot count differs: %d vs %d",
+				i, len(r.Hotspot), len(orig.Hotspots))
+		}
+		for j, p := range r.Hotspot {
+			// CSV stores one decimal of nm precision.
+			if abs(p[0]-orig.Hotspots[j].Center.CX()) > 0.06 ||
+				abs(p[1]-orig.Hotspots[j].Center.CY()) > 0.06 {
+				t.Fatalf("region %d hotspot %d drifted: %v", i, j, p)
+			}
+		}
+	}
+}
+
+func TestLoadSplitMissingDir(t *testing.T) {
+	if _, err := LoadSplit(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing split must error")
+	}
+}
+
+func TestLoadHotspotsCSVMalformed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hotspots.csv")
+	for _, body := range []string{
+		"region,cx_nm,cy_nm,kind\nbad line\n",
+		"region,cx_nm,cy_nm,kind\nr.layout,abc,2,open\n",
+	} {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadHotspotsCSV(path); err == nil {
+			t.Fatalf("malformed csv accepted: %q", body)
+		}
+	}
+}
+
+func TestLoadHotspotsCSVSkipsBlankLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hotspots.csv")
+	body := "region,cx_nm,cy_nm,kind\nr.layout,10.0,20.0,open\n\nr.layout,30.0,40.0,bridge\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHotspotsCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["r.layout"]) != 2 {
+		t.Fatalf("points: %v", got)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,164 @@
+// Package dct implements the block discrete cosine transform used by the
+// TCAD'18 baseline detector [Yang et al., "Layout hotspot detection with
+// feature tensor generation and deep biased learning"], which the paper
+// compares against in Table 1. That flow divides a layout clip into B×B
+// blocks, applies a 2-D DCT-II to each block and keeps the first K
+// zig-zag-ordered low-frequency coefficients per block, producing a
+// compact "feature tensor" for a small CNN.
+package dct
+
+import (
+	"fmt"
+	"math"
+
+	"rhsd/internal/tensor"
+)
+
+// Transform2D computes the orthonormal 2-D DCT-II of a square block.
+// Input and output are n×n row-major slices.
+func Transform2D(block []float64, n int) []float64 {
+	if len(block) != n*n {
+		panic(fmt.Sprintf("dct: block length %d != %d²", len(block), n))
+	}
+	tmp := make([]float64, n*n)
+	out := make([]float64, n*n)
+	// Rows.
+	for y := 0; y < n; y++ {
+		dct1D(block[y*n:(y+1)*n], tmp[y*n:(y+1)*n])
+	}
+	// Columns.
+	col := make([]float64, n)
+	res := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = tmp[y*n+x]
+		}
+		dct1D(col, res)
+		for y := 0; y < n; y++ {
+			out[y*n+x] = res[y]
+		}
+	}
+	return out
+}
+
+// Inverse2D computes the inverse (DCT-III) of Transform2D.
+func Inverse2D(coef []float64, n int) []float64 {
+	if len(coef) != n*n {
+		panic(fmt.Sprintf("dct: coef length %d != %d²", len(coef), n))
+	}
+	tmp := make([]float64, n*n)
+	out := make([]float64, n*n)
+	col := make([]float64, n)
+	res := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = coef[y*n+x]
+		}
+		idct1D(col, res)
+		for y := 0; y < n; y++ {
+			tmp[y*n+x] = res[y]
+		}
+	}
+	for y := 0; y < n; y++ {
+		idct1D(tmp[y*n:(y+1)*n], out[y*n:(y+1)*n])
+	}
+	return out
+}
+
+// dct1D computes the orthonormal DCT-II: X_k = a_k Σ x_n cos(π(2n+1)k/2N).
+func dct1D(x, out []float64) {
+	n := len(x)
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(2*i+1)*float64(k)/(2*float64(n)))
+		}
+		out[k] = s * scale(k, n)
+	}
+}
+
+// idct1D computes the orthonormal DCT-III (inverse of dct1D).
+func idct1D(x, out []float64) {
+	n := len(x)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := 0; k < n; k++ {
+			s += scale(k, n) * x[k] * math.Cos(math.Pi*float64(2*i+1)*float64(k)/(2*float64(n)))
+		}
+		out[i] = s
+	}
+}
+
+func scale(k, n int) float64 {
+	if k == 0 {
+		return math.Sqrt(1 / float64(n))
+	}
+	return math.Sqrt(2 / float64(n))
+}
+
+// ZigzagOrder returns the standard zig-zag scan indices of an n×n block,
+// ordering coefficients roughly by increasing spatial frequency.
+func ZigzagOrder(n int) []int {
+	order := make([]int, 0, n*n)
+	for s := 0; s < 2*n-1; s++ {
+		if s%2 == 0 {
+			// Walk up-right.
+			y := s
+			if y > n-1 {
+				y = n - 1
+			}
+			x := s - y
+			for y >= 0 && x < n {
+				order = append(order, y*n+x)
+				y--
+				x++
+			}
+		} else {
+			// Walk down-left.
+			x := s
+			if x > n-1 {
+				x = n - 1
+			}
+			y := s - x
+			for x >= 0 && y < n {
+				order = append(order, y*n+x)
+				y++
+				x--
+			}
+		}
+	}
+	return order
+}
+
+// FeatureTensor converts a binary clip raster [1, H, W] into the TCAD'18
+// feature tensor: the image is tiled into block×block blocks, each block
+// is DCT-transformed, and the first keep zig-zag coefficients become the
+// channel dimension. The result is [keep, H/block, W/block]. H and W must
+// be multiples of block.
+func FeatureTensor(img *tensor.Tensor, block, keep int) *tensor.Tensor {
+	h, w := img.Dim(1), img.Dim(2)
+	if h%block != 0 || w%block != 0 {
+		panic(fmt.Sprintf("dct: image %dx%d not divisible by block %d", h, w, block))
+	}
+	if keep <= 0 || keep > block*block {
+		panic(fmt.Sprintf("dct: keep %d out of range for block %d", keep, block))
+	}
+	bh, bw := h/block, w/block
+	zig := ZigzagOrder(block)[:keep]
+	out := tensor.New(keep, bh, bw)
+	buf := make([]float64, block*block)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			for y := 0; y < block; y++ {
+				for x := 0; x < block; x++ {
+					buf[y*block+x] = float64(img.At(0, by*block+y, bx*block+x))
+				}
+			}
+			coef := Transform2D(buf, block)
+			for c, idx := range zig {
+				out.Set(float32(coef[idx]), c, by, bx)
+			}
+		}
+	}
+	return out
+}

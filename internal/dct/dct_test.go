@@ -1,0 +1,166 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhsd/internal/tensor"
+)
+
+func TestTransformInverseRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 8
+		x := make([]float64, n*n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		back := Inverse2D(Transform2D(x, n), n)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformOrthonormal(t *testing.T) {
+	// Parseval: energy is preserved by an orthonormal transform.
+	rng := rand.New(rand.NewSource(2))
+	const n = 6
+	x := make([]float64, n*n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	c := Transform2D(x, n)
+	var ex, ec float64
+	for i := range x {
+		ex += x[i] * x[i]
+		ec += c[i] * c[i]
+	}
+	if math.Abs(ex-ec) > 1e-9 {
+		t.Fatalf("energy not preserved: %v vs %v", ex, ec)
+	}
+}
+
+func TestDCKnownValue(t *testing.T) {
+	// Constant block: only the DC coefficient is non-zero and equals
+	// n * value for the orthonormal scaling (sqrt(1/n)*n*v per axis).
+	const n = 4
+	x := make([]float64, n*n)
+	for i := range x {
+		x[i] = 1
+	}
+	c := Transform2D(x, n)
+	if math.Abs(c[0]-4) > 1e-9 { // sqrt(1/4)*4 = 2 per axis → 2*2 = 4
+		t.Fatalf("DC coefficient %v want 4", c[0])
+	}
+	for i := 1; i < n*n; i++ {
+		if math.Abs(c[i]) > 1e-9 {
+			t.Fatalf("AC coefficient %d = %v want 0", i, c[i])
+		}
+	}
+}
+
+func TestZigzagOrderIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		z := ZigzagOrder(n)
+		if len(z) != n*n {
+			t.Fatalf("n=%d: len %d", n, len(z))
+		}
+		seen := make([]bool, n*n)
+		for _, idx := range z {
+			if idx < 0 || idx >= n*n || seen[idx] {
+				t.Fatalf("n=%d: invalid or duplicate index %d", n, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestZigzag4x4Prefix(t *testing.T) {
+	// Standard zig-zag: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2), ...
+	z := ZigzagOrder(4)
+	want := []int{0, 1, 4, 8, 5, 2, 3, 6}
+	for i, w := range want {
+		if z[i] != w {
+			t.Fatalf("zigzag[%d]=%d want %d (full: %v)", i, z[i], w, z[:8])
+		}
+	}
+}
+
+func TestFeatureTensorShape(t *testing.T) {
+	img := tensor.New(1, 32, 32)
+	ft := FeatureTensor(img, 8, 10)
+	if ft.Dim(0) != 10 || ft.Dim(1) != 4 || ft.Dim(2) != 4 {
+		t.Fatalf("feature tensor shape %v", ft.Shape())
+	}
+}
+
+func TestFeatureTensorDCChannelIsBlockDensity(t *testing.T) {
+	img := tensor.New(1, 16, 16)
+	// Fill one 8×8 block entirely.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			img.Set(1, 0, y, x)
+		}
+	}
+	ft := FeatureTensor(img, 8, 1)
+	// DC of the filled block is 8 (sqrt(1/8)*8 per axis = 2.828² = 8);
+	// the empty blocks are 0.
+	if math.Abs(float64(ft.At(0, 0, 0))-8) > 1e-5 {
+		t.Fatalf("filled block DC %v", ft.At(0, 0, 0))
+	}
+	if ft.At(0, 0, 1) != 0 || ft.At(0, 1, 0) != 0 || ft.At(0, 1, 1) != 0 {
+		t.Fatal("empty blocks must have zero DC")
+	}
+}
+
+func TestFeatureTensorTranslationSensitivity(t *testing.T) {
+	// Unlike raw density, the AC coefficients distinguish a left-aligned
+	// from a right-aligned stripe in the same block.
+	a := tensor.New(1, 8, 8)
+	b := tensor.New(1, 8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 4; x++ {
+			a.Set(1, 0, y, x)
+			b.Set(1, 0, y, x+4)
+		}
+	}
+	fa := FeatureTensor(a, 8, 10)
+	fb := FeatureTensor(b, 8, 10)
+	if math.Abs(float64(fa.At(0, 0, 0)-fb.At(0, 0, 0))) > 1e-6 {
+		t.Fatal("DC should match for equal densities")
+	}
+	diff := 0.0
+	for c := 1; c < 10; c++ {
+		diff += math.Abs(float64(fa.At(c, 0, 0) - fb.At(c, 0, 0)))
+	}
+	if diff < 0.1 {
+		t.Fatalf("AC coefficients should differ, total diff %v", diff)
+	}
+}
+
+func TestFeatureTensorPanicsOnBadArgs(t *testing.T) {
+	img := tensor.New(1, 30, 30)
+	for _, fn := range []func(){
+		func() { FeatureTensor(img, 8, 4) },                    // 30 not divisible by 8
+		func() { FeatureTensor(tensor.New(1, 32, 32), 8, 0) },  // keep = 0
+		func() { FeatureTensor(tensor.New(1, 32, 32), 8, 65) }, // keep > 64
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

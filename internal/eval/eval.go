@@ -1,0 +1,433 @@
+// Package eval is the experiment harness that regenerates the paper's
+// evaluation artifacts: Table 1 (detector comparison across benchmark
+// cases), Figure 9 (qualitative detection maps) and Figure 10 (ablation
+// of encoder-decoder, L2 regularization and refinement).
+//
+// Experiments follow the paper's protocol (§4): each benchmark case is
+// split in half for training and testing, the training halves of all
+// cases are merged to train one model, and that single model is evaluated
+// per case on accuracy, false-alarm count and detection wall-clock.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"rhsd/internal/baseline/fasterrcnn"
+	"rhsd/internal/baseline/ssd"
+	"rhsd/internal/baseline/tcad"
+	"rhsd/internal/dataset"
+	"rhsd/internal/hsd"
+	"rhsd/internal/litho"
+	"rhsd/internal/metrics"
+	"rhsd/internal/viz"
+)
+
+// Profile bundles every knob of one end-to-end experiment run. The paper
+// runs at GPU scale; FastProfile shrinks all dimensions proportionally so
+// the whole suite executes in minutes on one CPU core.
+type Profile struct {
+	Name string
+	// RegionNM is the physical region size; it must equal
+	// HSD.InputSize × HSD.PitchNM.
+	RegionNM int
+	// NTrain and NTest are regions per case in each split half.
+	NTrain, NTest int
+	Litho         litho.Model
+	HSD           hsd.Config
+	TCAD          tcad.Config
+	FRCNN         fasterrcnn.Config
+	SSD           ssd.Config
+}
+
+// FastProfile returns the minutes-scale configuration used by the bench
+// harness and examples. The NN raster runs at 8 nm/px so the synthetic
+// risky geometry (10–16 nm gaps and necks) stays resolvable after
+// rasterization.
+func FastProfile() Profile {
+	// Calibrated on the synthetic suite (see DESIGN.md §7): leaky
+	// activations, fine tap on, moderate L2 with a step-decayed LR, and
+	// enough proposals to cover multi-hotspot regions.
+	h := hsd.TinyConfig()
+	h.InputSize = 96
+	h.PitchNM = 8
+	h.ClipPx = 24 // 192 nm clips
+	h.StemChannels = [3]int{8, 12, 16}
+	h.EncChannels = [3]int{20, 24, 28}
+	h.InceptionWidth = 12
+	h.HeadChannels = 48
+	h.RefineFC = 64
+	h.ProposalCount = 40
+	h.L2Beta = 0.003
+	h.LRDecayEvery = 500
+	h.LRDecayRate = 0.3
+	h.TrainSteps = 1200
+	h.ScoreThreshold = 0.5
+
+	t := tcad.DefaultConfig()
+	t.ClipPx = 48
+	t.PitchNM = 4 // the conventional flow scans fine-resolution clips
+	t.DCTKeep = 16
+	t.Conv1, t.Conv2, t.FC = 20, 28, 64
+	t.TrainSteps = 500
+
+	f := fasterrcnn.DefaultConfig()
+	f.InputSize = 96
+	f.PitchNM = 8
+	f.AnchorBases = []float64{64, 96} // natural-image object scale
+	f.TrainSteps = 700
+
+	s := ssd.DefaultConfig()
+	s.InputSize = 96
+	s.PitchNM = 8
+	s.Bases1 = []float64{18, 28}
+	s.Bases2 = []float64{40, 56}
+	s.TrainSteps = 700
+
+	return Profile{
+		Name:     "fast",
+		RegionNM: 768,
+		NTrain:   10,
+		NTest:    8,
+		Litho:    litho.DefaultModel(),
+		HSD:      h,
+		TCAD:     t,
+		FRCNN:    f,
+		SSD:      s,
+	}
+}
+
+// FullProfile approaches the paper's scale: 256×256 regions at 10 nm/px,
+// the full-width architecture and a long training schedule. On a single
+// CPU core this takes many hours — it exists for users with real compute
+// (or patience), and as the documented reference the fast profile shrinks
+// from. The synthetic cases scale up with the region size.
+func FullProfile() Profile {
+	h := hsd.PaperConfig()
+	h.TrainSteps = 20000 // CPU-feasible fraction of the paper's 90k
+	h.BatchRegions = 4
+
+	t := tcad.DefaultConfig()
+	t.ClipPx = 120
+	t.PitchNM = 4 // 480 nm clips at fine pitch
+	t.DCTBlock = 8
+	t.DCTKeep = 24
+	t.Conv1, t.Conv2, t.FC = 32, 48, 128
+	t.TrainSteps = 4000
+
+	f := fasterrcnn.DefaultConfig()
+	f.InputSize = 256
+	f.PitchNM = 10
+	f.AnchorBases = []float64{96, 160}
+	f.Backbone = [3]int{24, 48, 64}
+	f.TrainSteps = 8000
+
+	s := ssd.DefaultConfig()
+	s.InputSize = 256
+	s.PitchNM = 10
+	s.Bases1 = []float64{32, 48}
+	s.Bases2 = []float64{64, 96}
+	s.Backbone = [3]int{24, 48, 64}
+	s.TrainSteps = 8000
+
+	return Profile{
+		Name:     "full",
+		RegionNM: 2560,
+		NTrain:   40,
+		NTest:    30,
+		Litho:    litho.DefaultModel(),
+		HSD:      h,
+		TCAD:     t,
+		FRCNN:    f,
+		SSD:      s,
+	}
+}
+
+// SmokeProfile is a seconds-scale profile for tests: tiny data, short
+// training. Results are well-formed but not representative.
+func SmokeProfile() Profile {
+	p := FastProfile()
+	p.Name = "smoke"
+	p.NTrain, p.NTest = 2, 2
+	p.HSD.TrainSteps = 30
+	p.TCAD.TrainSteps = 30
+	p.FRCNN.TrainSteps = 20
+	p.SSD.TrainSteps = 20
+	return p
+}
+
+// Validate checks the profile's internal consistency.
+func (p Profile) Validate() error {
+	if err := p.HSD.Validate(); err != nil {
+		return err
+	}
+	if p.HSD.RegionNM() != p.RegionNM {
+		return fmt.Errorf("eval: HSD covers %d nm but profile regions are %d nm",
+			p.HSD.RegionNM(), p.RegionNM)
+	}
+	if int(p.TCAD.ClipNM()) != int(p.HSD.ClipNM()) {
+		return fmt.Errorf("eval: TCAD clip %v nm != HSD clip %v nm", p.TCAD.ClipNM(), p.HSD.ClipNM())
+	}
+	if p.NTrain <= 0 || p.NTest <= 0 {
+		return fmt.Errorf("eval: need at least one train and test region per case")
+	}
+	return nil
+}
+
+// Data is the generated benchmark suite.
+type Data struct {
+	Cases []*dataset.Dataset
+	// MergedTrain is the union of all cases' training halves (§4: "three
+	// training layouts are merged together to train one model").
+	MergedTrain []*dataset.Region
+}
+
+// LoadData synthesizes and labels all benchmark cases.
+func LoadData(p Profile) *Data {
+	d := &Data{}
+	for _, spec := range dataset.CaseSpecs(p.RegionNM) {
+		ds := dataset.Generate(spec, p.Litho, p.NTrain, p.NTest)
+		d.Cases = append(d.Cases, ds)
+		d.MergedTrain = append(d.MergedTrain, ds.Train...)
+	}
+	return d
+}
+
+// TrainOurs trains one R-HSD model with the given configuration on the
+// merged training regions.
+func TrainOurs(cfg hsd.Config, train []*dataset.Region, progress func(step int, loss float64)) (*hsd.Model, error) {
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := hsd.NewTrainer(m)
+	samples := make([]hsd.Sample, len(train))
+	for i, r := range train {
+		samples[i] = hsd.MakeSample(r.Layout, r.HotspotPoints(), cfg)
+	}
+	tr.Run(samples, func(step int, st hsd.StepStats) {
+		if progress != nil {
+			progress(step, st.Total())
+		}
+	})
+	return m, nil
+}
+
+// EvalOurs runs region-based detection over the test regions and scores
+// the paper's metrics with wall-clock timing.
+func EvalOurs(m *hsd.Model, regions []*dataset.Region) metrics.Outcome {
+	var total metrics.Outcome
+	for _, r := range regions {
+		start := time.Now()
+		sample := hsd.MakeSample(r.Layout, nil, m.Config)
+		dets := m.DetectionsNM(m.Detect(sample.Raster))
+		elapsed := time.Since(start)
+		md := make([]metrics.Detection, len(dets))
+		for i, d := range dets {
+			md[i] = metrics.Detection{Clip: d.Clip, Score: d.Score}
+		}
+		o := metrics.Evaluate(md, r.HotspotPoints())
+		o.Elapsed = elapsed
+		total.Add(o)
+	}
+	return total
+}
+
+// Table-1 detector column names.
+const (
+	DetTCAD  = "TCAD'18"
+	DetFRCNN = "Faster R-CNN"
+	DetSSD   = "SSD"
+	DetOurs  = "Ours"
+)
+
+// RunTable1 trains all four detectors on the merged training halves and
+// evaluates each per case, reproducing Table 1's layout. progress (may be
+// nil) receives coarse status lines.
+func RunTable1(p Profile, data *Data, progress func(string)) (*metrics.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	tbl := &metrics.Table{Detectors: []string{DetTCAD, DetFRCNN, DetSSD, DetOurs}}
+	clipNM := p.HSD.ClipNM()
+
+	say("training %s on %d merged regions", DetTCAD, len(data.MergedTrain))
+	td := tcad.New(p.TCAD)
+	td.Train(data.MergedTrain)
+
+	say("training %s", DetFRCNN)
+	fd := fasterrcnn.New(p.FRCNN)
+	fd.Train(data.MergedTrain, clipNM)
+
+	say("training %s", DetSSD)
+	sd := ssd.New(p.SSD)
+	sd.Train(data.MergedTrain, clipNM)
+
+	say("training %s (%d steps)", DetOurs, p.HSD.TrainSteps)
+	ours, err := TrainOurs(p.HSD, data.MergedTrain, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ds := range data.Cases {
+		say("evaluating %s (%d test regions)", ds.Name, len(ds.Test))
+		tbl.AddRow(ds.Name, DetTCAD, td.Evaluate(ds.Test))
+		tbl.AddRow(ds.Name, DetFRCNN, fd.Evaluate(ds.Test, clipNM))
+		tbl.AddRow(ds.Name, DetSSD, sd.Evaluate(ds.Test, clipNM))
+		tbl.AddRow(ds.Name, DetOurs, EvalOurs(ours, ds.Test))
+	}
+	return tbl, nil
+}
+
+// AblationVariant names one Figure-10 configuration.
+type AblationVariant struct {
+	Name     string
+	Config   hsd.Config
+	Accuracy float64 // average accuracy over cases, percent
+	FA       float64 // average false alarms over cases
+}
+
+// AblationVariants derives the four Figure-10 configurations from a full
+// configuration.
+func AblationVariants(full hsd.Config) []AblationVariant {
+	woED := full
+	woED.UseEncDec = false
+	woL2 := full
+	woL2.L2Beta = 0
+	woRef := full
+	woRef.UseRefine = false
+	return []AblationVariant{
+		{Name: "w/o. ED", Config: woED},
+		{Name: "w/o. L2", Config: woL2},
+		{Name: "w/o. Refine", Config: woRef},
+		{Name: "Full", Config: full},
+	}
+}
+
+// ExtendedAblationVariants derives additional design-choice ablations
+// beyond Figure 10, isolating two choices the paper argues for in §3.2:
+// the 12-anchor clip group ("clips with single aspect ratio and scale may
+// lead to bad performance") and hotspot NMS over conventional NMS
+// (Figure 5).
+func ExtendedAblationVariants(full hsd.Config) []AblationVariant {
+	single := full
+	single.Scales = []float64{1.0}
+	single.AspectRatios = []float64{1.0}
+	convNMS := full
+	convNMS.ConventionalNMS = true
+	noTap := full
+	noTap.UseFineTap = false
+	return []AblationVariant{
+		{Name: "1 anchor/px", Config: single},
+		{Name: "conv. NMS", Config: convNMS},
+		{Name: "w/o fine tap", Config: noTap},
+		{Name: "Full", Config: full},
+	}
+}
+
+// RunExtendedAblation trains and evaluates the extended variants with the
+// same protocol as Figure 10.
+func RunExtendedAblation(p Profile, data *Data, progress func(string)) ([]AblationVariant, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	variants := ExtendedAblationVariants(p.HSD)
+	return runVariants(variants, data, progress)
+}
+
+// RunFigure10 trains the four ablation variants identically and reports
+// average accuracy and false alarms, reproducing Figure 10.
+func RunFigure10(p Profile, data *Data, progress func(string)) ([]AblationVariant, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return runVariants(AblationVariants(p.HSD), data, progress)
+}
+
+// runVariants trains and evaluates each variant on the shared data.
+func runVariants(variants []AblationVariant, data *Data, progress func(string)) ([]AblationVariant, error) {
+	for vi := range variants {
+		v := &variants[vi]
+		if progress != nil {
+			progress(fmt.Sprintf("training variant %q", v.Name))
+		}
+		m, err := TrainOurs(v.Config, data.MergedTrain, nil)
+		if err != nil {
+			return nil, err
+		}
+		var accSum, faSum float64
+		for _, ds := range data.Cases {
+			o := EvalOurs(m, ds.Test)
+			accSum += o.Accuracy() * 100
+			faSum += float64(o.FalseAlarms)
+		}
+		v.Accuracy = accSum / float64(len(data.Cases))
+		v.FA = faSum / float64(len(data.Cases))
+	}
+	return variants, nil
+}
+
+// RenderFigure10 renders the ablation result as a text histogram in the
+// spirit of the paper's bar chart.
+func RenderFigure10(variants []AblationVariant) string {
+	out := "Figure 10 — ablation (averages over cases)\n"
+	out += fmt.Sprintf("%-12s %10s %10s\n", "Variant", "Accu(%)", "FA")
+	for _, v := range variants {
+		out += fmt.Sprintf("%-12s %10.2f %10.1f\n", v.Name, v.Accuracy, v.FA)
+	}
+	return out
+}
+
+// RunFigure9 renders qualitative comparison maps (ground truth vs TCAD'18
+// vs ours) for the first test region of each case into outDir.
+func RunFigure9(p Profile, data *Data, outDir string, progress func(string)) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if progress != nil {
+		progress("training detectors for figure 9")
+	}
+	td := tcad.New(p.TCAD)
+	td.Train(data.MergedTrain)
+	ours, err := TrainOurs(p.HSD, data.MergedTrain, nil)
+	if err != nil {
+		return err
+	}
+	for _, ds := range data.Cases {
+		r := pickRegion(ds.Test)
+		sample := hsd.MakeSample(r.Layout, nil, ours.Config)
+		oursDet := ours.DetectionsNM(ours.Detect(sample.Raster))
+		md := make([]metrics.Detection, len(oursDet))
+		for i, d := range oursDet {
+			md[i] = metrics.Detection{Clip: d.Clip, Score: d.Score}
+		}
+		results := map[string][]metrics.Detection{
+			"groundtruth": nil,
+			"tcad18":      td.DetectRegion(r),
+			"ours":        md,
+		}
+		if err := viz.SaveComparison(outDir, ds.Name, r.Layout, r.HotspotPoints(), results, 512); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("wrote figure 9 panels for %s", ds.Name))
+		}
+	}
+	return nil
+}
+
+// pickRegion prefers a region with at least two hotspots (the paper's
+// figure shows a multi-hotspot region), falling back to the first.
+func pickRegion(regions []*dataset.Region) *dataset.Region {
+	for _, r := range regions {
+		if len(r.Hotspots) >= 2 {
+			return r
+		}
+	}
+	return regions[0]
+}

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"fmt"
+
+	"rhsd/internal/baseline/ssd"
+	"rhsd/internal/baseline/tcad"
+	"rhsd/internal/dataset"
+	"rhsd/internal/hsd"
+	"rhsd/internal/metrics"
+)
+
+// The ROC experiment extends the paper's single-operating-point Table 1
+// with the full accuracy/false-alarm trade-off curve, in the spirit of
+// the LithoROC line of work the paper cites. Detectors are run with their
+// thresholds opened up so every scored candidate is kept; the sweep is
+// then applied post-hoc by metrics.ROC.
+
+// CollectOursResults runs the R-HSD detector with an opened-up threshold
+// over the regions and returns scored per-region results for ROC
+// sweeping.
+func CollectOursResults(m *hsd.Model, regions []*dataset.Region) []metrics.RegionResult {
+	cfg := m.Config
+	orig := m.Config.ScoreThreshold
+	m.Config.ScoreThreshold = 0.01
+	defer func() { m.Config.ScoreThreshold = orig }()
+	var out []metrics.RegionResult
+	for _, r := range regions {
+		sample := hsd.MakeSample(r.Layout, nil, cfg)
+		dets := m.DetectionsNM(m.Detect(sample.Raster))
+		md := make([]metrics.Detection, len(dets))
+		for i, d := range dets {
+			md[i] = metrics.Detection{Clip: d.Clip, Score: d.Score}
+		}
+		out = append(out, metrics.RegionResult{Dets: md, GT: r.HotspotPoints()})
+	}
+	return out
+}
+
+// CollectTCADResults opens up the TCAD detector's bias so every window's
+// score survives to the sweep.
+func CollectTCADResults(d *tcad.Detector, regions []*dataset.Region) []metrics.RegionResult {
+	orig := d.Config.Bias
+	d.Config.Bias = 0.49 // accept essentially everything; sweep filters
+	defer func() { d.Config.Bias = orig }()
+	var out []metrics.RegionResult
+	for _, r := range regions {
+		out = append(out, metrics.RegionResult{Dets: d.DetectRegion(r), GT: r.HotspotPoints()})
+	}
+	return out
+}
+
+// CollectSSDResults opens up the SSD score threshold for ROC sweeping.
+func CollectSSDResults(d *ssd.Detector, regions []*dataset.Region, clipNM float64) []metrics.RegionResult {
+	orig := d.Config.ScoreThresh
+	d.Config.ScoreThresh = 0.01
+	defer func() { d.Config.ScoreThresh = orig }()
+	var out []metrics.RegionResult
+	for _, r := range regions {
+		out = append(out, metrics.RegionResult{Dets: d.DetectRegion(r, clipNM), GT: r.HotspotPoints()})
+	}
+	return out
+}
+
+// ROCResult is one detector's operating curve.
+type ROCResult struct {
+	Detector string
+	Points   []metrics.ROCPoint
+	AUAC     float64
+}
+
+// RunROC trains ours, TCAD'18 and SSD on the merged training halves and
+// sweeps their operating curves over all test regions. (Faster R-CNN is
+// omitted: its generic anchors fire so rarely that its curve degenerates,
+// as Table 1 already shows.)
+func RunROC(p Profile, data *Data, progress func(string)) ([]ROCResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	say := func(f string, a ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(f, a...))
+		}
+	}
+	var allTest []*dataset.Region
+	for _, ds := range data.Cases {
+		allTest = append(allTest, ds.Test...)
+	}
+	thresholds := metrics.DefaultThresholds(20)
+
+	say("training %s", DetTCAD)
+	td := tcad.New(p.TCAD)
+	td.Train(data.MergedTrain)
+	say("training %s", DetSSD)
+	sd := ssd.New(p.SSD)
+	sd.Train(data.MergedTrain, p.HSD.ClipNM())
+	say("training %s", DetOurs)
+	ours, err := TrainOurs(p.HSD, data.MergedTrain, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	say("sweeping operating curves over %d regions", len(allTest))
+	results := []ROCResult{
+		{Detector: DetTCAD, Points: metrics.ROC(CollectTCADResults(td, allTest), thresholds)},
+		{Detector: DetSSD, Points: metrics.ROC(CollectSSDResults(sd, allTest, p.HSD.ClipNM()), thresholds)},
+		{Detector: DetOurs, Points: metrics.ROC(CollectOursResults(ours, allTest), thresholds)},
+	}
+	for i := range results {
+		results[i].AUAC = metrics.AUAC(results[i].Points)
+	}
+	return results, nil
+}
+
+// RenderROCResults prints all curves plus the AUAC summary.
+func RenderROCResults(rs []ROCResult) string {
+	out := "ROC extension — accuracy vs false alarms across score thresholds\n"
+	for _, r := range rs {
+		out += fmt.Sprintf("\n%s (AUAC %.3f):\n%s", r.Detector, r.AUAC, metrics.RenderROC(r.Points))
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"rhsd/internal/hsd"
+)
+
+func TestCollectOursResultsRestoresThreshold(t *testing.T) {
+	p := SmokeProfile()
+	data := LoadData(p)
+	m, err := hsd.NewModel(p.HSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Config.ScoreThreshold
+	results := CollectOursResults(m, data.Cases[0].Test[:1])
+	if m.Config.ScoreThreshold != orig {
+		t.Fatal("threshold not restored after collection")
+	}
+	if len(results) != 1 {
+		t.Fatalf("results: %d", len(results))
+	}
+	for _, d := range results[0].Dets {
+		if d.Score < 0 || d.Score > 1 {
+			t.Fatalf("score %v out of range", d.Score)
+		}
+	}
+}
+
+func TestRunROCSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline smoke test skipped in -short")
+	}
+	p := SmokeProfile()
+	data := LoadData(p)
+	rs, err := RunROC(p, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("detectors: %d", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Points) == 0 {
+			t.Fatalf("%s: empty curve", r.Detector)
+		}
+		// Monotone in threshold.
+		for i := 1; i < len(r.Points); i++ {
+			if r.Points[i].FalseAlarms > r.Points[i-1].FalseAlarms {
+				t.Fatalf("%s: FA not monotone", r.Detector)
+			}
+		}
+	}
+	text := RenderROCResults(rs)
+	for _, want := range []string{DetTCAD, DetSSD, DetOurs, "AUAC"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"rhsd/internal/hsd"
+)
+
+// Sweep support: train R-HSD variants over a hyperparameter grid with
+// periodic evaluation, the calibration workflow used to pick the fast
+// profile's operating point. Exposed as a first-class harness because
+// retuning is the first thing a user with different data will need.
+
+// SweepPoint is one grid entry: a named mutation of the base config.
+type SweepPoint struct {
+	Name   string
+	Mutate func(*hsd.Config)
+}
+
+// SweepSample is one periodic measurement during a sweep run.
+type SweepSample struct {
+	Point    string
+	Step     int
+	Accuracy float64 // average over cases, percent
+	FA       float64 // average over cases
+}
+
+// RunSweep trains one model per point on the shared data, evaluating
+// every evalEvery steps. Results stream to the callback (for live logs)
+// and are returned for tabulation.
+func RunSweep(p Profile, data *Data, points []SweepPoint, evalEvery int,
+	progress func(SweepSample)) ([]SweepSample, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if evalEvery <= 0 {
+		evalEvery = 300
+	}
+	var out []SweepSample
+	for _, pt := range points {
+		cfg := p.HSD
+		pt.Mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep point %q: %w", pt.Name, err)
+		}
+		m, err := hsd.NewModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr := hsd.NewTrainer(m)
+		samples := make([]hsd.Sample, len(data.MergedTrain))
+		for i, r := range data.MergedTrain {
+			samples[i] = hsd.MakeSample(r.Layout, r.HotspotPoints(), cfg)
+		}
+		measure := func(step int) {
+			var acc, fa float64
+			for _, ds := range data.Cases {
+				o := EvalOurs(m, ds.Test)
+				acc += o.Accuracy() * 100
+				fa += float64(o.FalseAlarms)
+			}
+			s := SweepSample{
+				Point:    pt.Name,
+				Step:     step,
+				Accuracy: acc / float64(len(data.Cases)),
+				FA:       fa / float64(len(data.Cases)),
+			}
+			out = append(out, s)
+			if progress != nil {
+				progress(s)
+			}
+		}
+		tr.Run(samples, func(step int, _ hsd.StepStats) {
+			if (step+1)%evalEvery == 0 {
+				measure(step + 1)
+			}
+		})
+		if cfg.TrainSteps%evalEvery != 0 {
+			measure(cfg.TrainSteps)
+		}
+	}
+	return out, nil
+}
+
+// SweepCSV renders sweep samples as CSV.
+func SweepCSV(samples []SweepSample) string {
+	var b strings.Builder
+	b.WriteString("point,step,accuracy_pct,false_alarms\n")
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%s,%d,%.2f,%.1f\n", s.Point, s.Step, s.Accuracy, s.FA)
+	}
+	return b.String()
+}
+
+// BestByAccuracy returns, per point, the sample with the highest accuracy
+// (ties broken by lower FA).
+func BestByAccuracy(samples []SweepSample) map[string]SweepSample {
+	best := map[string]SweepSample{}
+	for _, s := range samples {
+		b, ok := best[s.Point]
+		if !ok || s.Accuracy > b.Accuracy || (s.Accuracy == b.Accuracy && s.FA < b.FA) {
+			best[s.Point] = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,177 @@
+// Package geom provides the rectangle arithmetic used throughout the
+// hotspot-detection pipeline: clip boxes, Intersection-over-Union (Eq. 2),
+// the core-region IoU used by hotspot non-maximum suppression (§3.2.2) and
+// the box coordinate encoding of Eq. 3.
+//
+// Rectangles are axis-aligned with float64 coordinates in whatever unit the
+// caller chooses (nanometres for layout geometry, pixels for raster space).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle spanning [X0,X1) × [Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// RectCWH builds a rectangle from its center and size.
+func RectCWH(cx, cy, w, h float64) Rect {
+	return Rect{X0: cx - w/2, Y0: cy - h/2, X1: cx + w/2, Y1: cy + h/2}
+}
+
+// W returns the width (may be negative for an invalid rect).
+func (r Rect) W() float64 { return r.X1 - r.X0 }
+
+// H returns the height.
+func (r Rect) H() float64 { return r.Y1 - r.Y0 }
+
+// CX returns the x coordinate of the center.
+func (r Rect) CX() float64 { return (r.X0 + r.X1) / 2 }
+
+// CY returns the y coordinate of the center.
+func (r Rect) CY() float64 { return (r.Y0 + r.Y1) / 2 }
+
+// Area returns the area, or 0 if the rectangle is empty/inverted.
+func (r Rect) Area() float64 {
+	w, h := r.W(), r.H()
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Empty reports whether the rectangle has no interior.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Contains reports whether the point (x, y) lies inside r.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// ContainsRect reports whether o lies entirely within r.
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.X0 >= r.X0 && o.Y0 >= r.Y0 && o.X1 <= r.X1 && o.Y1 <= r.Y1
+}
+
+// Intersect returns the overlapping region of r and o (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		X0: math.Max(r.X0, o.X0),
+		Y0: math.Max(r.Y0, o.Y0),
+		X1: math.Min(r.X1, o.X1),
+		Y1: math.Min(r.Y1, o.Y1),
+	}
+}
+
+// Union returns the bounding box of r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		X0: math.Min(r.X0, o.X0),
+		Y0: math.Min(r.Y0, o.Y0),
+		X1: math.Max(r.X1, o.X1),
+		Y1: math.Max(r.Y1, o.Y1),
+	}
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// Scale returns r with all coordinates multiplied by s (spatial rescale,
+// used when mapping clip coordinates onto a downsampled feature map).
+func (r Rect) Scale(s float64) Rect {
+	return Rect{X0: r.X0 * s, Y0: r.Y0 * s, X1: r.X1 * s, Y1: r.Y1 * s}
+}
+
+// Clip returns r clamped to the bounds rectangle.
+func (r Rect) Clip(bounds Rect) Rect {
+	return r.Intersect(bounds)
+}
+
+// Core returns the middle-third core region of the clip, the area where a
+// hotspot must lie for the clip to count as a correct detection ("The core
+// region applied in this paper is the middle third region of the clip",
+// §2).
+func (r Rect) Core() Rect {
+	w3, h3 := r.W()/3, r.H()/3
+	return Rect{X0: r.X0 + w3, Y0: r.Y0 + h3, X1: r.X1 - w3, Y1: r.Y1 - h3}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f %.1fx%.1f]", r.X0, r.Y0, r.W(), r.H())
+}
+
+// IoU computes Intersection over Union (Eq. 2). It returns 0 when either
+// rectangle is empty.
+func IoU(a, b Rect) float64 {
+	inter := a.Intersect(b).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// CoreIoU computes the IoU of the two clips' core regions, the overlap
+// measure used by hotspot non-maximum suppression (Centre_IoU in Alg. 1).
+// Keying suppression on cores rather than whole clips prevents the "error
+// dropout" of Figure 5, where a clip covering a distinct hotspot is
+// discarded merely because its outer ring overlaps a higher-scoring clip.
+func CoreIoU(a, b Rect) float64 {
+	return IoU(a.Core(), b.Core())
+}
+
+// BoxEncoding holds the encoded regression target l = {lx, ly, lw, lh} of
+// Eq. 3 relative to an anchor (g-clip) box.
+type BoxEncoding struct {
+	LX, LY, LW, LH float64
+}
+
+// Encode computes the Eq. 3 encoding of box relative to anchor:
+//
+//	lx = (x - xg)/wg,  ly = (y - yg)/hg,
+//	lw = log(w/wg),    lh = log(h/hg).
+//
+// The anchor must have positive width and height.
+func Encode(box, anchor Rect) BoxEncoding {
+	wg, hg := anchor.W(), anchor.H()
+	if wg <= 0 || hg <= 0 {
+		panic(fmt.Sprintf("geom: Encode against degenerate anchor %v", anchor))
+	}
+	w, h := box.W(), box.H()
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("geom: Encode of degenerate box %v", box))
+	}
+	return BoxEncoding{
+		LX: (box.CX() - anchor.CX()) / wg,
+		LY: (box.CY() - anchor.CY()) / hg,
+		LW: math.Log(w / wg),
+		LH: math.Log(h / hg),
+	}
+}
+
+// Decode inverts Encode: it applies the regression deltas to the anchor.
+func Decode(enc BoxEncoding, anchor Rect) Rect {
+	wg, hg := anchor.W(), anchor.H()
+	cx := enc.LX*wg + anchor.CX()
+	cy := enc.LY*hg + anchor.CY()
+	w := math.Exp(enc.LW) * wg
+	h := math.Exp(enc.LH) * hg
+	return RectCWH(cx, cy, w, h)
+}
+
+// Vec4 returns the encoding as a [4]float64 in (lx, ly, lw, lh) order,
+// matching the regression-head channel layout.
+func (e BoxEncoding) Vec4() [4]float64 { return [4]float64{e.LX, e.LY, e.LW, e.LH} }
+
+// EncodingFromVec4 rebuilds a BoxEncoding from the channel layout.
+func EncodingFromVec4(v [4]float64) BoxEncoding {
+	return BoxEncoding{LX: v[0], LY: v[1], LW: v[2], LH: v[3]}
+}

@@ -1,0 +1,268 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// randRect draws a well-formed rectangle with positive area.
+func randRect(rng *rand.Rand) Rect {
+	x0 := rng.Float64()*100 - 50
+	y0 := rng.Float64()*100 - 50
+	return Rect{X0: x0, Y0: y0, X1: x0 + 1 + rng.Float64()*40, Y1: y0 + 1 + rng.Float64()*40}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X0: 1, Y0: 2, X1: 5, Y1: 10}
+	if r.W() != 4 || r.H() != 8 || r.Area() != 32 {
+		t.Fatalf("basics: w=%v h=%v a=%v", r.W(), r.H(), r.Area())
+	}
+	if r.CX() != 3 || r.CY() != 6 {
+		t.Fatalf("center: %v %v", r.CX(), r.CY())
+	}
+	if !r.Contains(1, 2) || r.Contains(5, 10) {
+		t.Fatal("half-open containment wrong")
+	}
+	if r.Empty() {
+		t.Fatal("non-degenerate rect reported empty")
+	}
+}
+
+func TestRectCWHInverse(t *testing.T) {
+	r := RectCWH(10, 20, 6, 8)
+	if r.CX() != 10 || r.CY() != 20 || r.W() != 6 || r.H() != 8 {
+		t.Fatalf("RectCWH roundtrip: %v", r)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	i := a.Intersect(b)
+	if i.Area() != 25 {
+		t.Fatalf("intersect area %v", i.Area())
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 15, 15}) {
+		t.Fatalf("union %v", u)
+	}
+	disjoint := a.Intersect(Rect{20, 20, 30, 30})
+	if !disjoint.Empty() || disjoint.Area() != 0 {
+		t.Fatal("disjoint intersect must be empty")
+	}
+}
+
+func TestTranslateScaleClip(t *testing.T) {
+	r := Rect{0, 0, 4, 4}
+	if r.Translate(1, 2) != (Rect{1, 2, 5, 6}) {
+		t.Fatal("translate")
+	}
+	if r.Scale(0.5) != (Rect{0, 0, 2, 2}) {
+		t.Fatal("scale")
+	}
+	if r.Clip(Rect{1, 1, 3, 3}) != (Rect{1, 1, 3, 3}) {
+		t.Fatal("clip")
+	}
+}
+
+func TestCoreIsMiddleThird(t *testing.T) {
+	r := Rect{0, 0, 9, 9}
+	c := r.Core()
+	if c != (Rect{3, 3, 6, 6}) {
+		t.Fatalf("core %v", c)
+	}
+	// The hotspot-correctness rule: a point in the middle third.
+	if !c.Contains(4.5, 4.5) || c.Contains(1, 1) {
+		t.Fatal("core containment wrong")
+	}
+}
+
+func TestIoUKnownValues(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if IoU(a, a) != 1 {
+		t.Fatal("self IoU must be 1")
+	}
+	b := Rect{5, 0, 15, 10}
+	// inter 50, union 150.
+	if !almostEq(IoU(a, b), 1.0/3.0, 1e-12) {
+		t.Fatalf("IoU %v", IoU(a, b))
+	}
+	if IoU(a, Rect{20, 20, 30, 30}) != 0 {
+		t.Fatal("disjoint IoU must be 0")
+	}
+}
+
+func TestIoUProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		iou := IoU(a, b)
+		// Bounded, symmetric.
+		if iou < 0 || iou > 1 {
+			return false
+		}
+		if !almostEq(iou, IoU(b, a), 1e-12) {
+			return false
+		}
+		// Translation invariance.
+		dx, dy := rng.Float64()*10, rng.Float64()*10
+		if !almostEq(iou, IoU(a.Translate(dx, dy), b.Translate(dx, dy)), 1e-9) {
+			return false
+		}
+		// Containment ⇒ IoU = areaRatio.
+		inner := Rect{a.X0 + a.W()/4, a.Y0 + a.H()/4, a.X1 - a.W()/4, a.Y1 - a.H()/4}
+		if !almostEq(IoU(a, inner), inner.Area()/a.Area(), 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreIoUBoundsAndSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		c := CoreIoU(a, b)
+		return c >= 0 && c <= 1 && almostEq(c, CoreIoU(b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreIoUFigure5Scenario(t *testing.T) {
+	// Two clips whose outer rings overlap heavily but whose cores are
+	// disjoint: conventional NMS (whole-clip IoU 0.7) would drop one, h-NMS
+	// must keep both.
+	a := Rect{0, 0, 12, 12}
+	b := Rect{7, 0, 19, 12} // shifted so cores [4,8] vs [11,15] are disjoint
+	if IoU(a, b) <= 0.2 {
+		t.Fatalf("scenario needs meaningful clip overlap, got %v", IoU(a, b))
+	}
+	if CoreIoU(a, b) != 0 {
+		t.Fatalf("cores should be disjoint, got %v", CoreIoU(a, b))
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		anchor := randRect(rng)
+		box := randRect(rng)
+		enc := Encode(box, anchor)
+		dec := Decode(enc, anchor)
+		return almostEq(dec.X0, box.X0, 1e-7) && almostEq(dec.Y0, box.Y0, 1e-7) &&
+			almostEq(dec.X1, box.X1, 1e-7) && almostEq(dec.Y1, box.Y1, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeIdentity(t *testing.T) {
+	// Encoding a box against itself is all zeros (Eq. 3 with x=xg etc.).
+	r := Rect{3, 4, 13, 24}
+	e := Encode(r, r)
+	if e.LX != 0 || e.LY != 0 || e.LW != 0 || e.LH != 0 {
+		t.Fatalf("self-encode should be zero: %+v", e)
+	}
+}
+
+func TestEncodeKnownShift(t *testing.T) {
+	anchor := Rect{0, 0, 10, 10}
+	box := anchor.Translate(5, 0) // shifted by half an anchor width
+	e := Encode(box, anchor)
+	if !almostEq(e.LX, 0.5, 1e-12) || e.LY != 0 || e.LW != 0 || e.LH != 0 {
+		t.Fatalf("shift encode: %+v", e)
+	}
+	// Doubling size: lw = ln 2.
+	big := RectCWH(anchor.CX(), anchor.CY(), 20, 10)
+	e2 := Encode(big, anchor)
+	if !almostEq(e2.LW, math.Ln2, 1e-12) || e2.LH != 0 {
+		t.Fatalf("scale encode: %+v", e2)
+	}
+}
+
+func TestEncodePanicsOnDegenerateAnchor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(Rect{0, 0, 1, 1}, Rect{0, 0, 0, 1})
+}
+
+func TestVec4Roundtrip(t *testing.T) {
+	e := BoxEncoding{LX: 1, LY: 2, LW: 3, LH: 4}
+	if EncodingFromVec4(e.Vec4()) != e {
+		t.Fatal("Vec4 roundtrip")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{0, 0, 10, 10}
+	if !outer.ContainsRect(Rect{1, 1, 9, 9}) || outer.ContainsRect(Rect{5, 5, 11, 9}) {
+		t.Fatal("ContainsRect wrong")
+	}
+}
+
+func TestDecodeProducesValidBoxesForModerateDeltas(t *testing.T) {
+	// Property: decoding bounded regression outputs from a sane anchor
+	// always yields a positive-area box (exp keeps sizes positive).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		anchor := geomRandRect(rng)
+		enc := BoxEncoding{
+			LX: rng.Float64()*4 - 2,
+			LY: rng.Float64()*4 - 2,
+			LW: rng.Float64()*4 - 2,
+			LH: rng.Float64()*4 - 2,
+		}
+		box := Decode(enc, anchor)
+		return box.W() > 0 && box.H() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func geomRandRect(rng *rand.Rand) Rect { return randRect(rng) }
+
+func TestCoreOfCoreShrinks(t *testing.T) {
+	r := Rect{0, 0, 27, 27}
+	c1 := r.Core()
+	c2 := c1.Core()
+	if !c1.ContainsRect(c2) || !r.ContainsRect(c1) {
+		t.Fatal("core nesting broken")
+	}
+	if c2.W() != 3 {
+		t.Fatalf("double core width %v want 3", c2.W())
+	}
+}
+
+func TestIntersectCommutesAndIsIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if ab != ba {
+			return false
+		}
+		// Intersecting again with either operand is a no-op when non-empty.
+		if !ab.Empty() && ab.Intersect(a) != ab {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

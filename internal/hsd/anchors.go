@@ -1,0 +1,211 @@
+package hsd
+
+import (
+	"math"
+	"math/rand"
+
+	"rhsd/internal/geom"
+)
+
+// AnchorSet is the fixed grid of candidate clips ("a group of 12 clips
+// with different aspect ratios" per feature-map pixel, §3.2). Anchors are
+// stored in row-major feature order with the per-cell group contiguous, so
+// anchor index = (y*W + x)*A + a matches the head tensors' channel layout.
+type AnchorSet struct {
+	Boxes   []geom.Rect // anchor clips in input-pixel coordinates
+	PerCell int
+	FeatH   int
+	FeatW   int
+}
+
+// GenerateAnchors enumerates the anchor grid for the configuration.
+// Each feature cell centres its group at (x+0.5, y+0.5)*stride; group
+// member sizes are ClipPx × scale with width/height skewed by the aspect
+// ratio at constant area, the standard region-proposal parameterization.
+func GenerateAnchors(c Config) *AnchorSet {
+	fh, fw := c.FeatureSize(), c.FeatureSize()
+	per := c.AnchorsPerCell()
+	s := &AnchorSet{PerCell: per, FeatH: fh, FeatW: fw}
+	s.Boxes = make([]geom.Rect, 0, fh*fw*per)
+	for y := 0; y < fh; y++ {
+		cy := (float64(y) + 0.5) * FeatureStride
+		for x := 0; x < fw; x++ {
+			cx := (float64(x) + 0.5) * FeatureStride
+			for _, scale := range c.Scales {
+				base := c.ClipPx * scale
+				for _, ar := range c.AspectRatios {
+					// ar = h/w with area preserved: w = base/sqrt(ar),
+					// h = base*sqrt(ar).
+					r := math.Sqrt(ar)
+					w := base / r
+					h := base * r
+					s.Boxes = append(s.Boxes, geom.RectCWH(cx, cy, w, h))
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Len returns the total number of anchors.
+func (s *AnchorSet) Len() int { return len(s.Boxes) }
+
+// AnchorTargets is the training assignment produced by the clip-pruning
+// rules of §3.2.1.
+type AnchorTargets struct {
+	// Label per anchor: 1 positive, 0 negative, -1 ignored ("rest of
+	// clips do no contribution to the network training").
+	Label []int8
+	// MatchedGT is the index of the ground-truth clip a positive anchor
+	// regresses to (undefined for non-positives).
+	MatchedGT []int32
+	// Reg is the Eq. 3 encoding of the matched ground truth against each
+	// positive anchor.
+	Reg []geom.BoxEncoding
+}
+
+// AssignTargets applies the pruning rules against ground-truth clips (in
+// input-pixel coordinates):
+//
+//   - IoU ≥ PositiveIoU with any ground truth → positive;
+//   - the highest-IoU anchor for each ground truth → positive (so every
+//     hotspot owns at least one anchor even if none clears the bar);
+//   - max IoU ≤ NegativeIoU → negative;
+//   - everything else → ignored.
+func AssignTargets(s *AnchorSet, gt []geom.Rect, c Config) *AnchorTargets {
+	n := s.Len()
+	t := &AnchorTargets{
+		Label:     make([]int8, n),
+		MatchedGT: make([]int32, n),
+		Reg:       make([]geom.BoxEncoding, n),
+	}
+	if len(gt) == 0 {
+		// No hotspots: every anchor is a clean negative.
+		return t
+	}
+	bestIoU := make([]float64, n)
+	bestGT := make([]int32, n)
+	iou := make([][]float64, len(gt))
+	for g := range gt {
+		iou[g] = make([]float64, n)
+	}
+	for i, a := range s.Boxes {
+		for g, box := range gt {
+			v := geom.IoU(a, box)
+			iou[g][i] = v
+			if v > bestIoU[i] {
+				bestIoU[i] = v
+				bestGT[i] = int32(g)
+			}
+		}
+	}
+	for i := range s.Boxes {
+		switch {
+		case bestIoU[i] >= c.PositiveIoU:
+			t.Label[i] = 1
+		case bestIoU[i] <= c.NegativeIoU:
+			t.Label[i] = 0
+		default:
+			t.Label[i] = -1
+		}
+		t.MatchedGT[i] = bestGT[i]
+	}
+	// Rule 2: each ground truth's highest-IoU anchor is positive
+	// regardless of the 0.7 bar. When two ground truths would claim the
+	// same anchor, the later one takes its best *unclaimed* anchor so
+	// every hotspot owns at least one positive sample.
+	claimed := make(map[int32]bool)
+	for g := range gt {
+		best, bestV := int32(-1), 0.0
+		for i := 0; i < n; i++ {
+			if claimed[int32(i)] {
+				continue
+			}
+			if v := iou[g][i]; v > bestV {
+				bestV = v
+				best = int32(i)
+			}
+		}
+		if best >= 0 {
+			claimed[best] = true
+			t.Label[best] = 1
+			t.MatchedGT[best] = int32(g)
+		}
+	}
+	for i := range s.Boxes {
+		if t.Label[i] == 1 {
+			t.Reg[i] = geom.Encode(gt[t.MatchedGT[i]], s.Boxes[i])
+		}
+	}
+	return t
+}
+
+// SampleBatch selects up to c.BatchAnchors anchor indices for the
+// classification loss, preferring a balanced positive/negative mix (the
+// standard remedy for the extreme anchor imbalance; cf. the biased-
+// learning discussion the paper inherits from [15,16]). All positives are
+// kept up to half the budget; negatives fill the rest.
+func (t *AnchorTargets) SampleBatch(rng *rand.Rand, budget int) []int {
+	if budget <= 0 {
+		budget = 64
+	}
+	var pos, neg []int
+	for i, l := range t.Label {
+		switch l {
+		case 1:
+			pos = append(pos, i)
+		case 0:
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	maxPos := budget / 2
+	if len(pos) > maxPos {
+		pos = pos[:maxPos]
+	}
+	rest := budget - len(pos)
+	if len(neg) > rest {
+		neg = neg[:rest]
+	}
+	out := append(append([]int{}, pos...), neg...)
+	return out
+}
+
+// CoverageReport summarizes how well the anchor grid covers a set of
+// ground-truth clips — the diagnostic behind anchor-setting choices
+// ("clips with single aspect ratio and scale may lead to bad
+// performance", §3.2).
+type CoverageReport struct {
+	// GT is the number of ground-truth clips examined.
+	GT int
+	// AboveBar counts ground truths whose best anchor IoU reaches the
+	// positive threshold outright.
+	AboveBar int
+	// MeanBestIoU is the mean of per-GT best anchor IoU.
+	MeanBestIoU float64
+}
+
+// Coverage computes the anchor-coverage report for ground-truth clips in
+// input-pixel coordinates.
+func (s *AnchorSet) Coverage(gt []geom.Rect, positiveIoU float64) CoverageReport {
+	rep := CoverageReport{GT: len(gt)}
+	if len(gt) == 0 {
+		return rep
+	}
+	var sum float64
+	for _, box := range gt {
+		best := 0.0
+		for _, a := range s.Boxes {
+			if iou := geom.IoU(a, box); iou > best {
+				best = iou
+			}
+		}
+		sum += best
+		if best >= positiveIoU {
+			rep.AboveBar++
+		}
+	}
+	rep.MeanBestIoU = sum / float64(len(gt))
+	return rep
+}

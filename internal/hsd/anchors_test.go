@@ -1,0 +1,233 @@
+package hsd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhsd/internal/geom"
+)
+
+func tinyCfg() Config { return TinyConfig() }
+
+func TestGenerateAnchorsCountAndLayout(t *testing.T) {
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	want := c.FeatureSize() * c.FeatureSize() * c.AnchorsPerCell()
+	if s.Len() != want {
+		t.Fatalf("anchor count %d want %d", s.Len(), want)
+	}
+	if c.AnchorsPerCell() != 12 {
+		t.Fatalf("paper prescribes 12 anchors per cell, got %d", c.AnchorsPerCell())
+	}
+	// First cell's anchors are centred at (stride/2, stride/2).
+	for a := 0; a < s.PerCell; a++ {
+		b := s.Boxes[a]
+		if math.Abs(b.CX()-FeatureStride/2) > 1e-9 || math.Abs(b.CY()-FeatureStride/2) > 1e-9 {
+			t.Fatalf("anchor %d not centred on cell: %v", a, b)
+		}
+	}
+	// Index layout: anchor (y*W+x)*A + a sits at cell (x,y).
+	x, y := 3, 2
+	idx := (y*s.FeatW+x)*s.PerCell + 5
+	b := s.Boxes[idx]
+	wantCX := (float64(x) + 0.5) * FeatureStride
+	wantCY := (float64(y) + 0.5) * FeatureStride
+	if math.Abs(b.CX()-wantCX) > 1e-9 || math.Abs(b.CY()-wantCY) > 1e-9 {
+		t.Fatalf("anchor layout broken: %v at (%v,%v)", b, wantCX, wantCY)
+	}
+}
+
+func TestAnchorAspectRatiosPreserveArea(t *testing.T) {
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	// Within one scale group, all aspect ratios share the same area.
+	for g := 0; g < len(c.Scales); g++ {
+		base := s.Boxes[g*len(c.AspectRatios)]
+		area0 := base.Area()
+		for r := 1; r < len(c.AspectRatios); r++ {
+			a := s.Boxes[g*len(c.AspectRatios)+r].Area()
+			if math.Abs(a-area0) > 1e-6*area0 {
+				t.Fatalf("scale group %d: areas differ: %v vs %v", g, a, area0)
+			}
+		}
+	}
+	// Ratio h/w matches the configured aspect.
+	for r, ar := range c.AspectRatios {
+		b := s.Boxes[r]
+		got := b.H() / b.W()
+		if math.Abs(got-ar) > 1e-9 {
+			t.Fatalf("aspect %v got %v", ar, got)
+		}
+	}
+}
+
+func TestAssignTargetsPruningRules(t *testing.T) {
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	// Ground truth exactly equal to one anchor: that anchor is positive.
+	gtIdx := (3*s.FeatW+4)*s.PerCell + 3 // scale 1.0? index 3 = scale[1],ar[0]
+	gt := []geom.Rect{s.Boxes[gtIdx]}
+	targets := AssignTargets(s, gt, c)
+	if targets.Label[gtIdx] != 1 {
+		t.Fatalf("identical anchor must be positive, got %d", targets.Label[gtIdx])
+	}
+	// Its regression target is the zero encoding.
+	e := targets.Reg[gtIdx]
+	if e.LX != 0 || e.LY != 0 || e.LW != 0 || e.LH != 0 {
+		t.Fatalf("self-match encoding should be zero: %+v", e)
+	}
+	// A far-away anchor is negative.
+	farIdx := 0
+	if geom.IoU(s.Boxes[farIdx], gt[0]) != 0 {
+		t.Skip("layout changed; pick another far anchor")
+	}
+	if targets.Label[farIdx] != 0 {
+		t.Fatalf("disjoint anchor must be negative, got %d", targets.Label[farIdx])
+	}
+}
+
+func TestAssignTargetsEveryGTGetsAnAnchor(t *testing.T) {
+	// Property: for random GT clips (even at awkward sizes/positions where
+	// no anchor reaches the 0.7 bar), at least one positive anchor must
+	// point at each GT — pruning rule 2.
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var gt []geom.Rect
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			cx := 8 + rng.Float64()*float64(c.InputSize-16)
+			cy := 8 + rng.Float64()*float64(c.InputSize-16)
+			w := 6 + rng.Float64()*24
+			h := 6 + rng.Float64()*24
+			gt = append(gt, geom.RectCWH(cx, cy, w, h))
+		}
+		targets := AssignTargets(s, gt, c)
+		matched := make([]bool, len(gt))
+		for i, l := range targets.Label {
+			if l == 1 {
+				matched[targets.MatchedGT[i]] = true
+			}
+		}
+		for _, m := range matched {
+			if !m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignTargetsNoGTAllNegative(t *testing.T) {
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	targets := AssignTargets(s, nil, c)
+	for i, l := range targets.Label {
+		if l != 0 {
+			t.Fatalf("anchor %d label %d, want all negative without GT", i, l)
+		}
+	}
+}
+
+func TestAssignTargetsIgnoreBand(t *testing.T) {
+	// An anchor with IoU strictly between the thresholds is ignored.
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	gt := []geom.Rect{s.Boxes[100].Translate(3, 0)} // partial overlap with anchor 100
+	iou := geom.IoU(s.Boxes[100], gt[0])
+	if iou <= c.NegativeIoU || iou >= c.PositiveIoU {
+		t.Skipf("shifted IoU %v fell outside the ignore band; adjust shift", iou)
+	}
+	targets := AssignTargets(s, gt, c)
+	// Anchor 100 overlaps in the band; unless it is the global best for
+	// this GT (rule 2) it must be ignored. The exactly-matching anchor
+	// translated wins best-IoU here, so check the label is not 0.
+	if targets.Label[100] == 0 {
+		t.Fatalf("band anchor labelled negative (IoU=%v)", iou)
+	}
+}
+
+func TestSampleBatchBalance(t *testing.T) {
+	targets := &AnchorTargets{Label: make([]int8, 1000)}
+	for i := 0; i < 10; i++ {
+		targets.Label[i] = 1
+	}
+	for i := 10; i < 500; i++ {
+		targets.Label[i] = 0
+	}
+	for i := 500; i < 1000; i++ {
+		targets.Label[i] = -1
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := targets.SampleBatch(rng, 64)
+	if len(batch) != 64 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	pos, neg := 0, 0
+	for _, i := range batch {
+		switch targets.Label[i] {
+		case 1:
+			pos++
+		case 0:
+			neg++
+		case -1:
+			t.Fatal("ignored anchor sampled")
+		}
+	}
+	if pos != 10 || neg != 54 {
+		t.Fatalf("pos=%d neg=%d", pos, neg)
+	}
+}
+
+func TestSampleBatchCapsPositives(t *testing.T) {
+	targets := &AnchorTargets{Label: make([]int8, 200)}
+	for i := range targets.Label {
+		targets.Label[i] = 1
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := targets.SampleBatch(rng, 32)
+	if len(batch) != 16 { // half the budget; no negatives exist
+		t.Fatalf("batch %d want 16", len(batch))
+	}
+}
+
+func TestAnchorCoverage(t *testing.T) {
+	c := tinyCfg()
+	s := GenerateAnchors(c)
+	// Clips identical to anchors: full coverage.
+	gt := []geom.Rect{s.Boxes[40], s.Boxes[200]}
+	rep := s.Coverage(gt, c.PositiveIoU)
+	if rep.GT != 2 || rep.AboveBar != 2 || rep.MeanBestIoU < 0.999 {
+		t.Fatalf("exact clips should be fully covered: %+v", rep)
+	}
+	// The 12-anchor group must cover varied shapes better than a single
+	// square anchor per cell — the §3.2 design argument.
+	single := c
+	single.Scales = []float64{1}
+	single.AspectRatios = []float64{1}
+	sSingle := GenerateAnchors(single)
+	rng := rand.New(rand.NewSource(17))
+	var varied []geom.Rect
+	for i := 0; i < 30; i++ {
+		cx := 8 + rng.Float64()*float64(c.InputSize-16)
+		cy := 8 + rng.Float64()*float64(c.InputSize-16)
+		w := 5 + rng.Float64()*28
+		h := 5 + rng.Float64()*28
+		varied = append(varied, geom.RectCWH(cx, cy, w, h))
+	}
+	full := s.Coverage(varied, c.PositiveIoU)
+	one := sSingle.Coverage(varied, c.PositiveIoU)
+	if !(full.MeanBestIoU > one.MeanBestIoU) {
+		t.Fatalf("12-anchor coverage %v should beat single-anchor %v",
+			full.MeanBestIoU, one.MeanBestIoU)
+	}
+	empty := s.Coverage(nil, 0.7)
+	if empty.GT != 0 || empty.MeanBestIoU != 0 {
+		t.Fatalf("empty coverage: %+v", empty)
+	}
+}

@@ -1,0 +1,364 @@
+package hsd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// Model is the R-HSD network: shared feature extractor, clip proposal
+// network heads and the refinement stage. A Model is not safe for
+// concurrent use (layers cache forward activations).
+type Model struct {
+	Config Config
+
+	// Stem is the first convolution + pool (stride 2); its output doubles
+	// as the fine-scale feature tap for the refinement stage.
+	Stem *nn.Sequential
+	// Trunk continues from the stem to the shared feature map
+	// [N,FeatC,S/8,S/8]: remaining stem convs + pool → (encoder-decoder)
+	// → inception chain A A B A A A A (Figure 3).
+	Trunk *nn.Sequential
+	// FeatC is the extractor output channel count; FineC the tap's.
+	FeatC int
+	FineC int
+
+	// Clip proposal network (Figure 4): a 3×3 trunk conv and two sibling
+	// 1×1 heads. Cls emits 2 logits per anchor, Reg emits 4 offsets.
+	RPNTrunk *nn.Sequential
+	RPNCls   *nn.Conv2D
+	RPNReg   *nn.Conv2D
+
+	// Refinement stage (Figure 6): RoI pooling, inception modules B A A,
+	// then fully-connected 2nd classification & regression. RoIFine pools
+	// the stride-2 stem tap when Config.UseFineTap is set.
+	RoI         *RoIPool
+	RoIFine     *RoIPool
+	RefineTrunk *nn.Sequential
+	RefineFC    *nn.Sequential
+	RefineCls   *nn.Dense
+	RefineReg   *nn.Dense
+
+	Anchors *AnchorSet
+	rng     *rand.Rand
+}
+
+// NewModel builds and initializes an R-HSD network for the configuration.
+func NewModel(c Config) (*Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	m := &Model{Config: c, rng: rng}
+
+	// --- feature extraction stem: 3 convs + 2 max pools, ×4 compression
+	// ("compress the feature map size from 224×224 to 56×56", §3.1). The
+	// first conv+pool block is kept separate so its stride-2 output can
+	// feed the refinement stage's fine-scale tap.
+	s := c.StemChannels
+	m.Stem = nn.NewSequential(
+		nn.NewConv2D("stem1", InputChannels, s[0], 3, 1, 1, rng),
+		act(),
+		nn.NewMaxPool2D(2, 2),
+	)
+	m.FineC = s[0]
+	ext := nn.NewSequential(
+		nn.NewConv2D("stem2", s[0], s[1], 3, 1, 1, rng),
+		act(),
+		nn.NewConv2D("stem3", s[1], s[2], 3, 1, 1, rng),
+		act(),
+		nn.NewMaxPool2D(2, 2),
+	)
+
+	// --- joint encoder-decoder (§3.1.1): three convolutions lift the
+	// features into a higher-dimensional latent space, three symmetric
+	// 3×3 deconvolutions bring them back to the stem width. Spatial size
+	// is preserved; the lift is in channels, per the paper's description.
+	if c.UseEncDec {
+		e := c.EncChannels
+		ext.Append(
+			nn.NewConv2D("enc1", s[2], e[0], 3, 1, 1, rng),
+			act(),
+			nn.NewConv2D("enc2", e[0], e[1], 3, 1, 1, rng),
+			act(),
+			nn.NewConv2D("enc3", e[1], e[2], 3, 1, 1, rng),
+			act(),
+			nn.NewDeconv2D("dec1", e[2], e[1], 3, 1, 1, rng),
+			act(),
+			nn.NewDeconv2D("dec2", e[1], e[0], 3, 1, 1, rng),
+			act(),
+			nn.NewDeconv2D("dec3", e[0], s[2], 3, 1, 1, rng),
+			act(),
+		)
+	}
+
+	// --- inception chain A A B A A A A (Figure 3). Module A: stride 1,
+	// four branches; module B: stride 2, three branches ("the out feature
+	// map half than the input").
+	w := c.InceptionWidth
+	chain := []struct {
+		kind string
+		name string
+	}{
+		{"A", "incA1"}, {"A", "incA2"}, {"B", "incB"},
+		{"A", "incA3"}, {"A", "incA4"}, {"A", "incA5"}, {"A", "incA6"},
+	}
+	inCh := s[2]
+	for _, mod := range chain {
+		if mod.kind == "A" {
+			ext.Append(inceptionA(mod.name, inCh, w, rng))
+			inCh = 4 * w
+		} else {
+			ext.Append(inceptionB(mod.name, inCh, w, rng))
+			inCh = 3 * w
+		}
+	}
+	m.Trunk = ext
+	m.FeatC = inCh
+
+	// --- clip proposal network heads.
+	per := c.AnchorsPerCell()
+	m.RPNTrunk = nn.NewSequential(
+		nn.NewConv2D("rpn.trunk", m.FeatC, c.HeadChannels, 3, 1, 1, rng),
+		act(),
+	)
+	m.RPNCls = nn.NewConv2D("rpn.cls", c.HeadChannels, 2*per, 1, 1, 0, rng)
+	m.RPNReg = nn.NewConv2D("rpn.reg", c.HeadChannels, 4*per, 1, 1, 0, rng)
+
+	// --- refinement stage.
+	m.RoI = NewRoIPool(c.RoISize, FeatureStride)
+	refineIn := m.FeatC
+	if c.UseFineTap {
+		m.RoIFine = NewRoIPool(c.RoISize, 2)
+		refineIn += m.FineC
+	}
+	m.RefineTrunk = nn.NewSequential(
+		inceptionB("ref.incB", refineIn, w, rng),
+		inceptionA("ref.incA1", 3*w, w, rng),
+		inceptionA("ref.incA2", 4*w, w, rng),
+	)
+	refSpatial := (c.RoISize + 1) / 2 // module B halves 7→4
+	refIn := 4 * w * refSpatial * refSpatial
+	m.RefineFC = nn.NewSequential(
+		nn.NewFlatten(),
+		nn.NewDense("ref.fc", refIn, c.RefineFC, rng),
+		act(),
+	)
+	m.RefineCls = nn.NewDense("ref.cls", c.RefineFC, 2, rng)
+	m.RefineReg = nn.NewDense("ref.reg", c.RefineFC, 4, rng)
+
+	m.Anchors = GenerateAnchors(c)
+	return m, nil
+}
+
+// inceptionA builds module A of Figure 3: four stride-1 branches
+// (1×1 | 1×1→3×3 | 1×1→3×3→3×3 | 3×3) concatenated in the channel
+// direction. "The aim of the module A is to extract multiple features
+// without downsampling the feature map."
+func inceptionA(name string, in, w int, rng *rand.Rand) nn.Layer {
+	return nn.NewSequential(nn.NewConcatBranches(
+		nn.NewSequential(
+			nn.NewConv2D(name+".b1.1x1", in, w, 1, 1, 0, rng), act(),
+		),
+		nn.NewSequential(
+			nn.NewConv2D(name+".b2.1x1", in, w, 1, 1, 0, rng), act(),
+			nn.NewConv2D(name+".b2.3x3", w, w, 3, 1, 1, rng), act(),
+		),
+		nn.NewSequential(
+			nn.NewConv2D(name+".b3.1x1", in, w, 1, 1, 0, rng), act(),
+			nn.NewConv2D(name+".b3.3x3a", w, w, 3, 1, 1, rng), act(),
+			nn.NewConv2D(name+".b3.3x3b", w, w, 3, 1, 1, rng), act(),
+		),
+		nn.NewSequential(
+			nn.NewConv2D(name+".b4.3x3", in, w, 3, 1, 1, rng), act(),
+		),
+	))
+}
+
+// inceptionB builds module B of Figure 3: three branches whose final
+// convolutions use stride 2, halving the feature map.
+func inceptionB(name string, in, w int, rng *rand.Rand) nn.Layer {
+	return nn.NewSequential(nn.NewConcatBranches(
+		nn.NewSequential(
+			nn.NewConv2D(name+".b1.1x1", in, w, 1, 1, 0, rng), act(),
+			nn.NewConv2D(name+".b1.3x3s2", w, w, 3, 2, 1, rng), act(),
+		),
+		nn.NewSequential(
+			nn.NewConv2D(name+".b2.1x1", in, w, 1, 1, 0, rng), act(),
+			nn.NewConv2D(name+".b2.3x3", w, w, 3, 1, 1, rng), act(),
+			nn.NewConv2D(name+".b2.3x3s2", w, w, 3, 2, 1, rng), act(),
+		),
+		nn.NewSequential(
+			nn.NewConv2D(name+".b3.3x3s2", in, w, 3, 2, 1, rng), act(),
+		),
+	))
+}
+
+// Params returns all trainable parameters of every stage.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.Stem.Params()...)
+	ps = append(ps, m.Trunk.Params()...)
+	ps = append(ps, m.RPNTrunk.Params()...)
+	ps = append(ps, m.RPNCls.Params()...)
+	ps = append(ps, m.RPNReg.Params()...)
+	ps = append(ps, m.RefineTrunk.Params()...)
+	ps = append(ps, m.RefineFC.Params()...)
+	ps = append(ps, m.RefineCls.Params()...)
+	ps = append(ps, m.RefineReg.Params()...)
+	return ps
+}
+
+// Save writes all model parameters to a checkpoint file.
+func (m *Model) Save(path string) error { return nn.SaveParamsFile(path, m.Params()) }
+
+// Load restores model parameters from a checkpoint written by Save for an
+// identically-configured model.
+func (m *Model) Load(path string) error { return nn.LoadParamsFile(path, m.Params()) }
+
+// BaseOutput bundles the activations of the shared trunk and RPN heads
+// for one region.
+type BaseOutput struct {
+	Feat     *tensor.Tensor // [1, FeatC, F, F]
+	FineFeat *tensor.Tensor // [1, FineC, S/2, S/2] stem tap
+	ClsMap   *tensor.Tensor // [1, 2A, F, F]
+	RegMap   *tensor.Tensor // [1, 4A, F, F]
+}
+
+// ForwardBase runs the extractor and clip proposal network on one input
+// raster [1, 1, S, S].
+func (m *Model) ForwardBase(x *tensor.Tensor) *BaseOutput {
+	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != InputChannels ||
+		x.Dim(2) != m.Config.InputSize || x.Dim(3) != m.Config.InputSize {
+		panic(fmt.Sprintf("hsd: ForwardBase input %v, want [1 %d %d %d]",
+			x.Shape(), InputChannels, m.Config.InputSize, m.Config.InputSize))
+	}
+	fine := m.Stem.Forward(x)
+	feat := m.Trunk.Forward(fine)
+	trunk := m.RPNTrunk.Forward(feat)
+	return &BaseOutput{
+		Feat:     feat,
+		FineFeat: fine,
+		ClsMap:   m.RPNCls.Forward(trunk),
+		RegMap:   m.RPNReg.Forward(trunk),
+	}
+}
+
+// anchorLogits gathers the (non-hotspot, hotspot) logits of anchor i from
+// the cls map. Anchor index layout matches GenerateAnchors: i =
+// (y*W + x)*A + a.
+func (m *Model) anchorLogits(cls *tensor.Tensor, i int) (float32, float32) {
+	a := i % m.Anchors.PerCell
+	cell := i / m.Anchors.PerCell
+	y := cell / m.Anchors.FeatW
+	x := cell % m.Anchors.FeatW
+	return cls.At(0, 2*a, y, x), cls.At(0, 2*a+1, y, x)
+}
+
+// anchorReg gathers the 4 regression outputs of anchor i.
+func (m *Model) anchorReg(reg *tensor.Tensor, i int) geom.BoxEncoding {
+	a := i % m.Anchors.PerCell
+	cell := i / m.Anchors.PerCell
+	y := cell / m.Anchors.FeatW
+	x := cell % m.Anchors.FeatW
+	return geom.BoxEncoding{
+		LX: float64(reg.At(0, 4*a, y, x)),
+		LY: float64(reg.At(0, 4*a+1, y, x)),
+		LW: float64(reg.At(0, 4*a+2, y, x)),
+		LH: float64(reg.At(0, 4*a+3, y, x)),
+	}
+}
+
+// preNMSTopK bounds the number of candidates entering the O(n²) h-NMS, as
+// in standard region-proposal pipelines.
+const preNMSTopK = 256
+
+// Proposals decodes, scores, bounds and h-NMS-filters the clip proposal
+// network's output into at most Config.ProposalCount candidate clips in
+// input-pixel coordinates.
+func (m *Model) Proposals(out *BaseOutput) []ScoredClip {
+	c := m.Config
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	cand := make([]ScoredClip, 0, m.Anchors.Len())
+	for i, anchor := range m.Anchors.Boxes {
+		l0, l1 := m.anchorLogits(out.ClsMap, i)
+		score := sigmoidDiff(l1, l0)
+		box := geom.Decode(m.anchorReg(out.RegMap, i), anchor).Clip(bounds)
+		if box.W() < 2 || box.H() < 2 {
+			continue
+		}
+		cand = append(cand, ScoredClip{Clip: box, Score: score})
+	}
+	kept := m.nms(TopK(cand, preNMSTopK))
+	return TopK(kept, c.ProposalCount)
+}
+
+// nms applies the configured suppression: h-NMS (Alg. 1) by default,
+// conventional whole-clip NMS for the ablation.
+func (m *Model) nms(clips []ScoredClip) []ScoredClip {
+	if m.Config.ConventionalNMS {
+		return ConventionalNMS(clips, m.Config.NMSThreshold)
+	}
+	return HNMS(clips, m.Config.NMSThreshold)
+}
+
+// sigmoidDiff converts a two-logit pair into the hotspot probability
+// softmax(l1) = σ(l1 − l0).
+func sigmoidDiff(l1, l0 float32) float64 {
+	d := float64(l1 - l0)
+	return 1 / (1 + expNeg(d))
+}
+
+func expNeg(x float64) float64 {
+	// exp(-x) clamped to avoid overflow for extreme logits.
+	if x > 40 {
+		return 0
+	}
+	if x < -40 {
+		x = -40
+	}
+	return math.Exp(-x)
+}
+
+// RefineForward runs RoI pooling and the refinement stage on the given
+// proposal clips, returning classification logits [R, 2] and regression
+// deltas [R, 4] (relative to each proposal per Eq. 3). With UseFineTap
+// the pooled deep features are concatenated with features pooled from the
+// stride-2 stem tap, restoring the fine-scale signal (thin gaps and
+// necks) that max pooling removes from the deep map.
+func (m *Model) RefineForward(out *BaseOutput, rois []geom.Rect) (cls, reg *tensor.Tensor) {
+	pooled := m.RoI.Forward(out.Feat, rois)
+	if m.Config.UseFineTap {
+		finePooled := m.RoIFine.Forward(out.FineFeat, rois)
+		pooled = tensor.ConcatChannels(pooled, finePooled)
+	}
+	trunkOut := m.RefineTrunk.Forward(pooled)
+	hidden := m.RefineFC.Forward(trunkOut)
+	return m.RefineCls.Forward(hidden), m.RefineReg.Forward(hidden)
+}
+
+// RefineBackward propagates head gradients back to the shared feature
+// maps and accumulates parameter gradients. It returns the gradient for
+// the deep feature map and, when the fine tap is active, for the stem
+// tap (nil otherwise).
+func (m *Model) RefineBackward(gCls, gReg *tensor.Tensor) (gFeat, gFine *tensor.Tensor) {
+	gHidden := m.RefineCls.Backward(gCls)
+	gHidden.Add(m.RefineReg.Backward(gReg))
+	gTrunk := m.RefineFC.Backward(gHidden)
+	gPooled := m.RefineTrunk.Backward(gTrunk)
+	if m.Config.UseFineTap {
+		parts := tensor.SplitChannels(gPooled, m.FeatC, m.FineC)
+		return m.RoI.Backward(parts[0]), m.RoIFine.Backward(parts[1])
+	}
+	return m.RoI.Backward(gPooled), nil
+}
+
+// act is the network activation. Leaky ReLU (slope 0.05) rather than plain
+// ReLU: the tiny training budgets this package targets cannot recover from
+// dying-ReLU collapse, and a small negative slope keeps every unit
+// trainable without changing the architecture.
+func act() nn.Layer { return nn.NewLeakyReLU(0.05) }

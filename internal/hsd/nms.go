@@ -1,0 +1,63 @@
+package hsd
+
+import (
+	"sort"
+
+	"rhsd/internal/geom"
+)
+
+// ScoredClip is a candidate clip with its hotspot classification score.
+type ScoredClip struct {
+	Clip  geom.Rect
+	Score float64
+}
+
+// HNMS implements hotspot non-maximum suppression (Algorithm 1): clips are
+// sorted by descending classification score and a clip is removed when the
+// IoU of its *core region* with a higher-scoring survivor exceeds the
+// threshold. Keying on cores instead of whole clips preserves clips whose
+// outer rings overlap but whose hotspot cores are distinct (Figure 5).
+// The input slice is not modified; survivors are returned sorted by
+// descending score.
+func HNMS(clips []ScoredClip, threshold float64) []ScoredClip {
+	return nms(clips, threshold, geom.CoreIoU)
+}
+
+// ConventionalNMS is the classic whole-clip-IoU suppression used by the
+// generic Faster R-CNN and SSD baselines.
+func ConventionalNMS(clips []ScoredClip, threshold float64) []ScoredClip {
+	return nms(clips, threshold, geom.IoU)
+}
+
+func nms(clips []ScoredClip, threshold float64, overlap func(a, b geom.Rect) float64) []ScoredClip {
+	sorted := append([]ScoredClip(nil), clips...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	removed := make([]bool, len(sorted))
+	var out []ScoredClip
+	for i := range sorted {
+		if removed[i] {
+			continue
+		}
+		out = append(out, sorted[i])
+		for j := i + 1; j < len(sorted); j++ {
+			if removed[j] {
+				continue
+			}
+			if overlap(sorted[i].Clip, sorted[j].Clip) > threshold {
+				removed[j] = true
+			}
+		}
+	}
+	return out
+}
+
+// TopK returns the k highest-scoring clips (all of them when k <= 0 or
+// k >= len).
+func TopK(clips []ScoredClip, k int) []ScoredClip {
+	sorted := append([]ScoredClip(nil), clips...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	if k > 0 && k < len(sorted) {
+		sorted = sorted[:k]
+	}
+	return sorted
+}

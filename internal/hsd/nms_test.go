@@ -1,0 +1,126 @@
+package hsd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhsd/internal/geom"
+)
+
+func sc(cx, cy, w, h, score float64) ScoredClip {
+	return ScoredClip{Clip: geom.RectCWH(cx, cy, w, h), Score: score}
+}
+
+func TestHNMSKeepsDistinctCores(t *testing.T) {
+	// The Figure 5 scenario: clips whose bodies overlap strongly but whose
+	// cores are distinct. Conventional NMS drops the weaker one, h-NMS
+	// keeps both.
+	a := ScoredClip{Clip: geom.Rect{X0: 0, Y0: 0, X1: 12, Y1: 12}, Score: 0.9}
+	b := ScoredClip{Clip: geom.Rect{X0: 7, Y0: 0, X1: 19, Y1: 12}, Score: 0.5}
+	if geom.IoU(a.Clip, b.Clip) < 0.2 {
+		t.Fatal("scenario needs body overlap")
+	}
+	conv := ConventionalNMS([]ScoredClip{a, b}, 0.2)
+	if len(conv) != 1 {
+		t.Fatalf("conventional NMS should suppress: %d", len(conv))
+	}
+	hn := HNMS([]ScoredClip{a, b}, 0.2)
+	if len(hn) != 2 {
+		t.Fatalf("h-NMS must keep both distinct-core clips: %d", len(hn))
+	}
+}
+
+func TestHNMSSuppressesSameCore(t *testing.T) {
+	clips := []ScoredClip{
+		sc(50, 50, 20, 20, 0.9),
+		sc(51, 50, 20, 20, 0.8), // nearly identical core
+		sc(50, 51, 20, 20, 0.7),
+	}
+	out := HNMS(clips, 0.7)
+	if len(out) != 1 || out[0].Score != 0.9 {
+		t.Fatalf("same-core clips must collapse to the best: %v", out)
+	}
+}
+
+func TestHNMSProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		clips := make([]ScoredClip, n)
+		for i := range clips {
+			clips[i] = sc(rng.Float64()*100, rng.Float64()*100,
+				5+rng.Float64()*30, 5+rng.Float64()*30, rng.Float64())
+		}
+		out := HNMS(clips, 0.7)
+		// 1. Output is a subset of the input.
+		for _, o := range out {
+			found := false
+			for _, c := range clips {
+				if c == o {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// 2. Sorted by descending score.
+		for i := 1; i < len(out); i++ {
+			if out[i].Score > out[i-1].Score {
+				return false
+			}
+		}
+		// 3. Pairwise core-IoU below threshold.
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if geom.CoreIoU(out[i].Clip, out[j].Clip) > 0.7 {
+					return false
+				}
+			}
+		}
+		// 4. Idempotence.
+		again := HNMS(out, 0.7)
+		if len(again) != len(out) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHNMSDoesNotMutateInput(t *testing.T) {
+	clips := []ScoredClip{sc(0, 0, 10, 10, 0.1), sc(50, 50, 10, 10, 0.9)}
+	HNMS(clips, 0.7)
+	if clips[0].Score != 0.1 || clips[1].Score != 0.9 {
+		t.Fatal("input order mutated")
+	}
+}
+
+func TestHNMSEmpty(t *testing.T) {
+	if out := HNMS(nil, 0.7); len(out) != 0 {
+		t.Fatalf("empty in, empty out: %v", out)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	clips := []ScoredClip{
+		sc(0, 0, 10, 10, 0.3),
+		sc(0, 0, 10, 10, 0.9),
+		sc(0, 0, 10, 10, 0.6),
+	}
+	top := TopK(clips, 2)
+	if len(top) != 2 || top[0].Score != 0.9 || top[1].Score != 0.6 {
+		t.Fatalf("topk: %v", top)
+	}
+	all := TopK(clips, 0)
+	if len(all) != 3 {
+		t.Fatalf("k<=0 keeps all: %v", all)
+	}
+	if len(TopK(clips, 10)) != 3 {
+		t.Fatal("k beyond len keeps all")
+	}
+}

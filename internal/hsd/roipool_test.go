@@ -1,0 +1,107 @@
+package hsd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/tensor"
+)
+
+func TestRoIPoolFixedOutputSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	feat := tensor.New(1, 3, 8, 8)
+	feat.RandN(rng, 1)
+	p := NewRoIPool(7, 8) // stride 8: input coords are 8× feature coords
+	rois := []geom.Rect{
+		geom.RectCWH(32, 32, 40, 40),
+		geom.RectCWH(16, 48, 16, 64), // non-square
+		geom.RectCWH(8, 8, 12, 12),   // small
+	}
+	out := p.Forward(feat, rois)
+	if out.Dim(0) != 3 || out.Dim(1) != 3 || out.Dim(2) != 7 || out.Dim(3) != 7 {
+		t.Fatalf("pooled shape %v", out.Shape())
+	}
+}
+
+func TestRoIPoolMaxSemantics(t *testing.T) {
+	feat := tensor.New(1, 1, 4, 4)
+	feat.Set(5, 0, 0, 1, 2)
+	feat.Set(3, 0, 0, 3, 3)
+	p := NewRoIPool(1, 1) // stride 1, 1×1 output: plain max over the RoI
+	out := p.Forward(feat, []geom.Rect{{X0: 0, Y0: 0, X1: 4, Y1: 4}})
+	if out.At(0, 0, 0, 0) != 5 {
+		t.Fatalf("roi max %v want 5", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestRoIPoolBackwardRoutesToArgmax(t *testing.T) {
+	feat := tensor.New(1, 1, 4, 4)
+	feat.Set(5, 0, 0, 1, 2)
+	p := NewRoIPool(1, 1)
+	p.Forward(feat, []geom.Rect{{X0: 0, Y0: 0, X1: 4, Y1: 4}})
+	gy := tensor.New(1, 1, 1, 1)
+	gy.Fill(7)
+	dx := p.Backward(gy)
+	if dx.At(0, 0, 1, 2) != 7 {
+		t.Fatalf("grad not routed: %v", dx.Data())
+	}
+	if dx.Sum() != 7 {
+		t.Fatalf("grad leaked: sum %v", dx.Sum())
+	}
+}
+
+func TestRoIPoolOverlappingRoIsAccumulateGrad(t *testing.T) {
+	feat := tensor.New(1, 1, 4, 4)
+	feat.Set(9, 0, 0, 2, 2)
+	p := NewRoIPool(1, 1)
+	full := geom.Rect{X0: 0, Y0: 0, X1: 4, Y1: 4}
+	p.Forward(feat, []geom.Rect{full, full})
+	gy := tensor.New(2, 1, 1, 1)
+	gy.Fill(1)
+	dx := p.Backward(gy)
+	if dx.At(0, 0, 2, 2) != 2 {
+		t.Fatalf("overlapping RoI grads must accumulate: %v", dx.At(0, 0, 2, 2))
+	}
+}
+
+func TestRoIPoolClampsOutOfBoundsRoI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	feat := tensor.New(1, 2, 8, 8)
+	feat.RandN(rng, 1)
+	p := NewRoIPool(7, 8)
+	// RoI partially outside the 64×64 input extent.
+	out := p.Forward(feat, []geom.Rect{geom.RectCWH(0, 0, 64, 64)})
+	for _, v := range out.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("clamping failed: non-finite output")
+		}
+	}
+	// Degenerate RoI entirely outside: must not panic, produces zeros.
+	out2 := p.Forward(feat, []geom.Rect{geom.RectCWH(-100, -100, 4, 4)})
+	if out2.MaxAbs() != 0 {
+		t.Fatalf("fully-outside RoI should pool to zero, got %v", out2.MaxAbs())
+	}
+	// And backward with no argmax entries is a no-op.
+	gy := tensor.New(1, 2, 7, 7)
+	gy.Fill(1)
+	dx := p.Backward(gy)
+	if dx.MaxAbs() != 0 {
+		t.Fatal("gradient appeared from empty bins")
+	}
+}
+
+func TestRoIPoolBinPartitionCoversRoI(t *testing.T) {
+	// Pooling a constant feature map must give the constant everywhere:
+	// every bin sees at least one pixel.
+	feat := tensor.New(1, 1, 8, 8)
+	feat.Fill(3)
+	p := NewRoIPool(7, 8)
+	out := p.Forward(feat, []geom.Rect{geom.RectCWH(32, 32, 30, 17)})
+	for _, v := range out.Data() {
+		if v != 3 {
+			t.Fatalf("empty bin in RoI partition: %v", out.Data())
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package hsd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParamCount returns the total number of trainable scalars in the model.
+func (m *Model) ParamCount() int {
+	total := 0
+	for _, p := range m.Params() {
+		total += p.W.Size()
+	}
+	return total
+}
+
+// StageParamCounts breaks the parameter count down by pipeline stage.
+func (m *Model) StageParamCounts() map[string]int {
+	out := map[string]int{}
+	for _, p := range m.Stem.Params() {
+		out["extractor"] += p.W.Size()
+	}
+	for _, p := range m.Trunk.Params() {
+		out["extractor"] += p.W.Size()
+	}
+	for _, p := range m.RPNTrunk.Params() {
+		out["proposal"] += p.W.Size()
+	}
+	for _, p := range m.RPNCls.Params() {
+		out["proposal"] += p.W.Size()
+	}
+	for _, p := range m.RPNReg.Params() {
+		out["proposal"] += p.W.Size()
+	}
+	for _, p := range m.RefineTrunk.Params() {
+		out["refinement"] += p.W.Size()
+	}
+	for _, p := range m.RefineFC.Params() {
+		out["refinement"] += p.W.Size()
+	}
+	for _, p := range m.RefineCls.Params() {
+		out["refinement"] += p.W.Size()
+	}
+	for _, p := range m.RefineReg.Params() {
+		out["refinement"] += p.W.Size()
+	}
+	return out
+}
+
+// Summary renders a human-readable architecture description.
+func (m *Model) Summary() string {
+	c := m.Config
+	var b strings.Builder
+	fmt.Fprintf(&b, "R-HSD model\n")
+	fmt.Fprintf(&b, "  input:      %d×%d px (%d channels) @ %.0f nm/px — %d nm region\n",
+		c.InputSize, c.InputSize, InputChannels, c.PitchNM, c.RegionNM())
+	fmt.Fprintf(&b, "  stem:       conv %v + 2 max-pools (×4 compression)\n", c.StemChannels)
+	if c.UseEncDec {
+		fmt.Fprintf(&b, "  enc-dec:    3 conv %v + 3 symmetric deconv\n", c.EncChannels)
+	} else {
+		fmt.Fprintf(&b, "  enc-dec:    disabled (w/o. ED ablation)\n")
+	}
+	fmt.Fprintf(&b, "  inception:  A A B A A A A, width %d → %d feature channels @ stride %d\n",
+		c.InceptionWidth, m.FeatC, FeatureStride)
+	fmt.Fprintf(&b, "  proposals:  %d anchors/cell (%d scales × %d ratios), head %d ch, top %d after h-NMS@%.2f\n",
+		c.AnchorsPerCell(), len(c.Scales), len(c.AspectRatios), c.HeadChannels,
+		c.ProposalCount, c.NMSThreshold)
+	if c.UseRefine {
+		tap := ""
+		if c.UseFineTap {
+			tap = " (+ stride-2 fine tap)"
+		}
+		fmt.Fprintf(&b, "  refinement: RoI %d×%d%s → inception B A A → FC %d → 2nd C&R\n",
+			c.RoISize, c.RoISize, tap, c.RefineFC)
+	} else {
+		fmt.Fprintf(&b, "  refinement: disabled (w/o. Refine ablation)\n")
+	}
+	counts := m.StageParamCounts()
+	fmt.Fprintf(&b, "  parameters: %d total (extractor %d, proposal %d, refinement %d)\n",
+		m.ParamCount(), counts["extractor"], counts["proposal"], counts["refinement"])
+	return b.String()
+}

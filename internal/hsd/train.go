@@ -1,0 +1,422 @@
+package hsd
+
+import (
+	"math/rand"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// Sample is one training region: an input raster [1,1,S,S] and its
+// ground-truth hotspot clips in input-pixel coordinates.
+type Sample struct {
+	Raster *tensor.Tensor
+	GT     []geom.Rect
+}
+
+// InputChannels is the raster depth fed to the network: metal and
+// inverted metal. The two polarities matter because max pooling in the
+// stem erases thin minority-phase features: a one-pixel space gap inside
+// metal (the bridging signature) survives pooling only in the inverted
+// channel, and a one-pixel metal neck (the necking signature) only in the
+// direct channel.
+const InputChannels = 2
+
+// MakeSample rasterizes a layout region and converts ground-truth hotspot
+// points (region-relative nm) into pixel-space clips of size ClipPx.
+func MakeSample(l *layout.Layout, hotspotsNM [][2]float64, c Config) Sample {
+	raster := l.Rasterize(l.Bounds, c.PitchNM)
+	img := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	// The raster may deviate by a pixel from InputSize when region and
+	// pitch don't divide exactly; copy the overlap. The second channel is
+	// initialized to 1 (all space) and overwritten where metal rasters.
+	for i := c.InputSize * c.InputSize; i < 2*c.InputSize*c.InputSize; i++ {
+		img.Data()[i] = 1
+	}
+	h, w := raster.Dim(1), raster.Dim(2)
+	for y := 0; y < minInt(h, c.InputSize); y++ {
+		for x := 0; x < minInt(w, c.InputSize); x++ {
+			v := raster.At(0, y, x)
+			img.Set(v, 0, 0, y, x)
+			img.Set(1-v, 0, 1, y, x)
+		}
+	}
+	gt := make([]geom.Rect, 0, len(hotspotsNM))
+	for _, p := range hotspotsNM {
+		gt = append(gt, geom.RectCWH(p[0]/c.PitchNM, p[1]/c.PitchNM, c.ClipPx, c.ClipPx))
+	}
+	return Sample{Raster: img, GT: gt}
+}
+
+// Flip mirrors a sample horizontally and/or vertically — the only data
+// augmentation that is exactly label-preserving for lithography (optics
+// are mirror-symmetric).
+func Flip(s Sample, horizontal, vertical bool) Sample {
+	ch := s.Raster.Dim(1)
+	size := s.Raster.Dim(2)
+	img := tensor.New(1, ch, size, size)
+	for c := 0; c < ch; c++ {
+		for y := 0; y < size; y++ {
+			sy := y
+			if vertical {
+				sy = size - 1 - y
+			}
+			for x := 0; x < size; x++ {
+				sx := x
+				if horizontal {
+					sx = size - 1 - x
+				}
+				img.Set(s.Raster.At(0, c, sy, sx), 0, c, y, x)
+			}
+		}
+	}
+	fs := float64(size)
+	gt := make([]geom.Rect, len(s.GT))
+	for i, r := range s.GT {
+		nr := r
+		if horizontal {
+			nr.X0, nr.X1 = fs-r.X1, fs-r.X0
+		}
+		if vertical {
+			nr.Y0, nr.Y1 = fs-r.Y1, fs-r.Y0
+		}
+		gt[i] = nr
+	}
+	return Sample{Raster: img, GT: gt}
+}
+
+// StepStats reports the loss decomposition of one training step (the
+// terms of Eq. 4 for both C&R stages).
+type StepStats struct {
+	RPNCls    float64
+	RPNReg    float64
+	RefineCls float64
+	RefineReg float64
+	L2        float64
+}
+
+// Total returns the full multi-task objective value.
+func (s StepStats) Total() float64 {
+	return s.RPNCls + s.RPNReg + s.RefineCls + s.RefineReg + s.L2
+}
+
+// Trainer owns the optimization loop for one Model.
+type Trainer struct {
+	Model *Model
+	Opt   *nn.SGD
+
+	rng *rand.Rand
+}
+
+// NewTrainer builds a trainer with the configuration's SGD schedule.
+func NewTrainer(m *Model) *Trainer {
+	c := m.Config
+	return &Trainer{
+		Model: m,
+		Opt:   nn.NewSGD(c.LearningRate, c.Momentum, c.LRDecayEvery, c.LRDecayRate),
+		rng:   rand.New(rand.NewSource(c.Seed + 7919)),
+	}
+}
+
+// Step runs one joint optimization step (forward both stages, multi-task
+// loss, backward, SGD update) on a single region sample.
+func (t *Trainer) Step(s Sample) StepStats {
+	return t.StepBatch([]Sample{s})
+}
+
+// StepBatch averages the multi-task gradients over a batch of region
+// samples before one SGD update — the paper's batch-size-12 training
+// realized by gradient accumulation, which is mathematically equivalent
+// to minibatch SGD for this loss.
+func (t *Trainer) StepBatch(batch []Sample) StepStats {
+	m := t.Model
+	c := m.Config
+	var stats StepStats
+	if len(batch) == 0 {
+		return stats
+	}
+	for _, s := range batch {
+		st := t.accumulate(s)
+		stats.RPNCls += st.RPNCls / float64(len(batch))
+		stats.RPNReg += st.RPNReg / float64(len(batch))
+		stats.RefineCls += st.RefineCls / float64(len(batch))
+		stats.RefineReg += st.RefineReg / float64(len(batch))
+	}
+	params := m.Params()
+	if len(batch) > 1 {
+		inv := float32(1.0 / float64(len(batch)))
+		for _, p := range params {
+			p.Grad.Scale(inv)
+		}
+	}
+	// Eq. 4's L2 term enters once per update, after averaging the data
+	// gradients.
+	stats.L2 = nn.L2Penalty(params, c.L2Beta)
+	if c.GradClip > 0 {
+		t.Opt.ClipGradients(params, c.GradClip)
+	}
+	t.Opt.Update(params)
+	return stats
+}
+
+// accumulate runs forward/backward for one sample, adding parameter
+// gradients without updating weights.
+func (t *Trainer) accumulate(s Sample) StepStats {
+	m := t.Model
+	c := m.Config
+	var stats StepStats
+
+	out := m.ForwardBase(s.Raster)
+	targets := AssignTargets(m.Anchors, s.GT, c)
+	batch := targets.SampleBatch(t.rng, c.BatchAnchors)
+
+	// --- 1st C&R: classification over the sampled anchors.
+	gCls := tensor.New(out.ClsMap.Shape()...)
+	gReg := tensor.New(out.RegMap.Shape()...)
+	if len(batch) > 0 {
+		logits := tensor.New(len(batch), 2)
+		labels := make([]int, len(batch))
+		for k, i := range batch {
+			l0, l1 := m.anchorLogits(out.ClsMap, i)
+			logits.Set(l0, k, 0)
+			logits.Set(l1, k, 1)
+			labels[k] = int(targets.Label[i])
+		}
+		loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		stats.RPNCls = loss
+		for k, i := range batch {
+			t.scatterCls(gCls, i, grad.At(k, 0), grad.At(k, 1))
+		}
+	}
+
+	// --- 1st C&R: regression over the sampled positive anchors
+	// (Eq. 4: the localization term is gated by h'_i).
+	var positives []int
+	for _, i := range batch {
+		if targets.Label[i] == 1 {
+			positives = append(positives, i)
+		}
+	}
+	if len(positives) > 0 {
+		pred := tensor.New(len(positives), 4)
+		tgt := tensor.New(len(positives), 4)
+		wts := make([]float32, len(positives))
+		for k, i := range positives {
+			e := m.anchorReg(out.RegMap, i)
+			for j, v := range e.Vec4() {
+				pred.Set(float32(v), k, j)
+			}
+			for j, v := range targets.Reg[i].Vec4() {
+				tgt.Set(float32(v), k, j)
+			}
+			wts[k] = 1
+		}
+		loss, grad := nn.SmoothL1(pred, tgt, wts, float64(len(positives)))
+		loss *= c.AlphaLoc
+		grad.Scale(float32(c.AlphaLoc))
+		stats.RPNReg = loss
+		for k, i := range positives {
+			t.scatterReg(gReg, i,
+				grad.At(k, 0), grad.At(k, 1), grad.At(k, 2), grad.At(k, 3))
+		}
+	}
+
+	// --- 2nd C&R on refinement proposals.
+	var gFeatRefine, gFineRefine *tensor.Tensor
+	if c.UseRefine {
+		props := m.Proposals(out)
+		rois := make([]geom.Rect, 0, len(props)+len(s.GT))
+		for _, p := range props {
+			rois = append(rois, p.Clip)
+		}
+		// Ground-truth clips join the RoI set during training so the 2nd
+		// stage always sees positives (standard two-stage practice), plus
+		// jittered copies so it learns to refine imperfect localizations
+		// rather than only exact ones.
+		rois = append(rois, s.GT...)
+		for _, g := range s.GT {
+			for j := 0; j < 3; j++ {
+				dx := (t.rng.Float64() - 0.5) * 0.4 * g.W()
+				dy := (t.rng.Float64() - 0.5) * 0.4 * g.H()
+				sc := 0.85 + t.rng.Float64()*0.3
+				rois = append(rois, geom.RectCWH(g.CX()+dx, g.CY()+dy, g.W()*sc, g.H()*sc))
+			}
+		}
+		if len(rois) > 0 {
+			refCls, refReg := m.RefineForward(out, rois)
+			labels, regTgt, regW := refineTargets(rois, s.GT)
+			balanceRefineNegatives(labels, refCls, t.rng)
+			clsLoss, gRefCls := nn.SoftmaxCrossEntropy(refCls, labels)
+			regLoss, gRefReg := nn.SmoothL1(refReg, regTgt, regW, float64(maxInt(1, countPos(labels))))
+			regLoss *= c.AlphaLoc
+			gRefReg.Scale(float32(c.AlphaLoc))
+			stats.RefineCls = clsLoss
+			stats.RefineReg = regLoss
+			gFeatRefine, gFineRefine = m.RefineBackward(gRefCls, gRefReg)
+		}
+	}
+
+	// --- backward through the shared trunk and stem, merging the RPN and
+	// refinement gradients at the deep feature map and the fine tap.
+	gTrunk := m.RPNCls.Backward(gCls)
+	gTrunk.Add(m.RPNReg.Backward(gReg))
+	gFeat := m.RPNTrunk.Backward(gTrunk)
+	if gFeatRefine != nil {
+		gFeat.Add(gFeatRefine)
+	}
+	gStemOut := m.Trunk.Backward(gFeat)
+	if gFineRefine != nil {
+		gStemOut.Add(gFineRefine)
+	}
+	m.Stem.Backward(gStemOut)
+
+	return stats
+}
+
+// Run trains for Config.TrainSteps optimizer steps, drawing
+// Config.BatchRegions samples per step in shuffled order with random
+// flips, and returns the per-step loss history.
+func (t *Trainer) Run(samples []Sample, progress func(step int, st StepStats)) []StepStats {
+	if len(samples) == 0 {
+		return nil
+	}
+	batchSize := t.Model.Config.BatchRegions
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	history := make([]StepStats, 0, t.Model.Config.TrainSteps)
+	order := t.rng.Perm(len(samples))
+	pos := 0
+	next := func() Sample {
+		if pos == len(order) {
+			order = t.rng.Perm(len(samples))
+			pos = 0
+		}
+		s := samples[order[pos]]
+		pos++
+		if t.rng.Intn(2) == 1 {
+			s = Flip(s, t.rng.Intn(2) == 1, t.rng.Intn(2) == 1)
+		}
+		return s
+	}
+	batch := make([]Sample, batchSize)
+	for step := 0; step < t.Model.Config.TrainSteps; step++ {
+		for i := range batch {
+			batch[i] = next()
+		}
+		st := t.StepBatch(batch)
+		history = append(history, st)
+		if progress != nil {
+			progress(step, st)
+		}
+	}
+	return history
+}
+
+// balanceRefineNegatives caps the negative RoIs entering the 2nd-stage
+// classification loss at 3× the positives (minimum 4), dropping a random
+// subset of the excess. Without the cap the 2nd stage sees several
+// negatives per positive and degenerates into the majority answer.
+//
+// (Score-ranked online hard-example mining was evaluated here and
+// rejected: with ignored easy negatives receiving no gradient, their
+// scores drift up to the decision boundary and the classifier collapses
+// to a constant output — every example eventually looks "hard".)
+func balanceRefineNegatives(labels []int, refCls *tensor.Tensor, rng *rand.Rand) {
+	var pos int
+	negIdx := make([]int, 0, len(labels))
+	for i, l := range labels {
+		if l == 1 {
+			pos++
+		} else if l == 0 {
+			negIdx = append(negIdx, i)
+		}
+	}
+	quota := 3 * pos
+	if quota < 4 {
+		quota = 4
+	}
+	if len(negIdx) <= quota {
+		return
+	}
+	_ = refCls // kept in the signature for future mining experiments
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	for _, i := range negIdx[quota:] {
+		labels[i] = -1
+	}
+}
+
+// refineTargets labels each RoI against the ground truth for the 2nd C&R:
+// an RoI is positive when its IoU with some ground-truth clip reaches 0.5,
+// and positives regress toward their best-matching clip (Eq. 3 encoded
+// against the RoI itself).
+func refineTargets(rois, gt []geom.Rect) (labels []int, regTgt *tensor.Tensor, regW []float32) {
+	labels = make([]int, len(rois))
+	regTgt = tensor.New(len(rois), 4)
+	regW = make([]float32, len(rois))
+	for i, r := range rois {
+		best, bestIoU := -1, 0.0
+		for g, box := range gt {
+			if iou := geom.IoU(r, box); iou > bestIoU {
+				bestIoU = iou
+				best = g
+			}
+		}
+		if best >= 0 && bestIoU >= 0.5 && r.W() > 0 && r.H() > 0 {
+			labels[i] = 1
+			regW[i] = 1
+			for j, v := range geom.Encode(gt[best], r).Vec4() {
+				regTgt.Set(float32(v), i, j)
+			}
+		}
+	}
+	return labels, regTgt, regW
+}
+
+func (t *Trainer) scatterCls(g *tensor.Tensor, i int, g0, g1 float32) {
+	m := t.Model
+	a := i % m.Anchors.PerCell
+	cell := i / m.Anchors.PerCell
+	y := cell / m.Anchors.FeatW
+	x := cell % m.Anchors.FeatW
+	g.Set(g.At(0, 2*a, y, x)+g0, 0, 2*a, y, x)
+	g.Set(g.At(0, 2*a+1, y, x)+g1, 0, 2*a+1, y, x)
+}
+
+func (t *Trainer) scatterReg(g *tensor.Tensor, i int, g0, g1, g2, g3 float32) {
+	m := t.Model
+	a := i % m.Anchors.PerCell
+	cell := i / m.Anchors.PerCell
+	y := cell / m.Anchors.FeatW
+	x := cell % m.Anchors.FeatW
+	g.Set(g.At(0, 4*a, y, x)+g0, 0, 4*a, y, x)
+	g.Set(g.At(0, 4*a+1, y, x)+g1, 0, 4*a+1, y, x)
+	g.Set(g.At(0, 4*a+2, y, x)+g2, 0, 4*a+2, y, x)
+	g.Set(g.At(0, 4*a+3, y, x)+g3, 0, 4*a+3, y, x)
+}
+
+func countPos(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

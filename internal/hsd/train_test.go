@@ -1,0 +1,294 @@
+package hsd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/tensor"
+)
+
+// syntheticSample plants dense "risky" texture patches at hotspot
+// locations on a sparse background — a caricature of the real task that a
+// working detector must solve quickly.
+func syntheticSample(rng *rand.Rand, c Config, nHot int) Sample {
+	img := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	// Sparse background stripes.
+	for y := 0; y < c.InputSize; y += 8 {
+		for x := 0; x < c.InputSize; x++ {
+			img.Set(0.5, 0, 0, y, x)
+		}
+	}
+	var gt []geom.Rect
+	for i := 0; i < nHot; i++ {
+		cx := 12 + rng.Intn(c.InputSize-24)
+		cy := 12 + rng.Intn(c.InputSize-24)
+		// Dense checkerboard blob ~ the hotspot signature.
+		for dy := -5; dy <= 5; dy++ {
+			for dx := -5; dx <= 5; dx++ {
+				if (dx+dy)%2 == 0 {
+					img.Set(1, 0, 0, cy+dy, cx+dx)
+				}
+			}
+		}
+		gt = append(gt, geom.RectCWH(float64(cx), float64(cy), c.ClipPx, c.ClipPx))
+	}
+	return Sample{Raster: img, GT: gt}
+}
+
+func TestTrainerStepRunsAndReportsLosses(t *testing.T) {
+	c := TinyConfig()
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	rng := rand.New(rand.NewSource(1))
+	st := tr.Step(syntheticSample(rng, c, 2))
+	if st.RPNCls <= 0 {
+		t.Fatalf("rpn cls loss should be positive at init: %+v", st)
+	}
+	if st.L2 <= 0 {
+		t.Fatalf("L2 penalty should be positive with β>0: %+v", st)
+	}
+	if st.Total() <= 0 {
+		t.Fatalf("total: %+v", st)
+	}
+}
+
+func TestTrainerStepWithoutRefineSkipsSecondStage(t *testing.T) {
+	c := TinyConfig()
+	c.UseRefine = false
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	rng := rand.New(rand.NewSource(2))
+	st := tr.Step(syntheticSample(rng, c, 1))
+	if st.RefineCls != 0 || st.RefineReg != 0 {
+		t.Fatalf("refine losses must be zero when disabled: %+v", st)
+	}
+}
+
+func TestTrainerStepWithoutL2(t *testing.T) {
+	c := TinyConfig()
+	c.L2Beta = 0
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	rng := rand.New(rand.NewSource(3))
+	st := tr.Step(syntheticSample(rng, c, 1))
+	if st.L2 != 0 {
+		t.Fatalf("L2 must be zero when β=0: %+v", st)
+	}
+}
+
+func TestTrainerStepEmptyRegion(t *testing.T) {
+	// A region without hotspots must still train (pure negatives).
+	c := TinyConfig()
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	img := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	st := tr.Step(Sample{Raster: img})
+	if st.RPNCls <= 0 {
+		t.Fatalf("negative-only step should still have cls loss: %+v", st)
+	}
+	if st.RPNReg != 0 {
+		t.Fatalf("no positives → no reg loss: %+v", st)
+	}
+}
+
+// TestEndToEndLearning is the package's central smoke test: a tiny R-HSD
+// model trained briefly on planted-hotspot samples must (a) drive the
+// training loss down and (b) detect a planted hotspot at inference while
+// staying quiet on an empty region.
+func TestEndToEndLearning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short")
+	}
+	c := TinyConfig()
+	c.TrainSteps = 700
+	c.ScoreThreshold = 0.25
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	rng := rand.New(rand.NewSource(c.Seed))
+	samples := make([]Sample, 4)
+	for i := range samples {
+		samples[i] = syntheticSample(rng, c, 1+i%2)
+	}
+	hist := tr.Run(samples, nil)
+	first := avgTotal(hist[:10])
+	last := avgTotal(hist[len(hist)-10:])
+	if !(last < first) {
+		t.Fatalf("loss did not decrease: first=%v last=%v", first, last)
+	}
+
+	// Inference on held-out samples, each with one planted hotspot. Allow
+	// one miss: 500 steps is the floor of reliable convergence.
+	hits := 0
+	for k := 0; k < 3; k++ {
+		test := syntheticSample(rng, c, 1)
+		for _, d := range m.Detect(test.Raster) {
+			if d.Clip.Core().Contains(test.GT[0].CX(), test.GT[0].CY()) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("trained model found only %d/3 held-out hotspots", hits)
+	}
+}
+
+func avgTotal(h []StepStats) float64 {
+	var s float64
+	for _, st := range h {
+		s += st.Total()
+	}
+	return s / float64(len(h))
+}
+
+func TestRefineTargets(t *testing.T) {
+	gt := []geom.Rect{geom.RectCWH(50, 50, 20, 20)}
+	rois := []geom.Rect{
+		geom.RectCWH(50, 50, 20, 20),   // exact → positive
+		geom.RectCWH(52, 50, 20, 20),   // high IoU → positive
+		geom.RectCWH(200, 200, 20, 20), // disjoint → negative
+	}
+	labels, regTgt, regW := refineTargets(rois, gt)
+	if labels[0] != 1 || labels[1] != 1 || labels[2] != 0 {
+		t.Fatalf("labels %v", labels)
+	}
+	if regW[2] != 0 {
+		t.Fatal("negative RoI must not regress")
+	}
+	// Exact match regresses to zero deltas.
+	for j := 0; j < 4; j++ {
+		if regTgt.At(0, j) != 0 {
+			t.Fatalf("exact RoI target %v", regTgt.Data()[:4])
+		}
+	}
+}
+
+func TestDetectOnUntrainedModelIsWellFormed(t *testing.T) {
+	c := TinyConfig()
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	x.RandUniform(rng, 0, 1)
+	dets := m.Detect(x)
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	for _, d := range dets {
+		if !bounds.ContainsRect(d.Clip) {
+			t.Fatalf("detection %v out of bounds", d.Clip)
+		}
+		if d.Score < c.ScoreThreshold {
+			t.Fatalf("detection below threshold leaked: %v", d.Score)
+		}
+	}
+}
+
+func TestCheckpointPreservesDetections(t *testing.T) {
+	c := TinyConfig()
+	c.TrainSteps = 5
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	rng := rand.New(rand.NewSource(6))
+	tr.Run([]Sample{syntheticSample(rng, c, 1)}, nil)
+
+	path := t.TempDir() + "/model.ckpt"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	x := syntheticSample(rng, c, 1).Raster
+	a := m.Detect(x)
+	b := m2.Detect(x)
+	if len(a) != len(b) {
+		t.Fatalf("detection count differs after reload: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepBatchMatchesAveragedGradients(t *testing.T) {
+	// A batch step with two identical samples must move weights exactly
+	// like a single-sample step (gradient averaging is exact for
+	// duplicated inputs, since anchor sampling is the only stochastic
+	// part and we pin it by seeding two trainers identically).
+	c := TinyConfig()
+	c.L2Beta = 0
+	c.GradClip = 0
+	c.Momentum = 0
+	rng := rand.New(rand.NewSource(9))
+	s := syntheticSample(rng, c, 1)
+
+	m1, _ := NewModel(c)
+	m2, _ := NewModel(c)
+	t1 := NewTrainer(m1)
+	t2 := NewTrainer(m2)
+	st1 := t1.Step(s)
+	st2 := t2.StepBatch([]Sample{s, s})
+	// Loss reporting averages over the batch.
+	if math.Abs(st1.RPNCls-st2.RPNCls) > 0.05*(1+st1.RPNCls) {
+		t.Fatalf("batch loss drifted: %v vs %v", st1.RPNCls, st2.RPNCls)
+	}
+	// Weights after the update agree closely (anchor subsampling differs
+	// between the two trainer RNG streams, so allow slack on params but
+	// verify the scale).
+	p1 := m1.Params()[0].W
+	p2 := m2.Params()[0].W
+	var diff, norm float64
+	for i := range p1.Data() {
+		d := float64(p1.Data()[i] - p2.Data()[i])
+		diff += d * d
+		norm += float64(p1.Data()[i]) * float64(p1.Data()[i])
+	}
+	if diff > 0.05*norm {
+		t.Fatalf("batch update diverged: rel %v", diff/norm)
+	}
+}
+
+func TestRunWithBatchRegions(t *testing.T) {
+	c := TinyConfig()
+	c.TrainSteps = 3
+	c.BatchRegions = 2
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(m)
+	rng := rand.New(rand.NewSource(10))
+	hist := tr.Run([]Sample{syntheticSample(rng, c, 1), syntheticSample(rng, c, 1)}, nil)
+	if len(hist) != 3 {
+		t.Fatalf("history %d", len(hist))
+	}
+	if tr.Opt.Step() != 3 {
+		t.Fatalf("optimizer steps %d want 3 (one per batch)", tr.Opt.Step())
+	}
+}

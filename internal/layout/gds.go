@@ -1,0 +1,293 @@
+package layout
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// GDSII stream-format support, limited to the subset a single-layer
+// Manhattan metal layout needs: one library, one structure, BOUNDARY
+// elements with rectangular 5-point XY rings. This is enough to exchange
+// benchmark regions with commercial layout viewers. All coordinates are
+// written in database units of 1 nm (UNITS record: 1e-3 user units per
+// db unit, 1e-9 metres per db unit).
+
+// GDS record types (subset).
+const (
+	gdsHeader   = 0x0002
+	gdsBgnLib   = 0x0102
+	gdsLibName  = 0x0206
+	gdsUnits    = 0x0305
+	gdsEndLib   = 0x0400
+	gdsBgnStr   = 0x0502
+	gdsStrName  = 0x0606
+	gdsEndStr   = 0x0700
+	gdsBoundary = 0x0800
+	gdsLayer    = 0x0D02
+	gdsDatatype = 0x0E02
+	gdsXY       = 0x1003
+	gdsEndEl    = 0x1100
+)
+
+// gdsLayerNumber is the layer all shapes are written to.
+const gdsLayerNumber = 10
+
+// WriteGDS serializes the layout as a GDSII stream with one structure
+// named structName (default "TOP" when empty).
+func (l *Layout) WriteGDS(w io.Writer, structName string) error {
+	if structName == "" {
+		structName = "TOP"
+	}
+	bw := bufio.NewWriter(w)
+	now := time.Date(2019, 6, 2, 0, 0, 0, 0, time.UTC) // DAC'19; fixed for determinism
+	ts := gdsTimestamp(now)
+
+	rec := func(rtype uint16, payload []byte) error {
+		length := uint16(4 + len(payload))
+		if err := binary.Write(bw, binary.BigEndian, length); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.BigEndian, rtype); err != nil {
+			return err
+		}
+		_, err := bw.Write(payload)
+		return err
+	}
+	i16 := func(vs ...int16) []byte {
+		b := make([]byte, 2*len(vs))
+		for i, v := range vs {
+			binary.BigEndian.PutUint16(b[2*i:], uint16(v))
+		}
+		return b
+	}
+	i32 := func(vs ...int32) []byte {
+		b := make([]byte, 4*len(vs))
+		for i, v := range vs {
+			binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+		}
+		return b
+	}
+
+	if err := rec(gdsHeader, i16(600)); err != nil { // stream version 6
+		return err
+	}
+	if err := rec(gdsBgnLib, append(ts, ts...)); err != nil {
+		return err
+	}
+	if err := rec(gdsLibName, gdsString("RHSD")); err != nil {
+		return err
+	}
+	units := append(gdsReal8(1e-3), gdsReal8(1e-9)...)
+	if err := rec(gdsUnits, units); err != nil {
+		return err
+	}
+	if err := rec(gdsBgnStr, append(ts, ts...)); err != nil {
+		return err
+	}
+	if err := rec(gdsStrName, gdsString(structName)); err != nil {
+		return err
+	}
+	for _, r := range l.Rects {
+		if err := rec(gdsBoundary, nil); err != nil {
+			return err
+		}
+		if err := rec(gdsLayer, i16(gdsLayerNumber)); err != nil {
+			return err
+		}
+		if err := rec(gdsDatatype, i16(0)); err != nil {
+			return err
+		}
+		// Closed 5-point rectangle ring, counter-clockwise.
+		xy := i32(
+			int32(r.X0), int32(r.Y0),
+			int32(r.X1), int32(r.Y0),
+			int32(r.X1), int32(r.Y1),
+			int32(r.X0), int32(r.Y1),
+			int32(r.X0), int32(r.Y0),
+		)
+		if err := rec(gdsXY, xy); err != nil {
+			return err
+		}
+		if err := rec(gdsEndEl, nil); err != nil {
+			return err
+		}
+	}
+	if err := rec(gdsEndStr, nil); err != nil {
+		return err
+	}
+	if err := rec(gdsEndLib, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadGDS parses a GDSII stream written by WriteGDS (or any stream whose
+// BOUNDARY elements are axis-aligned rectangles). Non-rectangular
+// boundaries are rejected with an error; unknown records are skipped.
+// The layout bounds are the bounding box of all shapes.
+func ReadGDS(r io.Reader) (*Layout, error) {
+	br := bufio.NewReader(r)
+	var rects []Rect
+	sawHeader := false
+	for {
+		var length uint16
+		if err := binary.Read(br, binary.BigEndian, &length); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		var rtype uint16
+		if err := binary.Read(br, binary.BigEndian, &rtype); err != nil {
+			return nil, err
+		}
+		if length < 4 {
+			return nil, fmt.Errorf("layout: corrupt GDS record length %d", length)
+		}
+		payload := make([]byte, length-4)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, err
+		}
+		switch rtype {
+		case gdsHeader:
+			sawHeader = true
+		case gdsXY:
+			if len(payload)%8 != 0 {
+				return nil, fmt.Errorf("layout: odd GDS XY payload %d bytes", len(payload))
+			}
+			n := len(payload) / 8
+			xs := make([]int32, n)
+			ys := make([]int32, n)
+			for i := 0; i < n; i++ {
+				xs[i] = int32(binary.BigEndian.Uint32(payload[8*i:]))
+				ys[i] = int32(binary.BigEndian.Uint32(payload[8*i+4:]))
+			}
+			rect, err := ringToRect(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			rects = append(rects, rect)
+		case gdsEndLib:
+			if !sawHeader {
+				return nil, fmt.Errorf("layout: GDS stream missing HEADER")
+			}
+			return layoutFromRects(rects), nil
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("layout: not a GDS stream")
+	}
+	return layoutFromRects(rects), nil
+}
+
+func layoutFromRects(rects []Rect) *Layout {
+	if len(rects) == 0 {
+		return New(Rect{})
+	}
+	b := rects[0]
+	for _, r := range rects[1:] {
+		if r.X0 < b.X0 {
+			b.X0 = r.X0
+		}
+		if r.Y0 < b.Y0 {
+			b.Y0 = r.Y0
+		}
+		if r.X1 > b.X1 {
+			b.X1 = r.X1
+		}
+		if r.Y1 > b.Y1 {
+			b.Y1 = r.Y1
+		}
+	}
+	l := New(b)
+	for _, r := range rects {
+		l.Add(r)
+	}
+	return l
+}
+
+// ringToRect validates that a 5-point closed ring (or 4 distinct corners)
+// is an axis-aligned rectangle and returns it.
+func ringToRect(xs, ys []int32) (Rect, error) {
+	n := len(xs)
+	if n == 5 && xs[0] == xs[4] && ys[0] == ys[4] {
+		n = 4
+	}
+	if n != 4 {
+		return Rect{}, fmt.Errorf("layout: GDS boundary with %d points is not a rectangle", len(xs))
+	}
+	minX, minY := xs[0], ys[0]
+	maxX, maxY := xs[0], ys[0]
+	for i := 1; i < n; i++ {
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		if ys[i] < minY {
+			minY = ys[i]
+		}
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	// Every vertex must sit on a corner of the bounding box.
+	for i := 0; i < n; i++ {
+		if (xs[i] != minX && xs[i] != maxX) || (ys[i] != minY && ys[i] != maxY) {
+			return Rect{}, fmt.Errorf("layout: GDS boundary is not axis-aligned rectangular")
+		}
+	}
+	return Rect{X0: int(minX), Y0: int(minY), X1: int(maxX), Y1: int(maxY)}, nil
+}
+
+// gdsString pads to even length as the stream format requires.
+func gdsString(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// gdsTimestamp encodes a BGNLIB/BGNSTR time as six int16s.
+func gdsTimestamp(t time.Time) []byte {
+	b := make([]byte, 12)
+	vals := []int{t.Year(), int(t.Month()), t.Day(), t.Hour(), t.Minute(), t.Second()}
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(b[2*i:], uint16(v))
+	}
+	return b
+}
+
+// gdsReal8 encodes an 8-byte GDS excess-64 real.
+func gdsReal8(v float64) []byte {
+	b := make([]byte, 8)
+	if v == 0 {
+		return b
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	mant := uint64(v * math.Pow(2, 56))
+	b[0] = sign | byte(exp+64)
+	for i := 1; i < 8; i++ {
+		b[i] = byte(mant >> uint(8*(7-i)))
+	}
+	return b
+}

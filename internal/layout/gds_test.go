@@ -1,0 +1,151 @@
+package layout
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestGDSRoundtrip(t *testing.T) {
+	l := New(R(0, 0, 1000, 800))
+	l.Add(R(10, 20, 110, 52))
+	l.Add(R(300, 100, 340, 700))
+	l.Add(R(0, 0, 1000, 32))
+	var buf bytes.Buffer
+	if err := l.WriteGDS(&buf, "TOP"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGDS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rects) != len(l.Rects) {
+		t.Fatalf("rect count %d want %d", len(got.Rects), len(l.Rects))
+	}
+	for i := range l.Rects {
+		if got.Rects[i] != l.Rects[i] {
+			t.Fatalf("rect %d: %v want %v", i, got.Rects[i], l.Rects[i])
+		}
+	}
+	// Bounds recomputed as the shapes' bounding box.
+	if got.Bounds != (Rect{0, 0, 1000, 700}) {
+		t.Fatalf("bounds %v", got.Bounds)
+	}
+}
+
+func TestGDSDeterministicOutput(t *testing.T) {
+	l := New(R(0, 0, 100, 100))
+	l.Add(R(1, 2, 3, 4))
+	var a, b bytes.Buffer
+	if err := l.WriteGDS(&a, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteGDS(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("GDS output must be byte-identical across runs")
+	}
+}
+
+func TestGDSStreamStructure(t *testing.T) {
+	l := New(R(0, 0, 10, 10))
+	l.Add(R(0, 0, 4, 4))
+	var buf bytes.Buffer
+	if err := l.WriteGDS(&buf, "TOP"); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// First record: HEADER (0x0002), length 6, version 600.
+	if binary.BigEndian.Uint16(data[0:]) != 6 || binary.BigEndian.Uint16(data[2:]) != gdsHeader {
+		t.Fatalf("bad first record: % x", data[:6])
+	}
+	if binary.BigEndian.Uint16(data[4:]) != 600 {
+		t.Fatalf("stream version %d", binary.BigEndian.Uint16(data[4:]))
+	}
+	// Last record: ENDLIB.
+	if binary.BigEndian.Uint16(data[len(data)-2:]) != gdsEndLib {
+		t.Fatal("stream must end with ENDLIB")
+	}
+}
+
+func TestGDSRejectsNonRectangular(t *testing.T) {
+	// Hand-build a stream with a triangular boundary.
+	var buf bytes.Buffer
+	w := func(rtype uint16, payload []byte) {
+		binary.Write(&buf, binary.BigEndian, uint16(4+len(payload)))
+		binary.Write(&buf, binary.BigEndian, rtype)
+		buf.Write(payload)
+	}
+	w(gdsHeader, []byte{0x02, 0x58})
+	xy := make([]byte, 0, 6*8)
+	for _, p := range [][2]int32{{0, 0}, {10, 0}, {5, 10}} {
+		var b [8]byte
+		binary.BigEndian.PutUint32(b[0:], uint32(p[0]))
+		binary.BigEndian.PutUint32(b[4:], uint32(p[1]))
+		xy = append(xy, b[:]...)
+	}
+	w(gdsXY, xy)
+	w(gdsEndLib, nil)
+	if _, err := ReadGDS(&buf); err == nil {
+		t.Fatal("triangle boundary must be rejected")
+	}
+}
+
+func TestGDSRejectsGarbage(t *testing.T) {
+	if _, err := ReadGDS(bytes.NewReader([]byte{0, 0, 0, 0, 1, 2, 3})); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := ReadGDS(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must be rejected")
+	}
+}
+
+func TestGDSEmptyLayout(t *testing.T) {
+	l := New(R(0, 0, 100, 100))
+	var buf bytes.Buffer
+	if err := l.WriteGDS(&buf, "EMPTY"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGDS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rects) != 0 {
+		t.Fatalf("phantom rects: %v", got.Rects)
+	}
+}
+
+func TestGDSReal8Encoding(t *testing.T) {
+	// 1e-9 in excess-64: verify by decoding back.
+	for _, v := range []float64{1e-9, 1e-3, 1.0, 0.5, 1234.5} {
+		b := gdsReal8(v)
+		got := decodeReal8(b)
+		if math.Abs(got-v) > 1e-12*math.Max(1, v) {
+			t.Fatalf("real8(%v) decoded to %v", v, got)
+		}
+	}
+	zero := gdsReal8(0)
+	if decodeReal8(zero) != 0 {
+		t.Fatal("zero encoding")
+	}
+}
+
+// decodeReal8 is a reference decoder for the GDS excess-64 real format.
+func decodeReal8(b []byte) float64 {
+	if len(b) != 8 {
+		return math.NaN()
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7f) - 64
+	var mant float64
+	for i := 1; i < 8; i++ {
+		mant = mant*256 + float64(b[i])
+	}
+	mant /= math.Pow(2, 56)
+	return sign * mant * math.Pow(16, float64(exp))
+}

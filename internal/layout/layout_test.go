@@ -1,0 +1,257 @@
+package layout
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectCanonAndAccessors(t *testing.T) {
+	r := Rect{10, 20, 4, 6}.Canon()
+	if r != (Rect{4, 6, 10, 20}) {
+		t.Fatalf("canon: %v", r)
+	}
+	if r.W() != 6 || r.H() != 14 || r.Empty() {
+		t.Fatalf("accessors: w=%d h=%d", r.W(), r.H())
+	}
+	if !(Rect{0, 0, 0, 5}).Empty() {
+		t.Fatal("zero-width rect must be empty")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if !a.Overlaps(Rect{5, 5, 15, 15}) {
+		t.Fatal("overlapping rects not detected")
+	}
+	if a.Overlaps(Rect{10, 0, 20, 10}) {
+		t.Fatal("edge-touching rects must not overlap (half-open)")
+	}
+	if a.Overlaps(Rect{20, 20, 30, 30}) {
+		t.Fatal("disjoint rects must not overlap")
+	}
+}
+
+func TestAddIgnoresDegenerate(t *testing.T) {
+	l := New(Rect{0, 0, 100, 100})
+	l.Add(Rect{5, 5, 5, 50})
+	if len(l.Rects) != 0 {
+		t.Fatal("degenerate rect must be dropped")
+	}
+	l.Add(Rect{50, 10, 5, 20}) // reversed x — canonicalized, kept
+	if len(l.Rects) != 1 || l.Rects[0].X0 != 5 {
+		t.Fatalf("canon add: %v", l.Rects)
+	}
+}
+
+func TestWindowClipsAndRebases(t *testing.T) {
+	l := New(Rect{0, 0, 1000, 1000})
+	l.Add(Rect{100, 100, 300, 120})
+	l.Add(Rect{900, 900, 990, 990}) // outside window
+	w := l.Window(Rect{150, 90, 400, 200})
+	if len(w.Rects) != 1 {
+		t.Fatalf("window shapes: %v", w.Rects)
+	}
+	got := w.Rects[0]
+	if got != (Rect{0, 10, 150, 30}) {
+		t.Fatalf("window rebase: %v", got)
+	}
+	if w.Bounds != (Rect{0, 0, 250, 110}) {
+		t.Fatalf("window bounds: %v", w.Bounds)
+	}
+}
+
+func TestRasterizeKnownPattern(t *testing.T) {
+	l := New(Rect{0, 0, 40, 40})
+	l.Add(Rect{0, 0, 20, 40}) // left half metal
+	img := l.Rasterize(Rect{0, 0, 40, 40}, 10)
+	if img.Dim(1) != 4 || img.Dim(2) != 4 {
+		t.Fatalf("raster dims: %v", img.Shape())
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := float32(0)
+			if x < 2 {
+				want = 1
+			}
+			if img.At(0, y, x) != want {
+				t.Fatalf("raster (%d,%d)=%v want %v", y, x, img.At(0, y, x), want)
+			}
+		}
+	}
+}
+
+func TestRasterizeTranslationConsistency(t *testing.T) {
+	// Shifting both the shape and the window by a pitch multiple must
+	// produce an identical raster.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pitch := 8
+		l1 := New(Rect{0, 0, 256, 256})
+		l2 := New(Rect{0, 0, 512, 512})
+		shift := (1 + rng.Intn(10)) * pitch
+		for i := 0; i < 5; i++ {
+			x0, y0 := rng.Intn(200), rng.Intn(200)
+			w, h := 4+rng.Intn(40), 4+rng.Intn(40)
+			l1.Add(Rect{x0, y0, x0 + w, y0 + h})
+			l2.Add(Rect{x0 + shift, y0 + shift, x0 + w + shift, y0 + h + shift})
+		}
+		a := l1.Rasterize(Rect{0, 0, 256, 256}, float64(pitch))
+		b := l2.Rasterize(Rect{shift, shift, 256 + shift, 256 + shift}, float64(pitch))
+		for i := range a.Data() {
+			if a.Data()[i] != b.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRasterizeValuesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := New(Rect{0, 0, 300, 300})
+	for i := 0; i < 20; i++ {
+		x0, y0 := rng.Intn(250), rng.Intn(250)
+		l.Add(Rect{x0, y0, x0 + 10 + rng.Intn(40), y0 + 10 + rng.Intn(40)})
+	}
+	img := l.Rasterize(Rect{0, 0, 300, 300}, 5)
+	for _, v := range img.Data() {
+		if v != 0 && v != 1 {
+			t.Fatalf("raster value %v not binary", v)
+		}
+	}
+}
+
+func TestRasterizeOverlapIsUnion(t *testing.T) {
+	l := New(Rect{0, 0, 20, 20})
+	l.Add(Rect{0, 0, 20, 20})
+	l.Add(Rect{5, 5, 15, 15}) // fully inside the first
+	img := l.Rasterize(Rect{0, 0, 20, 20}, 10)
+	for _, v := range img.Data() {
+		if v != 1 {
+			t.Fatalf("overlapping shapes must still raster to 1, got %v", v)
+		}
+	}
+}
+
+func TestDensity(t *testing.T) {
+	l := New(Rect{0, 0, 100, 100})
+	l.Add(Rect{0, 0, 50, 100}) // half covered
+	d := l.Density(10)
+	if d < 0.45 || d > 0.55 {
+		t.Fatalf("density %v want ~0.5", d)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	l := New(Rect{0, 0, 500, 400})
+	l.Add(Rect{10, 10, 60, 30})
+	l.Add(Rect{100, 50, 140, 300})
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bounds != l.Bounds || len(got.Rects) != len(l.Rects) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	for i := range l.Rects {
+		if got.Rects[i] != l.Rects[i] {
+			t.Fatalf("rect %d: %v vs %v", i, got.Rects[i], l.Rects[i])
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"RECT 0 0 10 10\n",    // RECT before BOUNDS
+		"BOUNDS 0 0 ten 10\n", // non-numeric
+		"FOO 0 0 1 1\n",       // unknown record
+		"",                    // empty input
+	}
+	for _, c := range cases {
+		if _, err := Load(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nBOUNDS 0 0 10 10\n# shape\nRECT 1 1 2 2\n"
+	l, err := Load(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rects) != 1 {
+		t.Fatalf("rects: %v", l.Rects)
+	}
+}
+
+func TestSortedRectsDeterministic(t *testing.T) {
+	l1 := New(Rect{0, 0, 100, 100})
+	l2 := New(Rect{0, 0, 100, 100})
+	rs := []Rect{{1, 5, 3, 7}, {0, 2, 4, 4}, {9, 2, 12, 6}}
+	for _, r := range rs {
+		l1.Add(r)
+	}
+	for i := len(rs) - 1; i >= 0; i-- {
+		l2.Add(rs[i])
+	}
+	a, b := l1.SortedRects(), l2.SortedRects()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sorted order differs: %v vs %v", a, b)
+		}
+	}
+	if a[0] != (Rect{0, 2, 4, 4}) {
+		t.Fatalf("sort key wrong: %v", a)
+	}
+}
+
+func TestGeomConversion(t *testing.T) {
+	g := R(1, 2, 5, 9).Geom()
+	if g.X0 != 1 || g.Y1 != 9 || g.W() != 4 || g.H() != 7 {
+		t.Fatalf("geom conversion: %v", g)
+	}
+}
+
+func TestDensityZeroGridDefaults(t *testing.T) {
+	l := New(R(0, 0, 100, 100))
+	l.Add(R(0, 0, 100, 100))
+	if d := l.Density(0); d < 0.99 {
+		t.Fatalf("full coverage density %v", d)
+	}
+}
+
+func TestRasterizePanicsOnBadArgs(t *testing.T) {
+	l := New(R(0, 0, 100, 100))
+	for _, fn := range []func(){
+		func() { l.Rasterize(R(0, 0, 100, 100), 0) },
+		func() { l.Rasterize(R(0, 0, 0, 0), 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWindowEmptyIntersection(t *testing.T) {
+	l := New(R(0, 0, 100, 100))
+	l.Add(R(10, 10, 20, 20))
+	w := l.Window(R(50, 50, 90, 90))
+	if len(w.Rects) != 0 {
+		t.Fatalf("disjoint window picked up %v", w.Rects)
+	}
+}

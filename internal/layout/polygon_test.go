@@ -1,0 +1,220 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lShape() Polygon {
+	// An L: 100 wide, 100 tall, with the top-right 60×60 notch removed.
+	return Polygon{Vertices: []Point{
+		{0, 0}, {100, 0}, {100, 40}, {40, 40}, {40, 100}, {0, 100},
+	}}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := lShape().Validate(); err != nil {
+		t.Fatalf("valid L rejected: %v", err)
+	}
+	bad := []Polygon{
+		{Vertices: []Point{{0, 0}, {10, 0}, {10, 10}}},                          // too few
+		{Vertices: []Point{{0, 0}, {10, 5}, {10, 10}, {0, 10}}},                 // diagonal edge
+		{Vertices: []Point{{0, 0}, {5, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 5}}}, // collinear run
+		{Vertices: []Point{{0, 0}, {0, 0}, {10, 0}, {10, 10}}},                  // zero edge
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("bad polygon %d accepted", i)
+		}
+	}
+}
+
+func TestDecomposeLShape(t *testing.T) {
+	rs, err := lShape().Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area must equal 100*40 + 40*60 = 6400.
+	area := 0
+	for _, r := range rs {
+		area += r.W() * r.H()
+		if r.Empty() {
+			t.Fatalf("degenerate rect %v", r)
+		}
+	}
+	if area != 6400 {
+		t.Fatalf("area %d want 6400", area)
+	}
+	// Non-overlap.
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[i].Overlaps(rs[j]) {
+				t.Fatalf("rects overlap: %v %v", rs[i], rs[j])
+			}
+		}
+	}
+}
+
+func TestDecomposeRectangleIsItself(t *testing.T) {
+	r := R(3, 5, 20, 17)
+	rs, err := RectPolygon(r).Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0] != r {
+		t.Fatalf("rect decomposition %v want [%v]", rs, r)
+	}
+}
+
+func TestDecomposeRasterEquivalence(t *testing.T) {
+	// Property: rasterizing the decomposition equals a point-in-polygon
+	// rasterization of the original.
+	p := Polygon{Vertices: []Point{
+		{0, 0}, {60, 0}, {60, 20}, {40, 20}, {40, 40}, {80, 40},
+		{80, 80}, {20, 80}, {20, 60}, {0, 60},
+	}}
+	rs, err := p.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(R(0, 0, 80, 80))
+	for _, r := range rs {
+		l.Add(r)
+	}
+	img := l.Rasterize(R(0, 0, 80, 80), 4)
+	for y := 0; y < img.Dim(1); y++ {
+		for x := 0; x < img.Dim(2); x++ {
+			// Pixel centre in nm.
+			cx, cy := (float64(x)+0.5)*4, (float64(y)+0.5)*4
+			want := float32(0)
+			if pointInPolygon(p, cx, cy) {
+				want = 1
+			}
+			if img.At(0, y, x) != want {
+				t.Fatalf("pixel (%d,%d): raster %v, polygon %v", y, x, img.At(0, y, x), want)
+			}
+		}
+	}
+}
+
+// pointInPolygon is an even-odd ray-casting reference implementation.
+func pointInPolygon(p Polygon, x, y float64) bool {
+	in := false
+	n := len(p.Vertices)
+	for i := 0; i < n; i++ {
+		a := p.Vertices[i]
+		b := p.Vertices[(i+1)%n]
+		ay, by := float64(a.Y), float64(b.Y)
+		ax, bx := float64(a.X), float64(b.X)
+		if (ay > y) != (by > y) {
+			xCross := ax + (y-ay)/(by-ay)*(bx-ax)
+			if x < xCross {
+				in = !in
+			}
+		}
+	}
+	return in
+}
+
+func TestDecomposeRandomStaircases(t *testing.T) {
+	// Property over random staircase polygons: decomposition area equals
+	// the shoelace area and rectangles never overlap.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := staircase(rng)
+		rs, err := p.Decompose()
+		if err != nil {
+			return false
+		}
+		area := 0
+		for _, r := range rs {
+			area += r.W() * r.H()
+		}
+		if area != shoelace(p) {
+			return false
+		}
+		for i := range rs {
+			for j := i + 1; j < len(rs); j++ {
+				if rs[i].Overlaps(rs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// staircase builds a monotone staircase polygon with 2..6 random steps.
+func staircase(rng *rand.Rand) Polygon {
+	steps := 2 + rng.Intn(5)
+	xs := make([]int, steps)
+	ys := make([]int, steps)
+	x, y := 0, 0
+	for i := 0; i < steps; i++ {
+		x += 5 + rng.Intn(30)
+		y += 5 + rng.Intn(30)
+		xs[i], ys[i] = x, y
+	}
+	// Build the boundary: right along the top of each step, then back.
+	var v []Point
+	v = append(v, Point{0, 0})
+	prevY := 0
+	for i := 0; i < steps; i++ {
+		v = append(v, Point{xs[i], prevY})
+		v = append(v, Point{xs[i], ys[i]})
+		prevY = ys[i]
+	}
+	v = append(v, Point{0, prevY})
+	return Polygon{Vertices: v}
+}
+
+// shoelace computes the polygon area.
+func shoelace(p Polygon) int {
+	n := len(p.Vertices)
+	sum := 0
+	for i := 0; i < n; i++ {
+		a := p.Vertices[i]
+		b := p.Vertices[(i+1)%n]
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+func TestAddPolygon(t *testing.T) {
+	l := New(R(0, 0, 200, 200))
+	if err := l.AddPolygon(lShape()); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rects) == 0 {
+		t.Fatal("no rects added")
+	}
+	if err := l.AddPolygon(Polygon{Vertices: []Point{{0, 0}, {1, 1}, {2, 0}, {1, 2}}}); err == nil {
+		t.Fatal("invalid polygon accepted")
+	}
+}
+
+func TestDecomposeMergesSlabs(t *testing.T) {
+	// A plain rectangle expressed with an extra collinear... no — use a
+	// plus-shape: the central column spans all three slabs and must merge
+	// into one tall rect.
+	plus := Polygon{Vertices: []Point{
+		{20, 0}, {40, 0}, {40, 20}, {60, 20}, {60, 40}, {40, 40},
+		{40, 60}, {20, 60}, {20, 40}, {0, 40}, {0, 20}, {20, 20},
+	}}
+	rs, err := plus.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal decomposition of a plus is 3 rects; slab merging must reach
+	// it (one 20×60 column + two 20×20 side squares).
+	if len(rs) != 3 {
+		t.Fatalf("plus decomposed into %d rects: %v", len(rs), rs)
+	}
+}

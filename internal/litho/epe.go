@@ -1,0 +1,140 @@
+package litho
+
+import (
+	"fmt"
+	"math"
+
+	"rhsd/internal/tensor"
+)
+
+// Edge-placement-error (EPE) metrology: how far the printed contour lands
+// from the drawn contour. Hotspot detectors consume the pass/fail labels,
+// but EPE statistics are the quantitative bridge between the proxy
+// simulator and real OPC verification flows, and they power the tests
+// that keep the proxy physically sensible (EPE grows with dose error and
+// defocus).
+
+// EPEStats summarizes the contour displacement of a print against the
+// intended mask.
+type EPEStats struct {
+	MeanNM float64 // mean |EPE| over intended edge pixels
+	MaxNM  float64 // worst-case |EPE|
+	Edges  int     // number of intended edge pixels measured
+	// Unmatched counts intended edge pixels with no printed contour within
+	// the search radius (e.g. a feature that vanished entirely).
+	Unmatched int
+}
+
+// EPE measures edge placement error between an intended binary mask and a
+// printed binary image of the same shape [1, H, W]. For every boundary
+// pixel of the intended mask, the L1 distance to the nearest printed
+// boundary pixel is taken as that edge's |EPE|; pixels farther than
+// maxSearchPx are counted as unmatched instead of skewing the mean.
+func (m Model) EPE(mask, printed *tensor.Tensor, maxSearchPx int) EPEStats {
+	if !mask.SameShape(printed) {
+		panic(fmt.Sprintf("litho: EPE shape mismatch %v vs %v", mask.Shape(), printed.Shape()))
+	}
+	h, w := mask.Dim(1), mask.Dim(2)
+	maskB := binarize(mask)
+	printB := binarize(printed)
+	printEdge := boundary(printB, h, w)
+	// Distance to the printed contour.
+	dist := distanceToSet(printEdge, h, w)
+
+	var stats EPEStats
+	var sum float64
+	maskEdge := boundary(maskB, h, w)
+	for i, isEdge := range maskEdge {
+		if !isEdge {
+			continue
+		}
+		d := int(dist[i])
+		if d > maxSearchPx {
+			stats.Unmatched++
+			continue
+		}
+		stats.Edges++
+		e := float64(d) * m.PitchNM
+		sum += e
+		if e > stats.MaxNM {
+			stats.MaxNM = e
+		}
+	}
+	if stats.Edges > 0 {
+		stats.MeanNM = sum / float64(stats.Edges)
+	} else {
+		stats.MeanNM = math.NaN()
+	}
+	return stats
+}
+
+// EPEAtDose is a convenience wrapper: print the mask's aerial image at the
+// given dose and measure EPE against the mask itself.
+func (m Model) EPEAtDose(mask *tensor.Tensor, dose float64, maxSearchPx int) EPEStats {
+	printed := m.Print(m.Aerial(mask), dose)
+	return m.EPE(mask, printed, maxSearchPx)
+}
+
+func binarize(t *tensor.Tensor) []bool {
+	out := make([]bool, t.Size())
+	for i, v := range t.Data() {
+		out[i] = v >= 0.5
+	}
+	return out
+}
+
+// boundary marks pixels whose 4-neighbourhood crosses the phase edge
+// (either side of the contour).
+func boundary(b []bool, h, w int) []bool {
+	out := make([]bool, len(b))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if !b[i] {
+				continue
+			}
+			if (x > 0 && !b[i-1]) || (x < w-1 && !b[i+1]) ||
+				(y > 0 && !b[i-w]) || (y < h-1 && !b[i+w]) {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// distanceToSet computes the L1 distance of every pixel to the nearest
+// marked pixel (infinity-like when the set is empty).
+func distanceToSet(set []bool, h, w int) []int32 {
+	const inf = int32(1 << 30)
+	d := make([]int32, h*w)
+	for i := range d {
+		if set[i] {
+			d[i] = 0
+		} else {
+			d[i] = inf
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if x > 0 && d[i-1]+1 < d[i] {
+				d[i] = d[i-1] + 1
+			}
+			if y > 0 && d[i-w]+1 < d[i] {
+				d[i] = d[i-w] + 1
+			}
+		}
+	}
+	for y := h - 1; y >= 0; y-- {
+		for x := w - 1; x >= 0; x-- {
+			i := y*w + x
+			if x < w-1 && d[i+1]+1 < d[i] {
+				d[i] = d[i+1] + 1
+			}
+			if y < h-1 && d[i+w]+1 < d[i] {
+				d[i] = d[i+w] + 1
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,81 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"rhsd/internal/tensor"
+)
+
+// squareMask builds a [1,n,n] mask with a centred square of the given
+// half-size.
+func squareMask(n, half int) *tensor.Tensor {
+	m := tensor.New(1, n, n)
+	for y := n/2 - half; y < n/2+half; y++ {
+		for x := n/2 - half; x < n/2+half; x++ {
+			m.Set(1, 0, y, x)
+		}
+	}
+	return m
+}
+
+func TestEPEIdenticalContoursIsZero(t *testing.T) {
+	m := DefaultModel()
+	mask := squareMask(32, 8)
+	st := m.EPE(mask, mask.Clone(), 10)
+	if st.MeanNM != 0 || st.MaxNM != 0 {
+		t.Fatalf("self-EPE must be zero: %+v", st)
+	}
+	if st.Edges == 0 || st.Unmatched != 0 {
+		t.Fatalf("edge accounting: %+v", st)
+	}
+}
+
+func TestEPEUniformShrinkIsOnePixel(t *testing.T) {
+	m := DefaultModel()
+	mask := squareMask(32, 8)
+	printed := squareMask(32, 7) // uniformly eroded by 1 px
+	st := m.EPE(mask, printed, 10)
+	if math.Abs(st.MeanNM-m.PitchNM) > 0.35*m.PitchNM {
+		t.Fatalf("1-px erosion should give EPE ≈ %v nm, got %+v", m.PitchNM, st)
+	}
+}
+
+func TestEPEVanishedFeatureIsUnmatched(t *testing.T) {
+	m := DefaultModel()
+	mask := squareMask(64, 6)
+	printed := tensor.New(1, 64, 64) // nothing printed
+	st := m.EPE(mask, printed, 3)
+	if st.Unmatched == 0 {
+		t.Fatalf("vanished feature must be unmatched: %+v", st)
+	}
+	if !math.IsNaN(st.MeanNM) && st.Edges > 0 {
+		t.Fatalf("no matched edges expected: %+v", st)
+	}
+}
+
+func TestEPEGrowsWithDoseError(t *testing.T) {
+	m := DefaultModel()
+	// A printable isolated line.
+	l := relaxedWidePattern()
+	mask := l.Rasterize(l.Bounds, m.PitchNM)
+	nominal := m.EPEAtDose(mask, 1.0, 20)
+	under := m.EPEAtDose(mask, 0.8, 20)
+	over := m.EPEAtDose(mask, 1.25, 20)
+	if !(under.MeanNM >= nominal.MeanNM) {
+		t.Fatalf("underdose EPE %v should exceed nominal %v", under.MeanNM, nominal.MeanNM)
+	}
+	if !(over.MeanNM >= nominal.MeanNM) {
+		t.Fatalf("overdose EPE %v should exceed nominal %v", over.MeanNM, nominal.MeanNM)
+	}
+}
+
+func TestEPEShapeMismatchPanics(t *testing.T) {
+	m := DefaultModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.EPE(tensor.New(1, 8, 8), tensor.New(1, 9, 9), 3)
+}

@@ -1,0 +1,242 @@
+package litho
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+func TestGaussKernelNormalizedAndSymmetric(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2.5, 4} {
+		k := gaussKernel(sigma)
+		var sum float64
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sigma %v: kernel sum %v", sigma, sum)
+		}
+		for i := range k {
+			if math.Abs(k[i]-k[len(k)-1-i]) > 1e-12 {
+				t.Fatalf("sigma %v: kernel asymmetric", sigma)
+			}
+		}
+		// Peak at centre.
+		if k[len(k)/2] < k[0] {
+			t.Fatalf("sigma %v: kernel not peaked", sigma)
+		}
+	}
+}
+
+func TestGaussKernelDegenerateSigma(t *testing.T) {
+	k := gaussKernel(0)
+	if len(k) != 1 || k[0] != 1 {
+		t.Fatalf("zero sigma should be identity: %v", k)
+	}
+}
+
+func TestAerialPreservesMassAndRange(t *testing.T) {
+	m := DefaultModel()
+	mask := tensor.New(1, 32, 32)
+	for y := 10; y < 22; y++ {
+		for x := 10; x < 22; x++ {
+			mask.Set(1, 0, y, x)
+		}
+	}
+	a := m.Aerial(mask)
+	for _, v := range a.Data() {
+		if v < 0 || v > 1.0001 {
+			t.Fatalf("aerial intensity %v out of [0,1]", v)
+		}
+	}
+	// Blur spreads but interior of a large pad stays bright.
+	if a.At(0, 16, 16) < 0.8 {
+		t.Fatalf("pad centre too dim: %v", a.At(0, 16, 16))
+	}
+	if a.At(0, 0, 0) > 0.2 {
+		t.Fatalf("far corner too bright: %v", a.At(0, 0, 0))
+	}
+}
+
+func TestPrintMonotoneInDose(t *testing.T) {
+	m := DefaultModel()
+	f := func(seed int64) bool {
+		mask := tensor.New(1, 16, 16)
+		// Deterministic pseudo-pattern from the seed.
+		s := uint64(seed)
+		for i := range mask.Data() {
+			s = s*6364136223846793005 + 1442695040888963407
+			if s>>60 < 6 {
+				mask.Data()[i] = 1
+			}
+		}
+		a := m.Aerial(mask)
+		lo := m.Print(a, 0.9)
+		hi := m.Print(a, 1.1)
+		// Everything printed at low dose must also print at high dose.
+		for i := range lo.Data() {
+			if lo.Data()[i] == 1 && hi.Data()[i] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isolatedNarrowLine builds a layout with one sub-resolution line that must
+// fail open, far from anything else.
+func isolatedNarrowLine() *layout.Layout {
+	l := layout.New(layout.R(0, 0, 512, 512))
+	l.Add(layout.R(240, 100, 252, 400)) // 12 nm line, σ=14 nm optics
+	return l
+}
+
+// relaxedWidePattern builds a layout that prints cleanly: wide lines, wide
+// spaces.
+func relaxedWidePattern() *layout.Layout {
+	l := layout.New(layout.R(0, 0, 512, 512))
+	for i := 0; i < 3; i++ {
+		x := 60 + i*160
+		l.Add(layout.R(x, 60, x+80, 452))
+	}
+	return l
+}
+
+// tightPairPattern builds two lines separated by a sub-resolution space
+// that must bridge.
+func tightPairPattern() *layout.Layout {
+	l := layout.New(layout.R(0, 0, 512, 512))
+	l.Add(layout.R(180, 100, 248, 400))
+	l.Add(layout.R(258, 100, 326, 400)) // 10 nm space
+	return l
+}
+
+func TestSimulateFindsOpenOnNarrowLine(t *testing.T) {
+	m := DefaultModel()
+	hs := m.Simulate(isolatedNarrowLine(), layout.R(0, 0, 512, 512))
+	if len(hs) == 0 {
+		t.Fatal("narrow line should fail open")
+	}
+	foundOpen := false
+	for _, h := range hs {
+		if h.Kind == FailOpen {
+			foundOpen = true
+			// The failure must sit on the line (x ≈ 246).
+			if h.Center.CX() < 200 || h.Center.CX() > 290 {
+				t.Fatalf("open failure at unexpected x: %v", h.Center)
+			}
+		}
+	}
+	if !foundOpen {
+		t.Fatalf("no open failure among %v", hs)
+	}
+}
+
+func TestSimulateFindsBridgeOnTightSpace(t *testing.T) {
+	m := DefaultModel()
+	hs := m.Simulate(tightPairPattern(), layout.R(0, 0, 512, 512))
+	foundBridge := false
+	for _, h := range hs {
+		if h.Kind == FailBridge {
+			foundBridge = true
+			if h.Center.CX() < 240 || h.Center.CX() > 270 {
+				t.Fatalf("bridge at unexpected x: %v", h.Center)
+			}
+		}
+	}
+	if !foundBridge {
+		t.Fatalf("no bridge failure among %v", hs)
+	}
+}
+
+func TestSimulateCleanOnRelaxedPattern(t *testing.T) {
+	m := DefaultModel()
+	hs := m.Simulate(relaxedWidePattern(), layout.R(0, 0, 512, 512))
+	if len(hs) != 0 {
+		t.Fatalf("relaxed pattern should be hotspot-free, got %v", hs)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	m := DefaultModel()
+	l := tightPairPattern()
+	a := m.Simulate(l, layout.R(0, 0, 512, 512))
+	b := m.Simulate(l, layout.R(0, 0, 512, 512))
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic hotspot count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic hotspot %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWiderProcessWindowFindsMoreHotspots(t *testing.T) {
+	// Monotonicity: a stricter (wider) dose window can only add failures.
+	narrow := DefaultModel()
+	narrow.DoseLatitude = 0.05
+	wide := DefaultModel()
+	wide.DoseLatitude = 0.20
+	l := layout.New(layout.R(0, 0, 512, 512))
+	// Marginal geometry: a moderately narrow line.
+	l.Add(layout.R(200, 100, 226, 400))
+	l.Add(layout.R(260, 100, 300, 400))
+	nN := countFailPixels(narrow, l)
+	nW := countFailPixels(wide, l)
+	if nW < nN {
+		t.Fatalf("wider window found fewer failing pixels: %d vs %d", nW, nN)
+	}
+}
+
+func countFailPixels(m Model, l *layout.Layout) int {
+	hs := m.Simulate(l, l.Bounds)
+	total := 0
+	for _, h := range hs {
+		total += h.Pixels
+	}
+	return total
+}
+
+func TestMinClusterFiltersNoise(t *testing.T) {
+	strict := DefaultModel()
+	strict.MinClusterPx = 1 << 30 // absurd: filters everything
+	hs := strict.Simulate(isolatedNarrowLine(), layout.R(0, 0, 512, 512))
+	if len(hs) != 0 {
+		t.Fatalf("MinClusterPx filter not applied: %v", hs)
+	}
+}
+
+func TestHotspotPoints(t *testing.T) {
+	m := DefaultModel()
+	hs := m.Simulate(tightPairPattern(), layout.R(0, 0, 512, 512))
+	pts := HotspotPoints(hs)
+	if len(pts) != len(hs) {
+		t.Fatal("point count mismatch")
+	}
+	for i := range pts {
+		if pts[i][0] != hs[i].Center.CX() || pts[i][1] != hs[i].Center.CY() {
+			t.Fatal("point/center mismatch")
+		}
+	}
+}
+
+func TestClusterDoesNotWrapRows(t *testing.T) {
+	// Two failing pixels at the end of one row and the start of the next
+	// are not 4-connected; they must form two clusters.
+	m := Model{PitchNM: 1, MinClusterPx: 1}
+	w, h := 8, 4
+	fail := make([]uint8, w*h)
+	fail[1*w+(w-1)] = 1 // (y=1, x=7)
+	fail[2*w+0] = 1     // (y=2, x=0)
+	got := m.cluster(fail, h, w)
+	if len(got) != 2 {
+		t.Fatalf("row wrap: want 2 clusters, got %d", len(got))
+	}
+}

@@ -1,0 +1,140 @@
+package litho
+
+import (
+	"fmt"
+	"math"
+
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+// Process-window analysis utilities: beyond the pass/fail hotspot check,
+// these quantify *how much* dose and focus margin a pattern has — the
+// standard way DFM teams rank pattern robustness, and a natural extension
+// of the paper's "under a given process window" labelling.
+
+// Corner is one (dose, defocus) evaluation condition.
+type Corner struct {
+	Dose    float64 // relative to nominal (1.0)
+	Defocus float64 // additional blur sigma in nm (0 = best focus)
+}
+
+// Corners enumerates the 2×2 extreme corners of a dose-latitude ×
+// defocus window plus the nominal condition.
+func Corners(doseLatitude, defocusNM float64) []Corner {
+	return []Corner{
+		{Dose: 1, Defocus: 0},
+		{Dose: 1 - doseLatitude, Defocus: 0},
+		{Dose: 1 + doseLatitude, Defocus: 0},
+		{Dose: 1 - doseLatitude, Defocus: defocusNM},
+		{Dose: 1 + doseLatitude, Defocus: defocusNM},
+	}
+}
+
+// AerialAt computes the aerial image under a given defocus: the effective
+// point-spread sigma grows in quadrature with the defocus blur.
+func (m Model) AerialAt(mask *tensor.Tensor, defocusNM float64) *tensor.Tensor {
+	eff := m
+	if defocusNM > 0 {
+		eff.SigmaNM = hypot(m.SigmaNM, defocusNM)
+	}
+	return eff.Aerial(mask)
+}
+
+// failFieldAt computes the per-pixel medial failure field of a mask
+// raster under one process corner (0 = ok, 1 = open, 2 = bridge).
+func (m Model) failFieldAt(mask *tensor.Tensor, c Corner) []uint8 {
+	aerial := m.AerialAt(mask, c.Defocus)
+	h, w := mask.Dim(1), mask.Dim(2)
+	metal := make([]bool, h*w)
+	for i, v := range mask.Data() {
+		metal[i] = v >= 0.5
+	}
+	dMetal := distanceTransform(metal, h, w, false)
+	dSpace := distanceTransform(metal, h, w, true)
+	fail := make([]uint8, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			a := float64(aerial.Data()[i])
+			if metal[i] {
+				if a*c.Dose < m.Threshold && localMax(dMetal, h, w, y, x) {
+					fail[i] = 1
+				}
+			} else if a*c.Dose >= m.Threshold && localMax(dSpace, h, w, y, x) {
+				fail[i] = 2
+			}
+		}
+	}
+	return fail
+}
+
+// HotspotsAt clusters the failures of one process corner exactly like
+// Simulate does (including the MinClusterPx noise filter).
+func (m Model) HotspotsAt(mask *tensor.Tensor, c Corner) []Hotspot {
+	return m.cluster(m.failFieldAt(mask, c), mask.Dim(1), mask.Dim(2))
+}
+
+// FailPixelsAt counts the raw failing medial pixels of a mask raster
+// under one process corner, before noise clustering.
+func (m Model) FailPixelsAt(mask *tensor.Tensor, c Corner) int {
+	count := 0
+	for _, f := range m.failFieldAt(mask, c) {
+		if f != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// DoseMargin estimates, by bisection, the largest symmetric dose latitude
+// (in [0, maxLatitude]) under which the layout window prints without any
+// medial failure at best focus. Larger margin = more robust pattern.
+func (m Model) DoseMargin(l *layout.Layout, window layout.Rect, maxLatitude float64) float64 {
+	mask := l.Rasterize(window, m.PitchNM)
+	// Consistent with SimulateRaster: only noise-filtered failure
+	// clusters count against the margin.
+	fails := func(lat float64) bool {
+		return len(m.HotspotsAt(mask, Corner{Dose: 1 - lat})) > 0 ||
+			len(m.HotspotsAt(mask, Corner{Dose: 1 + lat})) > 0
+	}
+	if fails(0) {
+		return 0
+	}
+	lo, hi := 0.0, maxLatitude
+	if !fails(hi) {
+		return maxLatitude
+	}
+	for i := 0; i < 20; i++ {
+		mid := (lo + hi) / 2
+		if fails(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// WindowReport summarizes a window's robustness across corners.
+type WindowReport struct {
+	FailPerCorner []int
+	DoseMargin    float64
+}
+
+// AnalyzeWindow runs the full corner set plus the dose-margin search.
+func (m Model) AnalyzeWindow(l *layout.Layout, window layout.Rect, defocusNM float64) WindowReport {
+	mask := l.Rasterize(window, m.PitchNM)
+	var rep WindowReport
+	for _, c := range Corners(m.DoseLatitude, defocusNM) {
+		rep.FailPerCorner = append(rep.FailPerCorner, m.FailPixelsAt(mask, c))
+	}
+	rep.DoseMargin = m.DoseMargin(l, window, 0.5)
+	return rep
+}
+
+func (r WindowReport) String() string {
+	return fmt.Sprintf("fails per corner %v, dose margin %.3f", r.FailPerCorner, r.DoseMargin)
+}
+
+func hypot(a, b float64) float64 { return math.Hypot(a, b) }

@@ -1,0 +1,106 @@
+package litho
+
+import (
+	"testing"
+
+	"rhsd/internal/layout"
+)
+
+func TestCornersEnumeration(t *testing.T) {
+	cs := Corners(0.1, 20)
+	if len(cs) != 5 {
+		t.Fatalf("corners: %d", len(cs))
+	}
+	if cs[0].Dose != 1 || cs[0].Defocus != 0 {
+		t.Fatal("first corner must be nominal")
+	}
+	seen := map[Corner]bool{}
+	for _, c := range cs {
+		if seen[c] {
+			t.Fatalf("duplicate corner %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestDefocusWeakensAerial(t *testing.T) {
+	m := DefaultModel()
+	l := isolatedNarrowLine()
+	mask := l.Rasterize(layout.R(0, 0, 512, 512), m.PitchNM)
+	sharp := m.AerialAt(mask, 0)
+	blurred := m.AerialAt(mask, 30)
+	// Peak intensity on the line centre can only drop with defocus.
+	var pSharp, pBlur float32
+	for i, v := range sharp.Data() {
+		if v > pSharp {
+			pSharp = v
+		}
+		if blurred.Data()[i] > pBlur {
+			pBlur = blurred.Data()[i]
+		}
+	}
+	if pBlur > pSharp {
+		t.Fatalf("defocus increased peak intensity: %v vs %v", pBlur, pSharp)
+	}
+}
+
+func TestFailPixelsMonotoneInDefocus(t *testing.T) {
+	m := DefaultModel()
+	l := isolatedNarrowLine()
+	mask := l.Rasterize(layout.R(0, 0, 512, 512), m.PitchNM)
+	atFocus := m.FailPixelsAt(mask, Corner{Dose: 1 - m.DoseLatitude})
+	defocused := m.FailPixelsAt(mask, Corner{Dose: 1 - m.DoseLatitude, Defocus: 25})
+	if defocused < atFocus {
+		t.Fatalf("defocus reduced failures: %d vs %d", defocused, atFocus)
+	}
+}
+
+func TestDoseMarginOrdersPatterns(t *testing.T) {
+	m := DefaultModel()
+	clean := relaxedWidePattern()
+	risky := tightPairPattern()
+	w := layout.R(0, 0, 512, 512)
+	mClean := m.DoseMargin(clean, w, 0.5)
+	mRisky := m.DoseMargin(risky, w, 0.5)
+	if !(mClean > mRisky) {
+		t.Fatalf("clean pattern must have larger dose margin: %v vs %v", mClean, mRisky)
+	}
+	if mRisky != 0 {
+		// A pattern that bridges inside the default window has no margin
+		// at all only if it fails at nominal; at minimum it must be small.
+		if mRisky > 0.2 {
+			t.Fatalf("risky margin suspiciously large: %v", mRisky)
+		}
+	}
+}
+
+func TestDoseMarginBounds(t *testing.T) {
+	m := DefaultModel()
+	clean := relaxedWidePattern()
+	w := layout.R(0, 0, 512, 512)
+	margin := m.DoseMargin(clean, w, 0.25)
+	if margin < 0 || margin > 0.25 {
+		t.Fatalf("margin %v out of [0, 0.25]", margin)
+	}
+}
+
+func TestAnalyzeWindowReport(t *testing.T) {
+	m := DefaultModel()
+	rep := m.AnalyzeWindow(tightPairPattern(), layout.R(0, 0, 512, 512), 20)
+	if len(rep.FailPerCorner) != 5 {
+		t.Fatalf("corner count %d", len(rep.FailPerCorner))
+	}
+	// Nominal dose should fail less than or equal to the worst corner.
+	worst := 0
+	for _, f := range rep.FailPerCorner {
+		if f > worst {
+			worst = f
+		}
+	}
+	if rep.FailPerCorner[0] > worst {
+		t.Fatal("nominal worse than worst corner")
+	}
+	if rep.String() == "" {
+		t.Fatal("report must render")
+	}
+}

@@ -1,0 +1,213 @@
+// Package metrics implements the paper's evaluation protocol (§2,
+// Definitions 1–2) and the result-table machinery that regenerates
+// Table 1 and Figure 10.
+//
+//   - Accuracy: the ratio of ground-truth hotspots that are correctly
+//     detected. A hotspot counts as detected when it lies inside the core
+//     region (middle third) of some clip the detector marked as hotspot.
+//   - False alarm: the number of detected clips whose core contains no
+//     ground-truth hotspot.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rhsd/internal/geom"
+)
+
+// Detection is one clip a detector reported, with its confidence score.
+type Detection struct {
+	Clip  geom.Rect
+	Score float64
+}
+
+// Outcome accumulates evaluation counts over one or more regions.
+type Outcome struct {
+	GroundTruth int // total ground-truth hotspots
+	Detected    int // ground-truth hotspots covered by some detection core
+	FalseAlarms int // detections whose core covers no ground truth
+	Elapsed     time.Duration
+}
+
+// Accuracy returns Detected/GroundTruth (1 when there is no ground truth,
+// since there was nothing to miss).
+func (o Outcome) Accuracy() float64 {
+	if o.GroundTruth == 0 {
+		return 1
+	}
+	return float64(o.Detected) / float64(o.GroundTruth)
+}
+
+// Add merges another outcome into o.
+func (o *Outcome) Add(other Outcome) {
+	o.GroundTruth += other.GroundTruth
+	o.Detected += other.Detected
+	o.FalseAlarms += other.FalseAlarms
+	o.Elapsed += other.Elapsed
+}
+
+// Evaluate scores a region's detections against ground-truth hotspot
+// points, both in the same coordinate frame. Each ground-truth point is
+// detected if any detection's core contains it; each detection is a false
+// alarm if its core contains no ground-truth point.
+func Evaluate(dets []Detection, gt [][2]float64) Outcome {
+	var o Outcome
+	o.GroundTruth = len(gt)
+	covered := make([]bool, len(gt))
+	for _, d := range dets {
+		core := d.Clip.Core()
+		hit := false
+		for i, p := range gt {
+			if core.Contains(p[0], p[1]) {
+				covered[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			o.FalseAlarms++
+		}
+	}
+	for _, c := range covered {
+		if c {
+			o.Detected++
+		}
+	}
+	return o
+}
+
+// Row is one line of a comparison table: a detector's outcome on a case.
+type Row struct {
+	Bench    string
+	Detector string
+	Outcome  Outcome
+}
+
+// Table collects rows and renders the paper's Table-1 layout: one row per
+// benchmark, one column group (Accu %, FA, Time s) per detector, followed
+// by Average and Ratio rows.
+type Table struct {
+	Detectors []string
+	Rows      []Row
+}
+
+// AddRow appends one measurement.
+func (t *Table) AddRow(bench, detector string, o Outcome) {
+	t.Rows = append(t.Rows, Row{Bench: bench, Detector: detector, Outcome: o})
+}
+
+// benches returns benchmark names in first-seen order.
+func (t *Table) benches() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		if !seen[r.Bench] {
+			seen[r.Bench] = true
+			out = append(out, r.Bench)
+		}
+	}
+	return out
+}
+
+func (t *Table) get(bench, det string) (Outcome, bool) {
+	for _, r := range t.Rows {
+		if r.Bench == bench && r.Detector == det {
+			return r.Outcome, true
+		}
+	}
+	return Outcome{}, false
+}
+
+// Averages returns per-detector mean accuracy, mean false alarms and mean
+// time over all benchmarks that have a measurement.
+func (t *Table) Averages() map[string][3]float64 {
+	out := map[string][3]float64{}
+	for _, det := range t.Detectors {
+		var acc, fa, sec float64
+		n := 0
+		for _, b := range t.benches() {
+			if o, ok := t.get(b, det); ok {
+				acc += o.Accuracy() * 100
+				fa += float64(o.FalseAlarms)
+				sec += o.Elapsed.Seconds()
+				n++
+			}
+		}
+		if n > 0 {
+			out[det] = [3]float64{acc / float64(n), fa / float64(n), sec / float64(n)}
+		}
+	}
+	return out
+}
+
+// Render writes the table in the paper's format, using baseline as the
+// reference detector for the Ratio row.
+func (t *Table) Render(baseline string) string {
+	var b strings.Builder
+	benches := t.benches()
+	fmt.Fprintf(&b, "%-8s", "Bench")
+	for _, det := range t.Detectors {
+		fmt.Fprintf(&b, " | %-28s", det)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-8s", "")
+	for range t.Detectors {
+		fmt.Fprintf(&b, " | %8s %8s %10s", "Accu(%)", "FA", "Time(s)")
+	}
+	b.WriteByte('\n')
+	for _, bench := range benches {
+		fmt.Fprintf(&b, "%-8s", bench)
+		for _, det := range t.Detectors {
+			if o, ok := t.get(bench, det); ok {
+				fmt.Fprintf(&b, " | %8.2f %8d %10.3f", o.Accuracy()*100, o.FalseAlarms, o.Elapsed.Seconds())
+			} else {
+				fmt.Fprintf(&b, " | %8s %8s %10s", "-", "-", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	avgs := t.Averages()
+	fmt.Fprintf(&b, "%-8s", "Average")
+	for _, det := range t.Detectors {
+		a := avgs[det]
+		fmt.Fprintf(&b, " | %8.2f %8.1f %10.3f", a[0], a[1], a[2])
+	}
+	b.WriteByte('\n')
+	if base, ok := avgs[baseline]; ok {
+		fmt.Fprintf(&b, "%-8s", "Ratio")
+		for _, det := range t.Detectors {
+			a := avgs[det]
+			fmt.Fprintf(&b, " | %8.2f %8.2f %10.2f",
+				safeRatio(a[0], base[0]), safeRatio(a[1], base[1]), safeRatio(a[2], base[2]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("bench,detector,accuracy_pct,false_alarms,time_s\n")
+	rows := append([]Row(nil), t.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Bench != rows[j].Bench {
+			return rows[i].Bench < rows[j].Bench
+		}
+		return rows[i].Detector < rows[j].Detector
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%.2f,%d,%.3f\n",
+			r.Bench, r.Detector, r.Outcome.Accuracy()*100, r.Outcome.FalseAlarms, r.Outcome.Elapsed.Seconds())
+	}
+	return b.String()
+}
+
+func safeRatio(a, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return a / base
+}

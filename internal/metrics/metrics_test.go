@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rhsd/internal/geom"
+)
+
+func det(cx, cy, size, score float64) Detection {
+	return Detection{Clip: geom.RectCWH(cx, cy, size, size), Score: score}
+}
+
+func TestEvaluatePerfectDetection(t *testing.T) {
+	gt := [][2]float64{{50, 50}, {200, 200}}
+	dets := []Detection{det(50, 50, 60, 0.9), det(200, 200, 60, 0.8)}
+	o := Evaluate(dets, gt)
+	if o.Detected != 2 || o.FalseAlarms != 0 || o.Accuracy() != 1 {
+		t.Fatalf("perfect: %+v", o)
+	}
+}
+
+func TestEvaluateCoreRuleNotWholeClip(t *testing.T) {
+	// A hotspot inside the clip but outside the middle-third core must NOT
+	// count as detected (§2: correct detection requires the core region).
+	gt := [][2]float64{{28, 50}} // clip spans [20,80], core is [40,60]
+	dets := []Detection{det(50, 50, 60, 0.9)}
+	o := Evaluate(dets, gt)
+	if o.Detected != 0 {
+		t.Fatalf("core rule violated: %+v", o)
+	}
+	// ... and that detection is then a false alarm.
+	if o.FalseAlarms != 1 {
+		t.Fatalf("uncovering detection should be FA: %+v", o)
+	}
+}
+
+func TestEvaluateFalseAlarmCounting(t *testing.T) {
+	gt := [][2]float64{{50, 50}}
+	dets := []Detection{
+		det(50, 50, 60, 0.9),   // hit
+		det(300, 300, 60, 0.8), // FA
+		det(400, 100, 60, 0.7), // FA
+	}
+	o := Evaluate(dets, gt)
+	if o.Detected != 1 || o.FalseAlarms != 2 {
+		t.Fatalf("%+v", o)
+	}
+}
+
+func TestEvaluateDuplicateDetectionsCountOnce(t *testing.T) {
+	gt := [][2]float64{{50, 50}}
+	dets := []Detection{det(50, 50, 60, 0.9), det(52, 50, 60, 0.85)}
+	o := Evaluate(dets, gt)
+	if o.Detected != 1 {
+		t.Fatalf("hotspot double-counted: %+v", o)
+	}
+	if o.FalseAlarms != 0 {
+		t.Fatalf("both clips cover the hotspot, neither is FA: %+v", o)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	o := Evaluate(nil, nil)
+	if o.Accuracy() != 1 || o.FalseAlarms != 0 {
+		t.Fatalf("vacuous case: %+v", o)
+	}
+	o2 := Evaluate(nil, [][2]float64{{1, 1}})
+	if o2.Accuracy() != 0 {
+		t.Fatalf("missed everything: %v", o2.Accuracy())
+	}
+}
+
+func TestOutcomeAdd(t *testing.T) {
+	a := Outcome{GroundTruth: 2, Detected: 1, FalseAlarms: 3, Elapsed: time.Second}
+	b := Outcome{GroundTruth: 4, Detected: 4, FalseAlarms: 1, Elapsed: 2 * time.Second}
+	a.Add(b)
+	if a.GroundTruth != 6 || a.Detected != 5 || a.FalseAlarms != 4 || a.Elapsed != 3*time.Second {
+		t.Fatalf("%+v", a)
+	}
+	if math.Abs(a.Accuracy()-5.0/6.0) > 1e-12 {
+		t.Fatalf("accuracy %v", a.Accuracy())
+	}
+}
+
+func buildTable() *Table {
+	tbl := &Table{Detectors: []string{"TCAD18", "Ours"}}
+	tbl.AddRow("Case2", "TCAD18", Outcome{GroundTruth: 10, Detected: 8, FalseAlarms: 48, Elapsed: 60 * time.Second})
+	tbl.AddRow("Case2", "Ours", Outcome{GroundTruth: 10, Detected: 9, FalseAlarms: 17, Elapsed: 2 * time.Second})
+	tbl.AddRow("Case3", "TCAD18", Outcome{GroundTruth: 20, Detected: 18, FalseAlarms: 263, Elapsed: 265 * time.Second})
+	tbl.AddRow("Case3", "Ours", Outcome{GroundTruth: 20, Detected: 19, FalseAlarms: 34, Elapsed: 10 * time.Second})
+	return tbl
+}
+
+func TestTableAverages(t *testing.T) {
+	tbl := buildTable()
+	avg := tbl.Averages()
+	ours := avg["Ours"]
+	// Accuracy: (90 + 95)/2 = 92.5 ; FA: (17+34)/2 = 25.5 ; time (2+10)/2 = 6.
+	if math.Abs(ours[0]-92.5) > 1e-9 || math.Abs(ours[1]-25.5) > 1e-9 || math.Abs(ours[2]-6) > 1e-9 {
+		t.Fatalf("averages: %v", ours)
+	}
+}
+
+func TestTableRenderContainsSections(t *testing.T) {
+	s := buildTable().Render("TCAD18")
+	for _, want := range []string{"Case2", "Case3", "Average", "Ratio", "TCAD18", "Ours"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+	// Ratio of the baseline against itself is 1.00 for all three metrics.
+	ratioLine := ""
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "Ratio") {
+			ratioLine = line
+		}
+	}
+	if !strings.Contains(ratioLine, "1.00") {
+		t.Fatalf("baseline self-ratio missing: %s", ratioLine)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	s := buildTable().CSV()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("csv lines: %d\n%s", len(lines), s)
+	}
+	if lines[0] != "bench,detector,accuracy_pct,false_alarms,time_s" {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Case2,Ours,90.00,17,") {
+		t.Fatalf("csv sorted row: %s", lines[1])
+	}
+}
+
+func TestTableMissingCellRendersDash(t *testing.T) {
+	tbl := &Table{Detectors: []string{"A", "B"}}
+	tbl.AddRow("Case2", "A", Outcome{GroundTruth: 1, Detected: 1})
+	s := tbl.Render("A")
+	if !strings.Contains(s, "-") {
+		t.Fatalf("missing cell should render '-':\n%s", s)
+	}
+}
+
+func TestTableDetectorsOrderPreservedInRender(t *testing.T) {
+	tbl := &Table{Detectors: []string{"Zeta", "Alpha"}}
+	tbl.AddRow("Case2", "Zeta", Outcome{GroundTruth: 1, Detected: 1})
+	tbl.AddRow("Case2", "Alpha", Outcome{GroundTruth: 1, Detected: 1})
+	s := tbl.Render("Zeta")
+	if strings.Index(s, "Zeta") > strings.Index(s, "Alpha") {
+		t.Fatal("detector column order must follow Detectors, not insertion or alphabet")
+	}
+}
+
+func TestEvaluateScoresAreIgnoredForMatching(t *testing.T) {
+	// Matching is geometric; a low-score detection still counts (the
+	// caller thresholds before Evaluate).
+	gt := [][2]float64{{10, 10}}
+	o := Evaluate([]Detection{det(10, 10, 30, 0.0001)}, gt)
+	if o.Detected != 1 {
+		t.Fatal("score must not affect matching")
+	}
+}
+
+func TestOutcomeAccuracyBounds(t *testing.T) {
+	o := Outcome{GroundTruth: 4, Detected: 4}
+	if o.Accuracy() != 1 {
+		t.Fatal("full recall must be 1")
+	}
+	o.Detected = 0
+	if o.Accuracy() != 0 {
+		t.Fatal("zero recall must be 0")
+	}
+}

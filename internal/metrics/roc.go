@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The accuracy/false-alarm trade-off of a hotspot detector is controlled
+// by its score threshold; the paper's related work (LithoROC, Ye et al.,
+// ASPDAC'19) argues for evaluating the whole operating curve rather than
+// one point. RegionResult and ROC implement that extended evaluation:
+// sweep the threshold over a region set's scored detections and report
+// one (accuracy, false alarm) operating point per threshold.
+
+// RegionResult pairs one region's scored detections with its ground
+// truth, both in the same coordinate frame.
+type RegionResult struct {
+	Dets []Detection
+	GT   [][2]float64
+}
+
+// ROCPoint is one operating point of the accuracy / false-alarm curve.
+type ROCPoint struct {
+	Threshold   float64
+	Accuracy    float64 // fraction of ground truth detected
+	FalseAlarms int     // total false alarms across regions
+}
+
+// ROC sweeps the given thresholds (sorted ascending internally) over the
+// region results. Detections below a threshold are dropped before the
+// standard core-coverage evaluation.
+func ROC(results []RegionResult, thresholds []float64) []ROCPoint {
+	ts := append([]float64(nil), thresholds...)
+	sort.Float64s(ts)
+	out := make([]ROCPoint, 0, len(ts))
+	for _, t := range ts {
+		var total Outcome
+		for _, r := range results {
+			kept := r.Dets[:0:0]
+			for _, d := range r.Dets {
+				if d.Score >= t {
+					kept = append(kept, d)
+				}
+			}
+			total.Add(Evaluate(kept, r.GT))
+		}
+		out = append(out, ROCPoint{Threshold: t, Accuracy: total.Accuracy(), FalseAlarms: total.FalseAlarms})
+	}
+	return out
+}
+
+// DefaultThresholds returns an evenly spaced threshold sweep over (0, 1).
+func DefaultThresholds(n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / float64(n)
+	}
+	return out
+}
+
+// AUAC integrates accuracy over the normalized false-alarm axis
+// (trapezoidal, FA normalized by its maximum over the curve) — a single
+// scalar summary of the operating curve; higher is better. Returns 0 for
+// degenerate curves with no false alarms anywhere.
+func AUAC(points []ROCPoint) float64 {
+	ps := append([]ROCPoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].FalseAlarms < ps[j].FalseAlarms })
+	maxFA := ps[len(ps)-1].FalseAlarms
+	if maxFA == 0 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(ps); i++ {
+		dx := float64(ps[i].FalseAlarms-ps[i-1].FalseAlarms) / float64(maxFA)
+		area += dx * (ps[i].Accuracy + ps[i-1].Accuracy) / 2
+	}
+	return area
+}
+
+// RenderROC prints the curve as aligned text.
+func RenderROC(points []ROCPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %12s\n", "threshold", "accuracy", "false alarms")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.2f %10.3f %12d\n", p.Threshold, p.Accuracy, p.FalseAlarms)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rhsd/internal/geom"
+)
+
+func rocFixture() []RegionResult {
+	return []RegionResult{
+		{
+			Dets: []Detection{
+				{Clip: geom.RectCWH(50, 50, 30, 30), Score: 0.9},   // true hit
+				{Clip: geom.RectCWH(200, 200, 30, 30), Score: 0.6}, // false alarm
+				{Clip: geom.RectCWH(120, 50, 30, 30), Score: 0.3},  // true hit (weak)
+				{Clip: geom.RectCWH(300, 300, 30, 30), Score: 0.2}, // false alarm (weak)
+			},
+			GT: [][2]float64{{50, 50}, {120, 50}},
+		},
+	}
+}
+
+func TestROCMonotoneInThreshold(t *testing.T) {
+	pts := ROC(rocFixture(), []float64{0.1, 0.25, 0.5, 0.7, 0.95})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threshold < pts[i-1].Threshold {
+			t.Fatal("points must come back sorted by threshold")
+		}
+		// Raising the threshold can only drop detections: accuracy and FA
+		// are both non-increasing.
+		if pts[i].Accuracy > pts[i-1].Accuracy+1e-12 {
+			t.Fatalf("accuracy increased with threshold: %+v", pts)
+		}
+		if pts[i].FalseAlarms > pts[i-1].FalseAlarms {
+			t.Fatalf("false alarms increased with threshold: %+v", pts)
+		}
+	}
+}
+
+func TestROCKnownPoints(t *testing.T) {
+	pts := ROC(rocFixture(), []float64{0.1, 0.5, 0.95})
+	// t=0.1: all detections → acc 1.0, FA 2.
+	if pts[0].Accuracy != 1 || pts[0].FalseAlarms != 2 {
+		t.Fatalf("t=0.1: %+v", pts[0])
+	}
+	// t=0.5: scores {0.9, 0.6} → one hit, one FA → acc 0.5, FA 1.
+	if pts[1].Accuracy != 0.5 || pts[1].FalseAlarms != 1 {
+		t.Fatalf("t=0.5: %+v", pts[1])
+	}
+	// t=0.95: nothing → acc 0, FA 0.
+	if pts[2].Accuracy != 0 || pts[2].FalseAlarms != 0 {
+		t.Fatalf("t=0.95: %+v", pts[2])
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	ts := DefaultThresholds(10)
+	if len(ts) != 10 || ts[0] != 0 || math.Abs(ts[9]-0.9) > 1e-12 {
+		t.Fatalf("thresholds: %v", ts)
+	}
+	if len(DefaultThresholds(0)) != 2 {
+		t.Fatal("minimum sweep size not enforced")
+	}
+}
+
+func TestAUACProperties(t *testing.T) {
+	pts := ROC(rocFixture(), DefaultThresholds(20))
+	a := AUAC(pts)
+	if a <= 0 || a > 1 {
+		t.Fatalf("AUAC out of range: %v", a)
+	}
+	// A strictly better curve (same FAs, higher accuracy) has higher AUAC.
+	better := append([]ROCPoint(nil), pts...)
+	for i := range better {
+		better[i].Accuracy = math.Min(1, better[i].Accuracy+0.2)
+	}
+	if AUAC(better) <= a {
+		t.Fatal("dominating curve must have larger AUAC")
+	}
+	if AUAC([]ROCPoint{{Accuracy: 1, FalseAlarms: 0}}) != 0 {
+		t.Fatal("degenerate zero-FA curve must return 0")
+	}
+}
+
+func TestRenderROC(t *testing.T) {
+	s := RenderROC(ROC(rocFixture(), []float64{0.5}))
+	if !strings.Contains(s, "threshold") || !strings.Contains(s, "0.50") {
+		t.Fatalf("render:\n%s", s)
+	}
+}

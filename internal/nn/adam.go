@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math"
+
+	"rhsd/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) with bias
+// correction — the optimizer used by the TCAD'18 reference flow this
+// repository baselines against, and a useful alternative to SGD for small
+// training budgets.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m    map[*Param]*tensor.Tensor // first-moment estimates
+	v    map[*Param]*tensor.Tensor // second-moment estimates
+}
+
+// NewAdam creates an optimizer with the canonical defaults for any field
+// left zero (β1 0.9, β2 0.999, ε 1e-8).
+func NewAdam(lr, beta1, beta2, epsilon float64) *Adam {
+	if beta1 == 0 {
+		beta1 = 0.9
+	}
+	if beta2 == 0 {
+		beta2 = 0.999
+	}
+	if epsilon == 0 {
+		epsilon = 1e-8
+	}
+	return &Adam{
+		LR:      lr,
+		Beta1:   beta1,
+		Beta2:   beta2,
+		Epsilon: epsilon,
+		m:       make(map[*Param]*tensor.Tensor),
+		v:       make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step returns the number of completed updates.
+func (a *Adam) Step() int { return a.step }
+
+// Update applies one Adam step to params and zeroes their gradients.
+func (a *Adam) Update(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.W.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Shape()...)
+		}
+		v := a.v[p]
+		md, vd := m.Data(), v.Data()
+		wd, gd := p.W.Data(), p.Grad.Data()
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i, g := range gd {
+			md[i] = b1*md[i] + (1-b1)*g
+			vd[i] = b2*vd[i] + (1-b2)*g*g
+			mHat := float64(md[i]) / c1
+			vHat := float64(vd[i]) / c2
+			wd[i] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon))
+		}
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/tensor"
+)
+
+func TestAdamDefaults(t *testing.T) {
+	a := NewAdam(0.001, 0, 0, 0)
+	if a.Beta1 != 0.9 || a.Beta2 != 0.999 || a.Epsilon != 1e-8 {
+		t.Fatalf("defaults: %+v", a)
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, the very first update has magnitude ≈ LR
+	// regardless of gradient scale.
+	for _, scale := range []float32{0.01, 1, 100} {
+		a := NewAdam(0.1, 0, 0, 0)
+		p := newParam("p", 1)
+		p.Grad.Fill(scale)
+		a.Update([]*Param{p})
+		if math.Abs(float64(p.W.Data()[0])+0.1) > 1e-3 {
+			t.Fatalf("scale %v: first step %v want ≈ -0.1", scale, p.W.Data()[0])
+		}
+	}
+}
+
+func TestAdamZeroesGrads(t *testing.T) {
+	a := NewAdam(0.01, 0, 0, 0)
+	p := newParam("p", 4)
+	p.Grad.Fill(1)
+	a.Update([]*Param{p})
+	if p.Grad.MaxAbs() != 0 {
+		t.Fatal("Update must zero gradients")
+	}
+	if a.Step() != 1 {
+		t.Fatalf("step count %d", a.Step())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = 0.5*(w-3)² from w=0.
+	a := NewAdam(0.1, 0, 0, 0)
+	p := newParam("w", 1)
+	for i := 0; i < 300; i++ {
+		p.Grad.Data()[0] = p.W.Data()[0] - 3
+		a.Update([]*Param{p})
+	}
+	if math.Abs(float64(p.W.Data()[0])-3) > 0.05 {
+		t.Fatalf("did not converge: %v", p.W.Data()[0])
+	}
+}
+
+func TestAdamTrainsFasterThanSGDOnIllConditioned(t *testing.T) {
+	// Adaptive scaling should handle a badly scaled quadratic better than
+	// plain SGD at the same learning rate: f(w) = 0.5*(100 w0² + 0.01 w1²).
+	run := func(update func(p *Param)) float64 {
+		p := newParam("w", 2)
+		p.W.Data()[0], p.W.Data()[1] = 1, 1
+		for i := 0; i < 200; i++ {
+			p.Grad.Data()[0] = 100 * p.W.Data()[0]
+			p.Grad.Data()[1] = 0.01 * p.W.Data()[1]
+			update(p)
+		}
+		return 100*float64(p.W.Data()[0]*p.W.Data()[0]) + 0.01*float64(p.W.Data()[1]*p.W.Data()[1])
+	}
+	adam := NewAdam(0.05, 0, 0, 0)
+	sgd := NewSGD(0.005, 0, 0, 1) // larger LR diverges on the stiff axis
+	fAdam := run(func(p *Param) { adam.Update([]*Param{p}) })
+	fSGD := run(func(p *Param) { sgd.Update([]*Param{p}) })
+	if !(fAdam < fSGD) {
+		t.Fatalf("adam %v should beat sgd %v here", fAdam, fSGD)
+	}
+}
+
+func TestAdamTrainsNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	net := NewSequential(
+		NewDense("fc1", 4, 8, rng),
+		NewLeakyReLU(0.05),
+		NewDense("fc2", 8, 2, rng),
+	)
+	opt := NewAdam(0.01, 0, 0, 0)
+	var first, last float64
+	for step := 0; step < 150; step++ {
+		x := tensor.New(8, 4)
+		labels := make([]int, 8)
+		for i := 0; i < 8; i++ {
+			cls := rng.Intn(2)
+			labels[i] = cls
+			for j := 0; j < 4; j++ {
+				x.Set(float32(rng.NormFloat64())+float32(cls*2), i, j)
+			}
+		}
+		logits := net.Forward(x)
+		loss, grad := SoftmaxCrossEntropy(logits, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(grad)
+		opt.Update(net.Params())
+	}
+	if !(last < first*0.5) {
+		t.Fatalf("adam training stalled: %v → %v", first, last)
+	}
+}

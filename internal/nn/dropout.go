@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"math/rand"
+
+	"rhsd/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability P
+// and scales survivors by 1/(1-P) (inverted dropout), so inference needs
+// no rescaling. Call SetTraining(false) for evaluation; dropout layers
+// default to training mode.
+type Dropout struct {
+	P float64
+
+	training bool
+	rng      *rand.Rand
+	mask     []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p in [0, 1).
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, training: true, rng: rng}
+}
+
+// SetTraining switches between training (drop) and inference (identity).
+func (l *Dropout) SetTraining(train bool) { l.training = train }
+
+func (l *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !l.training || l.P == 0 {
+		return x
+	}
+	y := x.Clone()
+	if cap(l.mask) < y.Size() {
+		l.mask = make([]bool, y.Size())
+	}
+	l.mask = l.mask[:y.Size()]
+	scale := float32(1 / (1 - l.P))
+	for i := range y.Data() {
+		if l.rng.Float64() < l.P {
+			l.mask[i] = true
+			y.Data()[i] = 0
+		} else {
+			l.mask[i] = false
+			y.Data()[i] *= scale
+		}
+	}
+	return y
+}
+
+func (l *Dropout) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	if !l.training || l.P == 0 {
+		return gy
+	}
+	dx := gy.Clone()
+	scale := float32(1 / (1 - l.P))
+	for i := range dx.Data() {
+		if l.mask[i] {
+			dx.Data()[i] = 0
+		} else {
+			dx.Data()[i] *= scale
+		}
+	}
+	return dx
+}
+
+func (l *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+
+	"rhsd/internal/tensor"
+)
+
+// Softmax computes row-wise softmax probabilities for logits [N, C],
+// numerically stabilized by max subtraction.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := logits.Data()[i*c : (i+1)*c]
+		dst := out.Data()[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			dst[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1.0 / sum)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss (Eq. 6 of the
+// paper, averaged over samples) between logits [N, C] and integer labels,
+// together with dL/dlogits. Entries with label < 0 are ignored (weight 0),
+// which implements the paper's clip-pruning rule that "rest of clips do no
+// contribution to the network training" (§3.2.1).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	probs := Softmax(logits)
+	grad = tensor.New(n, c)
+	active := 0
+	for _, lab := range labels {
+		if lab >= 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0, grad
+	}
+	inv := 1.0 / float64(active)
+	for i, lab := range labels {
+		if lab < 0 {
+			continue
+		}
+		p := float64(probs.At(i, lab))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p) * inv
+		for j := 0; j < c; j++ {
+			g := float64(probs.At(i, j)) * inv
+			if j == lab {
+				g -= inv
+			}
+			grad.Set(grad.At(i, j)+float32(g), i, j)
+		}
+	}
+	return loss, grad
+}
+
+// SmoothL1 computes the robust L1 localization loss of Eq. 5:
+//
+//	l(d) = 0.5 d²      if |d| < 1
+//	       |d| - 0.5   otherwise
+//
+// applied element-wise to pred-target over [N, 4] encoded coordinates, with
+// per-row weights (0 disables a row, matching h'_i gating in Eq. 4).
+// It returns the weighted sum normalized by norm and dL/dpred.
+func SmoothL1(pred, target *tensor.Tensor, rowWeight []float32, norm float64) (loss float64, grad *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic("nn: SmoothL1 shape mismatch")
+	}
+	n := pred.Dim(0)
+	c := pred.Size() / n
+	if len(rowWeight) != n {
+		panic("nn: SmoothL1 weight count mismatch")
+	}
+	if norm <= 0 {
+		norm = 1
+	}
+	grad = tensor.New(pred.Shape()...)
+	inv := 1.0 / norm
+	for i := 0; i < n; i++ {
+		w := float64(rowWeight[i])
+		if w == 0 {
+			continue
+		}
+		for j := 0; j < c; j++ {
+			d := float64(pred.Data()[i*c+j] - target.Data()[i*c+j])
+			var l, g float64
+			if math.Abs(d) < 1 {
+				l = 0.5 * d * d
+				g = d
+			} else {
+				l = math.Abs(d) - 0.5
+				if d > 0 {
+					g = 1
+				} else {
+					g = -1
+				}
+			}
+			loss += w * l * inv
+			grad.Data()[i*c+j] = float32(w * g * inv)
+		}
+	}
+	return loss, grad
+}
+
+// L2Penalty returns 0.5·β·Σ‖W‖² over all regularized parameters and adds
+// β·W to each parameter's gradient — the regularization term of Eq. 4.
+// Parameters flagged NoReg (biases) are skipped.
+func L2Penalty(params []*Param, beta float64) float64 {
+	if beta == 0 {
+		return 0
+	}
+	var total float64
+	for _, p := range params {
+		if p.NoReg {
+			continue
+		}
+		total += 0.5 * beta * p.W.SumSquares()
+		p.Grad.AXPY(float32(beta), p.W)
+	}
+	return total
+}

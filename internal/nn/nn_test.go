@@ -1,0 +1,459 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhsd/internal/tensor"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// gradCheck verifies Backward against central finite differences of a
+// scalar loss L = 0.5*sum(Forward(x)^2) for both the input and every
+// parameter of the layer.
+func gradCheck(t *testing.T, name string, layer Layer, x *tensor.Tensor) {
+	t.Helper()
+	loss := func() float64 {
+		y := layer.Forward(x)
+		var s float64
+		for _, v := range y.Data() {
+			s += 0.5 * float64(v) * float64(v)
+		}
+		return s
+	}
+	y := layer.Forward(x)
+	ZeroGrads(layer.Params())
+	dx := layer.Backward(y.Clone())
+
+	const eps = 1e-2
+	check := func(what string, buf []float32, grad []float32, stride int) {
+		for i := 0; i < len(buf); i += stride {
+			orig := buf[i]
+			buf[i] = orig + eps
+			lp := loss()
+			buf[i] = orig - eps
+			lm := loss()
+			buf[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if !almostEq(num, float64(grad[i]), 0.15*(1+math.Abs(num))) {
+				t.Fatalf("%s %s grad[%d]: numerical %v analytic %v", name, what, i, num, grad[i])
+			}
+		}
+	}
+	check("input", x.Data(), dx.Data(), 1+len(x.Data())/7)
+	// Recompute forward/backward so the cached state matches the restored
+	// parameters before finite-differencing them.
+	layer.Forward(x)
+	ZeroGrads(layer.Params())
+	layer.Backward(y.Clone())
+	for _, p := range layer.Params() {
+		check(p.Name, p.W.Data(), p.Grad.Data(), 1+p.W.Size()/7)
+	}
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv2D("c", 2, 3, 3, 1, 1, rng)
+	x := tensor.New(1, 2, 5, 5)
+	x.RandN(rng, 1)
+	gradCheck(t, "conv", l, x)
+}
+
+func TestConv2DStridedGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewConv2D("c", 2, 2, 3, 2, 1, rng)
+	x := tensor.New(2, 2, 6, 6)
+	x.RandN(rng, 1)
+	gradCheck(t, "conv-s2", l, x)
+}
+
+func TestDeconv2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewDeconv2D("d", 2, 2, 3, 2, 1, rng)
+	x := tensor.New(1, 2, 4, 4)
+	x.RandN(rng, 1)
+	gradCheck(t, "deconv", l, x)
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewDense("fc", 6, 4, rng)
+	x := tensor.New(3, 6)
+	x.RandN(rng, 1)
+	gradCheck(t, "dense", l, x)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	l := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2, -3}, 1, 4)
+	y := l.Forward(x)
+	want := []float32{0, 0, 2, 0}
+	for i, v := range want {
+		if y.Data()[i] != v {
+			t.Fatalf("relu fwd: %v", y.Data())
+		}
+	}
+	g := tensor.FromSlice([]float32{5, 5, 5, 5}, 1, 4)
+	dx := l.Backward(g)
+	wantG := []float32{0, 0, 5, 0}
+	for i, v := range wantG {
+		if dx.Data()[i] != v {
+			t.Fatalf("relu bwd: %v", dx.Data())
+		}
+	}
+}
+
+func TestMaxPoolLayerGradientRouting(t *testing.T) {
+	l := NewMaxPool2D(2, 2)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := l.Forward(x)
+	if y.Size() != 1 || y.Data()[0] != 4 {
+		t.Fatalf("pool fwd: %v", y.Data())
+	}
+	dx := l.Backward(tensor.FromSlice([]float32{7}, 1, 1, 1, 1))
+	if dx.At(0, 0, 1, 1) != 7 || dx.Sum() != 7 {
+		t.Fatalf("pool bwd: %v", dx.Data())
+	}
+}
+
+func TestFlattenRoundtrip(t *testing.T) {
+	l := NewFlatten()
+	x := tensor.New(2, 3, 4, 4)
+	y := l.Forward(x)
+	if y.Dim(0) != 2 || y.Dim(1) != 48 {
+		t.Fatalf("flatten: %v", y.Shape())
+	}
+	dx := l.Backward(y)
+	if dx.Rank() != 4 || dx.Dim(3) != 4 {
+		t.Fatalf("unflatten: %v", dx.Shape())
+	}
+}
+
+func TestSequentialComposesAndCollectsParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSequential(
+		NewConv2D("c1", 1, 2, 3, 1, 1, rng),
+		NewReLU(),
+		NewConv2D("c2", 2, 2, 3, 1, 1, rng),
+	)
+	if len(s.Params()) != 4 {
+		t.Fatalf("want 4 params, got %d", len(s.Params()))
+	}
+	x := tensor.New(1, 1, 6, 6)
+	x.RandN(rng, 1)
+	y := s.Forward(x)
+	if y.Dim(1) != 2 || y.Dim(2) != 6 {
+		t.Fatalf("seq shape: %v", y.Shape())
+	}
+	dx := s.Backward(y.Clone())
+	if !dx.SameShape(x) {
+		t.Fatalf("seq backward shape: %v", dx.Shape())
+	}
+}
+
+func TestConcatBranchesGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewConcatBranches(
+		NewSequential(NewConv2D("b1", 2, 2, 1, 1, 0, rng)),
+		NewSequential(NewConv2D("b2a", 2, 3, 1, 1, 0, rng), NewReLU(), NewConv2D("b2b", 3, 2, 3, 1, 1, rng)),
+	)
+	x := tensor.New(1, 2, 4, 4)
+	x.RandN(rng, 1)
+	y := l.Forward(x)
+	if y.Dim(1) != 4 {
+		t.Fatalf("concat channels: %v", y.Shape())
+	}
+	gradCheck(t, "concat", l, x)
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.New(4, 5)
+		x.RandN(rng, 3)
+		p := Softmax(x)
+		for i := 0; i < 4; i++ {
+			var s float64
+			for j := 0; j < 5; j++ {
+				v := float64(p.At(i, j))
+				if v < 0 || v > 1 {
+					return false
+				}
+				s += v
+			}
+			if !almostEq(s, 1, 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	x := tensor.FromSlice([]float32{1000, 1001}, 1, 2)
+	p := Softmax(x)
+	if math.IsNaN(float64(p.Data()[0])) || math.IsInf(float64(p.Data()[1]), 0) {
+		t.Fatalf("softmax overflow: %v", p.Data())
+	}
+	if p.Data()[1] < p.Data()[0] {
+		t.Fatal("softmax ordering lost")
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 2 classes → loss = ln 2.
+	x := tensor.New(1, 2)
+	loss, grad := SoftmaxCrossEntropy(x, []int{0})
+	if !almostEq(loss, math.Ln2, 1e-5) {
+		t.Fatalf("loss %v want ln2", loss)
+	}
+	if !almostEq(float64(grad.At(0, 0)), -0.5, 1e-5) || !almostEq(float64(grad.At(0, 1)), 0.5, 1e-5) {
+		t.Fatalf("grad %v", grad.Data())
+	}
+}
+
+func TestSoftmaxCrossEntropyIgnoresNegativeLabels(t *testing.T) {
+	x := tensor.New(3, 2)
+	x.Set(10, 1, 0) // the ignored row has extreme logits
+	loss, grad := SoftmaxCrossEntropy(x, []int{0, -1, 1})
+	if grad.At(1, 0) != 0 || grad.At(1, 1) != 0 {
+		t.Fatal("ignored row must have zero gradient")
+	}
+	if !(loss > 0) {
+		t.Fatalf("loss %v", loss)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(3, 4)
+	x.RandN(rng, 1)
+	labels := []int{2, 0, 3}
+	_, grad := SoftmaxCrossEntropy(x, labels)
+	const eps = 1e-3
+	for i := 0; i < x.Size(); i++ {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy(x, labels)
+		x.Data()[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy(x, labels)
+		x.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if !almostEq(num, float64(grad.Data()[i]), 1e-3) {
+			t.Fatalf("CE grad[%d]: numerical %v analytic %v", i, num, grad.Data()[i])
+		}
+	}
+}
+
+func TestSmoothL1ContinuityAtOne(t *testing.T) {
+	// 0.5d² and |d|-0.5 must agree at |d| = 1: both are 0.5.
+	pred := tensor.FromSlice([]float32{1, -1, 0.999, 1.001}, 4, 1)
+	target := tensor.New(4, 1)
+	loss, _ := SmoothL1(pred, target, []float32{1, 1, 1, 1}, 1)
+	// 0.5 + 0.5 + ~0.499 + ~0.501 ≈ 2.
+	if !almostEq(loss, 2, 1e-2) {
+		t.Fatalf("smooth L1 near the knee: %v", loss)
+	}
+}
+
+func TestSmoothL1GradNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pred := tensor.New(3, 4)
+	target := tensor.New(3, 4)
+	pred.RandN(rng, 2)
+	target.RandN(rng, 2)
+	w := []float32{1, 0, 2}
+	_, grad := SmoothL1(pred, target, w, 3)
+	const eps = 1e-3
+	for i := 0; i < pred.Size(); i++ {
+		orig := pred.Data()[i]
+		pred.Data()[i] = orig + eps
+		lp, _ := SmoothL1(pred, target, w, 3)
+		pred.Data()[i] = orig - eps
+		lm, _ := SmoothL1(pred, target, w, 3)
+		pred.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if !almostEq(num, float64(grad.Data()[i]), 2e-3) {
+			t.Fatalf("smoothL1 grad[%d]: numerical %v analytic %v", i, num, grad.Data()[i])
+		}
+	}
+}
+
+func TestSmoothL1ZeroWeightRowContributesNothing(t *testing.T) {
+	pred := tensor.FromSlice([]float32{100, 100}, 2, 1)
+	target := tensor.New(2, 1)
+	loss, grad := SmoothL1(pred, target, []float32{0, 0}, 1)
+	if loss != 0 || grad.Sum() != 0 {
+		t.Fatalf("zero-weight rows leaked: loss=%v grad=%v", loss, grad.Data())
+	}
+}
+
+func TestL2PenaltySkipsBiases(t *testing.T) {
+	w := newParam("w", 2)
+	w.W.Fill(2)
+	b := newParam("b", 2)
+	b.W.Fill(3)
+	b.NoReg = true
+	total := L2Penalty([]*Param{w, b}, 0.5)
+	// 0.5 * 0.5 * (4+4) = 2.
+	if !almostEq(total, 2, 1e-6) {
+		t.Fatalf("L2 penalty %v", total)
+	}
+	if w.Grad.Data()[0] != 1 { // beta*W = 0.5*2
+		t.Fatalf("L2 grad %v", w.Grad.Data())
+	}
+	if b.Grad.Data()[0] != 0 {
+		t.Fatal("bias must be excluded from L2")
+	}
+}
+
+func TestSGDStepDecaySchedule(t *testing.T) {
+	opt := NewSGD(1.0, 0, 2, 0.1)
+	p := newParam("p", 1)
+	p.W.Fill(0)
+	for i := 0; i < 4; i++ {
+		p.Grad.Fill(1)
+		opt.Update([]*Param{p})
+	}
+	// Steps: lr=1 (decays to 0.1 at step 2 before... decay applied at start
+	// of step when step%2==0): step1 lr=1, step2 lr=0.1, step3 lr=0.1,
+	// step4 lr=0.01 → total displacement 1+0.1+0.1+0.01 = 1.21.
+	if !almostEq(float64(p.W.Data()[0]), -1.21, 1e-5) {
+		t.Fatalf("decay schedule wrong: w=%v lr=%v", p.W.Data()[0], opt.LR)
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	plain := newParam("a", 1)
+	mom := newParam("b", 1)
+	o1 := NewSGD(0.1, 0, 0, 1)
+	o2 := NewSGD(0.1, 0.9, 0, 1)
+	for i := 0; i < 5; i++ {
+		plain.Grad.Fill(1)
+		mom.Grad.Fill(1)
+		o1.Update([]*Param{plain})
+		o2.Update([]*Param{mom})
+	}
+	if !(mom.W.Data()[0] < plain.W.Data()[0]) {
+		t.Fatalf("momentum should move farther: %v vs %v", mom.W.Data()[0], plain.W.Data()[0])
+	}
+}
+
+func TestSGDZeroesGradsAfterUpdate(t *testing.T) {
+	p := newParam("p", 3)
+	p.Grad.Fill(5)
+	NewSGD(0.1, 0, 0, 1).Update([]*Param{p})
+	if p.Grad.Sum() != 0 {
+		t.Fatal("Update must zero gradients")
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := newParam("p", 4)
+	p.Grad.Fill(3) // norm = 6
+	opt := NewSGD(0.1, 0, 0, 1)
+	norm := opt.ClipGradients([]*Param{p}, 3)
+	if !almostEq(norm, 6, 1e-6) {
+		t.Fatalf("pre-clip norm %v", norm)
+	}
+	var sq float64
+	for _, v := range p.Grad.Data() {
+		sq += float64(v) * float64(v)
+	}
+	if !almostEq(math.Sqrt(sq), 3, 1e-4) {
+		t.Fatalf("post-clip norm %v", math.Sqrt(sq))
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := NewSequential(NewConv2D("c", 1, 2, 3, 1, 1, rng), NewDense("f", 4, 2, rng))
+	dst := NewSequential(NewConv2D("c", 1, 2, 3, 1, 1, rng), NewDense("f", 4, 2, rng))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		q := dst.Params()[i]
+		for j := range p.W.Data() {
+			if p.W.Data()[j] != q.W.Data()[j] {
+				t.Fatalf("param %s differs after roundtrip", p.Name)
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatchedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src := NewSequential(NewDense("f", 4, 2, rng))
+	other := NewSequential(NewDense("g", 4, 2, rng))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, other.Params()); err == nil {
+		t.Fatal("expected name mismatch error")
+	}
+}
+
+// TestTrainingReducesLoss is the end-to-end sanity check: a small conv net
+// must learn to separate two synthetic pattern classes.
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(
+		NewConv2D("c1", 1, 4, 3, 1, 1, rng),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense("fc", 4*4*4, 2, rng),
+	)
+	opt := NewSGD(0.05, 0.9, 0, 1)
+
+	makeBatch := func() (*tensor.Tensor, []int) {
+		x := tensor.New(8, 1, 8, 8)
+		labels := make([]int, 8)
+		for i := 0; i < 8; i++ {
+			cls := rng.Intn(2)
+			labels[i] = cls
+			for y := 0; y < 8; y++ {
+				for xx := 0; xx < 8; xx++ {
+					var v float32
+					if cls == 0 && y%2 == 0 {
+						v = 1 // horizontal stripes
+					}
+					if cls == 1 && xx%2 == 0 {
+						v = 1 // vertical stripes
+					}
+					x.Set(v+float32(rng.NormFloat64()*0.05), i, 0, y, xx)
+				}
+			}
+		}
+		return x, labels
+	}
+
+	var first, last float64
+	for step := 0; step < 40; step++ {
+		x, labels := makeBatch()
+		logits := net.Forward(x)
+		loss, grad := SoftmaxCrossEntropy(logits, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(grad)
+		opt.Update(net.Params())
+	}
+	if !(last < first*0.5) {
+		t.Fatalf("training did not converge: first=%v last=%v", first, last)
+	}
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+
+	"rhsd/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with classical momentum and step-wise
+// learning-rate decay, matching the paper's training schedule: initial
+// learning rate 0.002, decayed ×0.1 every DecayEvery steps (§4: "decay ten
+// times for each 30000 steps").
+type SGD struct {
+	LR         float64 // current learning rate
+	Momentum   float64 // momentum coefficient (0 disables)
+	DecayEvery int     // decay period in steps (0 disables decay)
+	DecayRate  float64 // multiplicative factor applied each period
+
+	step     int
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD creates an optimizer with the paper's default schedule shape.
+func NewSGD(lr, momentum float64, decayEvery int, decayRate float64) *SGD {
+	return &SGD{
+		LR:         lr,
+		Momentum:   momentum,
+		DecayEvery: decayEvery,
+		DecayRate:  decayRate,
+		velocity:   make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step returns the number of completed updates.
+func (s *SGD) Step() int { return s.step }
+
+// ClipGradients rescales all gradients so their global L2 norm does not
+// exceed maxNorm. It is a training-stability aid for the multi-task loss;
+// pass maxNorm <= 0 to disable. Returns the pre-clip norm.
+func (s *SGD) ClipGradients(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		sq += p.Grad.SumSquares()
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// Update applies one optimizer step to params and zeroes their gradients.
+func (s *SGD) Update(params []*Param) {
+	s.step++
+	if s.DecayEvery > 0 && s.step%s.DecayEvery == 0 {
+		s.LR *= s.DecayRate
+	}
+	for _, p := range params {
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape()...)
+				s.velocity[p] = v
+			}
+			v.Scale(float32(s.Momentum))
+			v.AXPY(float32(-s.LR), p.Grad)
+			p.W.Add(v)
+		} else {
+			p.W.AXPY(float32(-s.LR), p.Grad)
+		}
+		p.Grad.Zero()
+	}
+}
+
+// ZeroGrads clears all parameter gradients without updating weights.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpoint I/O: parameters are stored as a simple binary stream —
+// magic, count, then per parameter: name, shape, raw float32 data. The
+// format is self-describing enough to verify shape compatibility on load.
+
+const checkpointMagic = "RHSDCKPT1"
+
+// SaveParams writes all parameters to w.
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		shape := p.W.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.W.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads parameters from r into params, matching by position and
+// validating name and shape.
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if name != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q does not match model param %q", name, p.Name)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		shape := make([]int, rank)
+		vol := 1
+		for i := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return err
+			}
+			shape[i] = int(d)
+			vol *= int(d)
+		}
+		if vol != p.W.Size() {
+			return fmt.Errorf("nn: checkpoint param %q shape %v incompatible with model shape %v",
+				name, shape, p.W.Shape())
+		}
+		buf := p.W.Data()
+		for i := range buf {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			buf[i] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SaveParamsFile writes params to path, creating or truncating it.
+func SaveParamsFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, params); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadParamsFile reads params from path.
+func LoadParamsFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("nn: unreasonable string length %d in checkpoint", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

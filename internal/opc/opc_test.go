@@ -1,0 +1,126 @@
+package opc
+
+import (
+	"testing"
+
+	"rhsd/internal/layout"
+	"rhsd/internal/litho"
+)
+
+// marginalLine is a line narrow enough to print thin but not vanish.
+func marginalLine() *layout.Layout {
+	l := layout.New(layout.R(0, 0, 512, 512))
+	l.Add(layout.R(240, 100, 268, 400)) // 28 nm line, prints with necking
+	return l
+}
+
+func safePattern() *layout.Layout {
+	l := layout.New(layout.R(0, 0, 512, 512))
+	l.Add(layout.R(100, 100, 200, 400))
+	l.Add(layout.R(300, 100, 400, 400))
+	return l
+}
+
+func TestCorrectReducesEPEOnMarginalPattern(t *testing.T) {
+	m := litho.DefaultModel()
+	res := Correct(marginalLine(), m, DefaultConfig())
+	if res.MovedEdges == 0 {
+		t.Fatal("marginal pattern should trigger corrections")
+	}
+	if !(res.EPEAfter <= res.EPEBefore) {
+		t.Fatalf("OPC made EPE worse: %.2f → %.2f nm", res.EPEBefore, res.EPEAfter)
+	}
+}
+
+func TestCorrectLeavesSafePatternAlmostAlone(t *testing.T) {
+	m := litho.DefaultModel()
+	res := Correct(safePattern(), m, DefaultConfig())
+	// Wide safe shapes may get small line-end treatments but must not be
+	// rewritten wholesale: every corrected rect stays within MaxBias of
+	// the original.
+	cfg := DefaultConfig()
+	orig := safePattern()
+	for i, r := range res.Corrected.Rects {
+		o := orig.Rects[i]
+		if abs(r.X0-o.X0) > cfg.MaxBiasNM || abs(r.X1-o.X1) > cfg.MaxBiasNM ||
+			abs(r.Y0-o.Y0) > cfg.MaxBiasNM || abs(r.Y1-o.Y1) > cfg.MaxBiasNM {
+			t.Fatalf("rect %d moved beyond MaxBias: %v → %v", i, o, r)
+		}
+	}
+}
+
+func TestCorrectDoesNotModifyInput(t *testing.T) {
+	m := litho.DefaultModel()
+	l := marginalLine()
+	before := append([]layout.Rect(nil), l.Rects...)
+	Correct(l, m, DefaultConfig())
+	for i := range before {
+		if l.Rects[i] != before[i] {
+			t.Fatal("input layout mutated")
+		}
+	}
+}
+
+func TestCorrectRespectsMaskRules(t *testing.T) {
+	m := litho.DefaultModel()
+	c := DefaultConfig()
+	res := Correct(marginalLine(), m, c)
+	for _, r := range res.Corrected.Rects {
+		if r.W() < c.MinWidthNM || r.H() < c.MinWidthNM {
+			t.Fatalf("mask rule violated: %v", r)
+		}
+	}
+}
+
+func TestCorrectBoundsTotalBias(t *testing.T) {
+	m := litho.DefaultModel()
+	c := DefaultConfig()
+	c.Iterations = 20 // many iterations; bias still bounded
+	orig := marginalLine()
+	res := Correct(orig, m, c)
+	for i, r := range res.Corrected.Rects {
+		o := orig.Rects[i]
+		for _, d := range []int{abs(r.X0 - o.X0), abs(r.X1 - o.X1), abs(r.Y0 - o.Y0), abs(r.Y1 - o.Y1)} {
+			if d > c.MaxBiasNM+c.StepNM {
+				t.Fatalf("bias exceeded bound: %v → %v", o, r)
+			}
+		}
+	}
+}
+
+func TestCorrectPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Correct(marginalLine(), litho.DefaultModel(), Config{})
+}
+
+func TestCorrectHelpsProcessWindow(t *testing.T) {
+	// The corrected marginal line should fail at fewer process corners
+	// (or at worst the same) than the uncorrected one.
+	m := litho.DefaultModel()
+	orig := marginalLine()
+	res := Correct(orig, m, DefaultConfig())
+	before := failCount(m, orig)
+	after := failCount(m, res.Corrected)
+	if after > before {
+		t.Fatalf("OPC increased failures: %d → %d", before, after)
+	}
+}
+
+func failCount(m litho.Model, l *layout.Layout) int {
+	total := 0
+	for _, h := range m.Simulate(l, l.Bounds) {
+		total += h.Pixels
+	}
+	return total
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

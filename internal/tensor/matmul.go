@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a × b for 2-D tensors a [m,k] and b [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	Gemm(false, false, m, n, k, 1, a.data, b.data, 0, out.data)
+	return out
+}
+
+// MatMulTransA returns aᵀ × b for a [k,m] and b [k,n].
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	Gemm(true, false, m, n, k, 1, a.data, b.data, 0, out.data)
+	return out
+}
+
+// MatMulTransB returns a × bᵀ for a [m,k] and b [n,k].
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	Gemm(false, true, m, n, k, 1, a.data, b.data, 0, out.data)
+	return out
+}
+
+// Gemm computes c = alpha·op(a)·op(b) + beta·c where op optionally
+// transposes. Dimensions follow BLAS convention: op(a) is m×k, op(b) is
+// k×n and c is m×n. The inner loops are arranged so the innermost access
+// pattern is contiguous for the common non-transposed case.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if len(c) < m*n {
+		panic("tensor: Gemm output buffer too small")
+	}
+	if beta == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	switch {
+	case !transA && !transB:
+		// c[i,j] += alpha * a[i,p] * b[p,j]; iterate p in the middle so the
+		// inner j-loop walks b and c rows contiguously.
+		for i := 0; i < m; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := alpha * arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : p*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	case transA && !transB:
+		// a is stored k×m: a[p,i].
+		for p := 0; p < k; p++ {
+			arow := a[p*m : p*m+m]
+			brow := b[p*n : p*n+n]
+			for i := 0; i < m; i++ {
+				av := alpha * arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c[i*n : i*n+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	case !transA && transB:
+		// b is stored n×k: b[j,p]; dot products of contiguous rows.
+		for i := 0; i < m; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : j*k+k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	default: // transA && transB
+		for i := 0; i < m; i++ {
+			crow := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a[p*m+i] * b[j*k+p]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	}
+}

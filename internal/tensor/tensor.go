@@ -1,0 +1,251 @@
+// Package tensor implements dense float32 N-dimensional tensors and the
+// numerical kernels needed by the neural-network layers in internal/nn:
+// matrix multiplication, im2col/col2im, padding, channel concatenation and
+// simple element-wise arithmetic.
+//
+// The layout is row-major ("C order"): the last axis varies fastest. All
+// convolutional code in this repository uses the NCHW convention — batch,
+// channels, height, width.
+//
+// Tensors are mutable value containers; operations either allocate a fresh
+// result or write into an explicit destination, and none of them retain
+// references to their inputs.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape of the same
+// volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short human-readable description.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	}
+	return b.String()
+}
+
+// Add accumulates o into t element-wise. Shapes must match exactly.
+func (t *Tensor) Add(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+}
+
+// Sub subtracts o from t element-wise.
+func (t *Tensor) Sub(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AXPY computes t += a*o, the BLAS axpy primitive.
+func (t *Tensor) AXPY(a float32, o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.data {
+		t.data[i] += a * v
+	}
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	if len(t.data) != len(o.data) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range t.data {
+		s += float64(v) * float64(o.data[i])
+	}
+	return s
+}
+
+// SumSquares returns the sum of squared elements as float64 for stability.
+func (t *Tensor) SumSquares() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RandN fills t with N(0, std) samples drawn from rng.
+func (t *Tensor) RandN(rng *rand.Rand, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// RandUniform fills t with uniform samples in [lo, hi).
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// HeInit fills t with the He-normal initialization for a layer with the
+// given fan-in, the standard choice before ReLU nonlinearities.
+func (t *Tensor) HeInit(rng *rand.Rand, fanIn int) {
+	if fanIn <= 0 {
+		fanIn = 1
+	}
+	t.RandN(rng, math.Sqrt(2.0/float64(fanIn)))
+}

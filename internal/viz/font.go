@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"image/color"
+	"strings"
+)
+
+// A minimal 5×7 bitmap font covering the characters the detection panels
+// need (digits, upper-case letters, and a little punctuation), so the
+// PNGs are self-describing without external font dependencies. Each glyph
+// is seven strings of five cells; '#' marks an inked pixel.
+
+var font5x7 = map[rune][7]string{
+	'0': {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},
+	'1': {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+	'2': {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},
+	'3': {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},
+	'4': {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},
+	'5': {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},
+	'6': {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},
+	'7': {"#####", "    #", "   # ", "  #  ", "  #  ", "  #  ", "  #  "},
+	'8': {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},
+	'9': {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},
+	'A': {" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"},
+	'B': {"#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "},
+	'C': {" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "},
+	'D': {"#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "},
+	'E': {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"},
+	'F': {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#    "},
+	'G': {" ### ", "#   #", "#    ", "# ###", "#   #", "#   #", " ### "},
+	'H': {"#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"},
+	'I': {" ### ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+	'K': {"#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"},
+	'L': {"#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"},
+	'M': {"#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"},
+	'N': {"#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"},
+	'O': {" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "},
+	'P': {"#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "},
+	'R': {"#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"},
+	'S': {" ####", "#    ", "#    ", " ### ", "    #", "    #", "#### "},
+	'T': {"#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "},
+	'U': {"#   #", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "},
+	'V': {"#   #", "#   #", "#   #", "#   #", "#   #", " # # ", "  #  "},
+	'W': {"#   #", "#   #", "#   #", "# # #", "# # #", "## ##", "#   #"},
+	'X': {"#   #", "#   #", " # # ", "  #  ", " # # ", "#   #", "#   #"},
+	'Y': {"#   #", "#   #", " # # ", "  #  ", "  #  ", "  #  ", "  #  "},
+	'Z': {"#####", "    #", "   # ", "  #  ", " #   ", "#    ", "#####"},
+	'.': {"     ", "     ", "     ", "     ", "     ", "  ## ", "  ## "},
+	':': {"     ", "  ## ", "  ## ", "     ", "  ## ", "  ## ", "     "},
+	'%': {"##   ", "##  #", "   # ", "  #  ", " #   ", "#  ##", "   ##"},
+	'/': {"    #", "    #", "   # ", "  #  ", " #   ", "#    ", "#    "},
+	'-': {"     ", "     ", "     ", "#####", "     ", "     ", "     "},
+	'=': {"     ", "     ", "#####", "     ", "#####", "     ", "     "},
+	' ': {"     ", "     ", "     ", "     ", "     ", "     ", "     "},
+}
+
+// GlyphSize returns the font cell dimensions (width, height) excluding
+// the one-pixel letter spacing Text adds.
+func GlyphSize() (w, h int) { return 5, 7 }
+
+// Text draws s (upper-cased; unknown runes render as blanks) with its
+// top-left corner at pixel (px, py) at the given integer scale.
+func (c *Canvas) Text(px, py int, s string, scale int, col color.Color) {
+	if scale < 1 {
+		scale = 1
+	}
+	x := px
+	for _, r := range strings.ToUpper(s) {
+		glyph, ok := font5x7[r]
+		if !ok {
+			glyph = font5x7[' ']
+		}
+		for gy, row := range glyph {
+			for gx, cell := range row {
+				if cell != '#' {
+					continue
+				}
+				for sy := 0; sy < scale; sy++ {
+					for sx := 0; sx < scale; sx++ {
+						xx := x + gx*scale + sx
+						yy := py + gy*scale + sy
+						if xx >= 0 && xx < c.img.Bounds().Max.X && yy >= 0 && yy < c.img.Bounds().Max.Y {
+							c.img.Set(xx, yy, col)
+						}
+					}
+				}
+			}
+		}
+		x += 6 * scale // 5-cell glyph + 1-cell spacing
+	}
+}
+
+// Legend draws the standard Figure-9 colour key along the bottom edge.
+func (c *Canvas) Legend() {
+	b := c.img.Bounds()
+	y := b.Max.Y - 12
+	entries := []struct {
+		col   color.RGBA
+		label string
+	}{
+		{ColorDetected, "HIT"},
+		{ColorFalse, "FA"},
+		{ColorMissed, "MISS"},
+	}
+	x := 4
+	for _, e := range entries {
+		for dy := 0; dy < 7; dy++ {
+			for dx := 0; dx < 7; dx++ {
+				if x+dx < b.Max.X && y+dy < b.Max.Y {
+					c.img.Set(x+dx, y+dy, e.col)
+				}
+			}
+		}
+		c.Text(x+9, y, e.label, 1, color.RGBA{30, 30, 30, 255})
+		x += 9 + 6*len(e.label) + 10
+	}
+}

@@ -1,0 +1,188 @@
+// Package viz renders layouts, ground-truth hotspots and detector output
+// to PNG images — the machinery behind Figure 9's qualitative comparison
+// (ground truth vs TCAD'18 vs ours: detected hotspots, missed hotspots and
+// false alarms).
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/metrics"
+)
+
+// Palette used by RenderRegion; matching the paper's Figure 9 semantics.
+var (
+	ColorBackground = color.RGBA{250, 250, 250, 255}
+	ColorMetal      = color.RGBA{170, 190, 215, 255}
+	ColorDetected   = color.RGBA{30, 140, 60, 255}  // detected hotspot clip
+	ColorMissed     = color.RGBA{220, 40, 40, 255}  // missed ground truth
+	ColorFalse      = color.RGBA{240, 160, 20, 255} // false alarm clip
+	ColorGT         = color.RGBA{60, 60, 200, 255}  // ground-truth marker
+)
+
+// Canvas draws layout-space geometry into an RGBA image.
+type Canvas struct {
+	img   *image.RGBA
+	scale float64 // pixels per nm
+}
+
+// NewCanvas creates a canvas for a square region of regionNM nanometres
+// rendered at sizePx pixels.
+func NewCanvas(regionNM float64, sizePx int) *Canvas {
+	img := image.NewRGBA(image.Rect(0, 0, sizePx, sizePx))
+	for y := 0; y < sizePx; y++ {
+		for x := 0; x < sizePx; x++ {
+			img.Set(x, y, ColorBackground)
+		}
+	}
+	return &Canvas{img: img, scale: float64(sizePx) / regionNM}
+}
+
+// FillRect fills a layout-space rectangle (nm).
+func (c *Canvas) FillRect(r geom.Rect, col color.Color) {
+	x0, y0 := c.toPx(r.X0), c.toPx(r.Y0)
+	x1, y1 := c.toPx(r.X1), c.toPx(r.Y1)
+	b := c.img.Bounds()
+	for y := max(y0, 0); y < min(y1, b.Max.Y); y++ {
+		for x := max(x0, 0); x < min(x1, b.Max.X); x++ {
+			c.img.Set(x, y, col)
+		}
+	}
+}
+
+// StrokeRect outlines a layout-space rectangle (nm) with the given pixel
+// line width.
+func (c *Canvas) StrokeRect(r geom.Rect, col color.Color, width int) {
+	x0, y0 := c.toPx(r.X0), c.toPx(r.Y0)
+	x1, y1 := c.toPx(r.X1), c.toPx(r.Y1)
+	for w := 0; w < width; w++ {
+		c.hline(x0, x1, y0+w, col)
+		c.hline(x0, x1, y1-1-w, col)
+		c.vline(y0, y1, x0+w, col)
+		c.vline(y0, y1, x1-1-w, col)
+	}
+}
+
+// Cross draws an ×-style marker centred at (cx, cy) nm.
+func (c *Canvas) Cross(cx, cy float64, sizePx int, col color.Color) {
+	px, py := c.toPx(cx), c.toPx(cy)
+	b := c.img.Bounds()
+	for d := -sizePx; d <= sizePx; d++ {
+		for _, p := range [2][2]int{{px + d, py + d}, {px + d, py - d}} {
+			if p[0] >= 0 && p[0] < b.Max.X && p[1] >= 0 && p[1] < b.Max.Y {
+				c.img.Set(p[0], p[1], col)
+			}
+		}
+	}
+}
+
+func (c *Canvas) hline(x0, x1, y int, col color.Color) {
+	b := c.img.Bounds()
+	if y < 0 || y >= b.Max.Y {
+		return
+	}
+	for x := max(x0, 0); x < min(x1, b.Max.X); x++ {
+		c.img.Set(x, y, col)
+	}
+}
+
+func (c *Canvas) vline(y0, y1, x int, col color.Color) {
+	b := c.img.Bounds()
+	if x < 0 || x >= b.Max.X {
+		return
+	}
+	for y := max(y0, 0); y < min(y1, b.Max.Y); y++ {
+		c.img.Set(x, y, col)
+	}
+}
+
+func (c *Canvas) toPx(nm float64) int { return int(nm * c.scale) }
+
+// Encode writes the canvas as PNG.
+func (c *Canvas) Encode(w io.Writer) error { return png.Encode(w, c.img) }
+
+// SaveFile writes the canvas to a PNG file.
+func (c *Canvas) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Image exposes the underlying image (for tests).
+func (c *Canvas) Image() *image.RGBA { return c.img }
+
+// RenderRegion draws one region in Figure 9 style: metal geometry, then
+// each detection outlined green (covers a hotspot) or orange (false
+// alarm), missed ground truths crossed red, detected ground truths marked
+// blue.
+func RenderRegion(l *layout.Layout, gt [][2]float64, dets []metrics.Detection, sizePx int) *Canvas {
+	regionNM := float64(l.Bounds.X1 - l.Bounds.X0)
+	c := NewCanvas(regionNM, sizePx)
+	for _, r := range l.Rects {
+		c.FillRect(r.Geom(), ColorMetal)
+	}
+	covered := make([]bool, len(gt))
+	for _, d := range dets {
+		core := d.Clip.Core()
+		hit := false
+		for i, p := range gt {
+			if core.Contains(p[0], p[1]) {
+				covered[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			c.StrokeRect(d.Clip, ColorDetected, 2)
+		} else {
+			c.StrokeRect(d.Clip, ColorFalse, 2)
+		}
+	}
+	for i, p := range gt {
+		if covered[i] {
+			c.Cross(p[0], p[1], 4, ColorGT)
+		} else {
+			c.Cross(p[0], p[1], 6, ColorMissed)
+		}
+	}
+	return c
+}
+
+// RenderRegionTitled renders a region panel with a title caption and the
+// colour legend — the publication-style variant of RenderRegion.
+func RenderRegionTitled(l *layout.Layout, gt [][2]float64, dets []metrics.Detection,
+	sizePx int, title string) *Canvas {
+	c := RenderRegion(l, gt, dets, sizePx)
+	c.Text(4, 4, title, 2, color.RGBA{30, 30, 30, 255})
+	c.Legend()
+	return c
+}
+
+// SaveComparison writes one PNG per named detector result, prefixed with
+// the region tag, into dir. Filenames are "<tag>_<name>.png".
+func SaveComparison(dir, tag string, l *layout.Layout, gt [][2]float64,
+	results map[string][]metrics.Detection, sizePx int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, dets := range results {
+		c := RenderRegionTitled(l, gt, dets, sizePx, tag+" "+name)
+		path := fmt.Sprintf("%s/%s_%s.png", dir, tag, name)
+		if err := c.SaveFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package viz
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"os"
+	"testing"
+
+	"rhsd/internal/geom"
+	"rhsd/internal/layout"
+	"rhsd/internal/metrics"
+)
+
+func TestCanvasEncodesValidPNG(t *testing.T) {
+	c := NewCanvas(768, 128)
+	c.FillRect(geom.Rect{X0: 100, Y0: 100, X1: 400, Y1: 200}, ColorMetal)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 128 {
+		t.Fatalf("decoded size %v", img.Bounds())
+	}
+}
+
+func TestFillRectScalesNMToPixels(t *testing.T) {
+	c := NewCanvas(100, 100) // 1 px per nm
+	c.FillRect(geom.Rect{X0: 10, Y0: 20, X1: 30, Y1: 40}, ColorMetal)
+	r, g, b, _ := c.Image().At(15, 25).RGBA()
+	mr, mg, mb, _ := ColorMetal.RGBA()
+	if r != mr || g != mg || b != mb {
+		t.Fatal("fill missed expected pixel")
+	}
+	br, _, _, _ := c.Image().At(5, 5).RGBA()
+	wr, _, _, _ := ColorBackground.RGBA()
+	if br != wr {
+		t.Fatal("fill leaked outside rect")
+	}
+}
+
+func TestStrokeAndCrossClampToBounds(t *testing.T) {
+	c := NewCanvas(100, 50)
+	// Off-canvas geometry must not panic.
+	c.StrokeRect(geom.Rect{X0: -50, Y0: -50, X1: 200, Y1: 200}, ColorDetected, 3)
+	c.Cross(-10, -10, 5, ColorMissed)
+	c.Cross(99, 99, 8, ColorMissed)
+}
+
+func TestRenderRegionColorsOutcomes(t *testing.T) {
+	l := layout.New(layout.R(0, 0, 100, 100))
+	l.Add(layout.R(10, 10, 90, 20))
+	gt := [][2]float64{{50, 50}, {20, 80}}
+	dets := []metrics.Detection{
+		{Clip: geom.RectCWH(50, 50, 30, 30), Score: 0.9}, // covers gt[0]
+		{Clip: geom.RectCWH(80, 20, 30, 30), Score: 0.8}, // false alarm
+	}
+	c := RenderRegion(l, gt, dets, 100)
+	// Detected clip outline is green at its top edge.
+	gr, gg, gb, _ := ColorDetected.RGBA()
+	r, g, b, _ := c.Image().At(50, 35).RGBA()
+	if r != gr || g != gg || b != gb {
+		t.Fatalf("expected detected outline at (50,35): got %v,%v,%v", r, g, b)
+	}
+	// gt[1] is missed: a red cross centre.
+	mr, mg, mb, _ := ColorMissed.RGBA()
+	r, g, b, _ = c.Image().At(20, 80).RGBA()
+	if r != mr || g != mg || b != mb {
+		t.Fatal("expected missed-hotspot marker")
+	}
+}
+
+func TestSaveComparisonWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	l := layout.New(layout.R(0, 0, 100, 100))
+	gt := [][2]float64{{50, 50}}
+	err := SaveComparison(dir, "case2", l, gt, map[string][]metrics.Detection{
+		"ours":   {{Clip: geom.RectCWH(50, 50, 30, 30), Score: 1}},
+		"tcad18": nil,
+	}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"case2_ours.png", "case2_tcad18.png"} {
+		if _, err := os.Stat(dir + "/" + name); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestTextRendersInk(t *testing.T) {
+	c := NewCanvas(100, 100)
+	black := color.RGBA{0, 0, 0, 255}
+	c.Text(10, 10, "A1", 1, black)
+	// Count inked pixels; 'A' and '1' together must ink a plausible count.
+	inked := 0
+	for y := 10; y < 17; y++ {
+		for x := 10; x < 22; x++ {
+			r, g, b, _ := c.Image().At(x, y).RGBA()
+			br, bg, bb, _ := black.RGBA()
+			if r == br && g == bg && b == bb {
+				inked++
+			}
+		}
+	}
+	if inked < 15 {
+		t.Fatalf("text barely rendered: %d pixels", inked)
+	}
+}
+
+func TestTextScaleAndClipping(t *testing.T) {
+	c := NewCanvas(100, 40)
+	// Off-canvas text and large scale must not panic.
+	c.Text(-10, -10, "CLIP", 3, color.RGBA{0, 0, 0, 255})
+	c.Text(95, 35, "EDGE", 2, color.RGBA{0, 0, 0, 255})
+	// Unknown runes render blank, not panic.
+	c.Text(2, 2, "héllo?", 1, color.RGBA{0, 0, 0, 255})
+}
+
+func TestGlyphCoverage(t *testing.T) {
+	w, h := GlyphSize()
+	if w != 5 || h != 7 {
+		t.Fatalf("glyph size %dx%d", w, h)
+	}
+	for r, glyph := range font5x7 {
+		if len(glyph) != 7 {
+			t.Fatalf("glyph %q has %d rows", r, len(glyph))
+		}
+		for i, row := range glyph {
+			if len(row) != 5 {
+				t.Fatalf("glyph %q row %d has width %d", r, i, len(row))
+			}
+		}
+	}
+	// The character set needed by the panels is present.
+	for _, r := range "0123456789ABCDEFGHIKLMNOPRSTUVWXYZ.:%/-= " {
+		if _, ok := font5x7[r]; !ok {
+			t.Fatalf("missing glyph %q", r)
+		}
+	}
+}
+
+func TestLegendDraws(t *testing.T) {
+	c := NewCanvas(300, 200)
+	c.Legend()
+	// The first legend swatch is the detected colour at (4, H-12).
+	r, g, b, _ := c.Image().At(5, 200-11).RGBA()
+	dr, dg, db, _ := ColorDetected.RGBA()
+	if r != dr || g != dg || b != db {
+		t.Fatal("legend swatch missing")
+	}
+}
