@@ -1,0 +1,33 @@
+# Tier-1 verification and developer shortcuts. `make verify` is the
+# gate every PR must keep green: build, full test suite, and the race
+# detector (short mode) over the parallel compute paths.
+
+GO ?= go
+
+.PHONY: build test race race-full verify bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass in short mode: the parity suites in
+# internal/parallel, internal/tensor and internal/hsd drive every
+# parallelised kernel under -race; -short keeps the training-heavy
+# packages fast.
+race:
+	$(GO) test -race -short ./...
+
+# Full race pass including long training tests; slow, run before releases.
+race-full:
+	$(GO) test -race ./...
+
+verify: build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Serial-vs-parallel wall-clock comparison; writes BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/rhsd-bench -exp parallel

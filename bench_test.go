@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"rhsd/internal/baseline/fasterrcnn"
 	"rhsd/internal/baseline/ssd"
@@ -29,9 +31,59 @@ import (
 	"rhsd/internal/hsd"
 	"rhsd/internal/litho"
 	"rhsd/internal/metrics"
+	"rhsd/internal/parallel"
 	"rhsd/internal/tensor"
 	"rhsd/internal/viz"
 )
+
+// TestParallelDetectSpeedupGuard fails when the parallel compute engine
+// stops pulling its weight: full-region detection with a NumCPU-sized
+// worker pool must be at least 1.5× faster than the serial path on
+// machines with 4+ cores. A future PR that accidentally serialises the
+// hot path (a lock in Gemm, a dropped parallel.For) trips this before it
+// lands. Skipped on small machines, where the floor is not meaningful.
+func TestParallelDetectSpeedupGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speed measurement skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need ≥4 CPUs for a meaningful speedup floor, have %d", runtime.NumCPU())
+	}
+	c := hsd.TinyConfig()
+	c.InputSize = 128 // big enough that goroutine overhead is noise
+	m, err := hsd.NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.New(1, hsd.InputChannels, c.InputSize, c.InputSize)
+	x.RandUniform(rng, 0, 1)
+	m.Detect(x) // warm up allocator and caches before timing
+
+	bestOf := func(iters int, f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	prev := parallel.SetWorkers(1)
+	serial := bestOf(3, func() { m.Detect(x) })
+	parallel.SetWorkers(runtime.NumCPU())
+	par := bestOf(3, func() { m.Detect(x) })
+	parallel.SetWorkers(prev)
+
+	speedup := float64(serial) / float64(par)
+	t.Logf("serial %v, parallel %v (%d workers): speedup %.2fx", serial, par, runtime.NumCPU(), speedup)
+	if speedup < 1.5 {
+		t.Fatalf("parallel Detect speedup %.2fx < 1.5x floor (serial %v, parallel %v on %d CPUs) — hot path may have been serialised",
+			speedup, serial, par, runtime.NumCPU())
+	}
+}
 
 // benchProfile shrinks the fast profile so the one-time training setup
 // stays within a few minutes of CPU time for the whole bench run.

@@ -4,7 +4,12 @@
 //	rhsd-bench -exp table1              # detector comparison (Table 1)
 //	rhsd-bench -exp figure9 -out out/   # qualitative panels (Figure 9)
 //	rhsd-bench -exp figure10            # ablation study (Figure 10)
+//	rhsd-bench -exp parallel            # serial vs parallel compute engine
 //	rhsd-bench -exp all -out out/
+//
+// The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
+// pool used by the parallel compute engine; -exp parallel writes the
+// serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
 //
 // All experiments run the FastProfile: a proportionally shrunk
 // configuration that executes in minutes on one CPU core. Absolute
@@ -21,16 +26,23 @@ import (
 
 	"rhsd/internal/dataset"
 	"rhsd/internal/eval"
+	"rhsd/internal/parallel"
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
 	nTest := flag.Int("test-regions", 0, "override test regions per case (0 = profile default)")
 	seed := flag.Int64("seed", 0, "override model seed (0 = profile default)")
+	workersFlag := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -exp parallel report")
 	flag.Parse()
+
+	if *workersFlag > 0 {
+		parallel.SetWorkers(*workersFlag)
+	}
 
 	p := eval.FastProfile()
 	if *trainSteps > 0 {
@@ -53,21 +65,33 @@ func main() {
 		fmt.Printf("[%s] %s\n", time.Now().Format("15:04:05"), s)
 	}
 
-	progress("generating benchmark cases")
-	data := eval.LoadData(p)
-	for _, ds := range data.Cases {
-		progress(fmt.Sprintf("%s: train %v | test %v",
-			ds.Name, dataset.ComputeStats(ds.Train), dataset.ComputeStats(ds.Test)))
-	}
-
 	runTable1 := *expFlag == "table1" || *expFlag == "all"
 	runFig9 := *expFlag == "figure9" || *expFlag == "all"
 	runFig10 := *expFlag == "figure10" || *expFlag == "all"
 	runROC := *expFlag == "roc" || *expFlag == "all"
 	runExtAbl := *expFlag == "ablation-ext" || *expFlag == "all"
 	runExtTable := *expFlag == "table1-ext" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable {
+	runPar := *expFlag == "parallel" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
+	}
+
+	if runPar {
+		progress(fmt.Sprintf("parallel compute bench: %d workers", parallel.Workers()))
+		if err := runParallelBench(p, parallel.Workers(), *parallelOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	needData := runTable1 || runFig9 || runFig10 || runROC || runExtAbl || runExtTable
+	if !needData {
+		return
+	}
+	progress("generating benchmark cases")
+	data := eval.LoadData(p)
+	for _, ds := range data.Cases {
+		progress(fmt.Sprintf("%s: train %v | test %v",
+			ds.Name, dataset.ComputeStats(ds.Train), dataset.ComputeStats(ds.Test)))
 	}
 
 	if runTable1 {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/parallel"
+	"rhsd/internal/tensor"
+)
+
+// parallelBenchEntry is one serial-vs-parallel wall-clock comparison in
+// BENCH_parallel.json.
+type parallelBenchEntry struct {
+	Name       string  `json:"name"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// parallelBenchReport is the BENCH_parallel.json schema; it records the
+// machine context so speedup trajectories across PRs stay interpretable.
+type parallelBenchReport struct {
+	NumCPU     int                  `json:"num_cpu"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Workers    int                  `json:"workers"`
+	Entries    []parallelBenchEntry `json:"entries"`
+}
+
+// bestOf runs f iters times and returns the fastest wall-clock duration —
+// the usual noise-robust point estimate for single-process benchmarks.
+func bestOf(iters int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// compare measures f at 1 worker and at the configured pool size.
+func compare(name string, workers, iters int, f func(), progress func(string)) parallelBenchEntry {
+	prev := parallel.SetWorkers(1)
+	serial := bestOf(iters, f)
+	parallel.SetWorkers(workers)
+	par := bestOf(iters, f)
+	parallel.SetWorkers(prev)
+	e := parallelBenchEntry{
+		Name:       name,
+		SerialMS:   float64(serial.Microseconds()) / 1000,
+		ParallelMS: float64(par.Microseconds()) / 1000,
+	}
+	if par > 0 {
+		e.Speedup = float64(serial) / float64(par)
+	}
+	progress(fmt.Sprintf("parallel bench %-16s serial %8.2f ms  parallel %8.2f ms  speedup %.2fx",
+		name, e.SerialMS, e.ParallelMS, e.Speedup))
+	return e
+}
+
+// runParallelBench compares the serial and parallel compute paths on the
+// R-HSD hot kernels and a full-region detection, then writes the
+// comparison to outPath as JSON. The detector is untrained (weights are
+// seed-random): detection wall-clock depends only on the architecture,
+// not on what the weights converged to.
+func runParallelBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	report := parallelBenchReport{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+
+	// GEMM at the shape that dominates a 224-px region forward pass:
+	// [64, 64·3·3] × [64·3·3, 56·56].
+	const gm, gk, gn = 64, 64 * 3 * 3, 56 * 56
+	ga := make([]float32, gm*gk)
+	gb := make([]float32, gk*gn)
+	gc := make([]float32, gm*gn)
+	for i := range ga {
+		ga[i] = float32(i%17) * 0.25
+	}
+	for i := range gb {
+		gb[i] = float32(i%13) * 0.5
+	}
+	report.Entries = append(report.Entries, compare("gemm", workers, 5, func() {
+		tensor.Gemm(false, false, gm, gn, gk, 1, ga, gb, 0, gc)
+	}, progress))
+
+	// One 3×3 convolution over a 64×56×56 feature map.
+	cx := tensor.New(1, 64, 56, 56)
+	cw := tensor.New(64, 64, 3, 3)
+	cbias := tensor.New(64)
+	for i, d := 0, cx.Data(); i < len(d); i++ {
+		d[i] = float32(i%11) * 0.1
+	}
+	for i, d := 0, cw.Data(); i < len(d); i++ {
+		d[i] = float32(i%7) * 0.2
+	}
+	copts := tensor.ConvOpts{Kernel: 3, Stride: 1, Padding: 1}
+	report.Entries = append(report.Entries, compare("conv2d", workers, 5, func() {
+		tensor.Conv2D(cx, cw, cbias, copts)
+	}, progress))
+
+	// Full-region detection and a multi-tile full-chip scan with the
+	// profile's detector configuration.
+	cfg := p.HSD
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	regionNM := cfg.RegionNM()
+	l := layout.New(layout.R(0, 0, 2*regionNM, 2*regionNM))
+	for x := 40; x < 2*regionNM-110; x += 150 {
+		l.Add(layout.R(x, 30, x+70, 2*regionNM-30))
+	}
+	region := l.Window(layout.R(0, 0, regionNM, regionNM))
+	raster := hsd.MakeSample(region, nil, cfg).Raster
+	report.Entries = append(report.Entries, compare("detect_region", workers, 3, func() {
+		m.Detect(raster)
+	}, progress))
+	report.Entries = append(report.Entries, compare("fullchip_scan", workers, 2, func() {
+		m.DetectLayout(l, l.Bounds)
+	}, progress))
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

@@ -7,6 +7,10 @@
 // Layouts larger than one model region are scanned with overlapping
 // region tiles and the per-tile detections are merged with hotspot NMS.
 // Detections print as CSV (clip centre, size, score) in layout nm.
+//
+// Tiles are scanned concurrently by the parallel compute engine; -workers
+// (default: RHSD_WORKERS or NumCPU) sizes the pool. Results are
+// bit-identical for every worker count.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"rhsd/internal/hsd"
 	"rhsd/internal/layout"
 	"rhsd/internal/metrics"
+	"rhsd/internal/parallel"
 	"rhsd/internal/viz"
 )
 
@@ -26,8 +31,12 @@ func main() {
 	layoutPath := flag.String("layout", "", "layout file (BOUNDS/RECT format)")
 	pngPath := flag.String("png", "", "optional detection-map PNG output")
 	thresh := flag.Float64("threshold", 0, "override score threshold (0 = config default)")
+	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	flag.Parse()
 
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 	if *layoutPath == "" {
 		fatal(fmt.Errorf("-layout is required"))
 	}

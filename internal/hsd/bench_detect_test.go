@@ -1,0 +1,66 @@
+package hsd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rhsd/internal/tensor"
+)
+
+// benchDetectState builds the full-scale detection benchmark fixture
+// once: the paper's network at a 224×224 region (§3.1's feature-
+// extraction description) with the default 3×4 = 12 anchors per cell.
+var benchDetectState struct {
+	once   sync.Once
+	model  *Model
+	raster *tensor.Tensor
+	err    error
+}
+
+func benchDetectSetup(b *testing.B) (*Model, *tensor.Tensor) {
+	benchDetectState.once.Do(func() {
+		c := PaperConfig()
+		c.InputSize = 224
+		benchDetectState.model, benchDetectState.err = NewModel(c)
+		if benchDetectState.err != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(7))
+		x := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+		x.RandUniform(rng, 0, 1)
+		benchDetectState.raster = x
+	})
+	if benchDetectState.err != nil {
+		b.Fatal(benchDetectState.err)
+	}
+	return benchDetectState.model, benchDetectState.raster
+}
+
+// BenchmarkDetectRegion measures one full-region detection pass at the
+// paper's scale — the number the speed claims of Table 1 are about, and
+// the hot path the parallel worker pool accelerates.
+func BenchmarkDetectRegion(b *testing.B) {
+	m, x := benchDetectSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Detect(x)
+	}
+}
+
+// BenchmarkDetectRegionTiny is the same pass at the test-scale TinyConfig,
+// cheap enough for quick comparisons while iterating on the kernels.
+func BenchmarkDetectRegionTiny(b *testing.B) {
+	c := TinyConfig()
+	m, err := NewModel(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	x := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	x.RandUniform(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Detect(x)
+	}
+}

@@ -1,8 +1,12 @@
 package hsd
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"rhsd/internal/geom"
 	"rhsd/internal/layout"
+	"rhsd/internal/parallel"
 	"rhsd/internal/tensor"
 )
 
@@ -97,6 +101,12 @@ func (m *Model) Detect(x *tensor.Tensor) []Detection {
 // at least one tile — the region-based analogue of the conventional
 // sliding-clip overlap, but with a stride of nearly a full region rather
 // than a clip core (the source of the paper's ~45× speedup).
+//
+// Tiles are scanned concurrently on up to parallel.Workers() goroutines,
+// each driving its own model replica (Clone) because layers cache forward
+// activations. Per-tile results land in a slice indexed by tile and are
+// concatenated in row-major tile order before the final h-NMS, so the
+// output is bit-identical to a serial scan for every worker count.
 func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 	c := m.Config
 	regionNM := c.RegionNM()
@@ -105,17 +115,69 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 	if strideNM <= 0 {
 		strideNM = regionNM
 	}
-	var all []ScoredClip
-	for _, y := range tileOrigins(window.Y0, window.Y1, regionNM, strideNM) {
-		for _, x := range tileOrigins(window.X0, window.X1, regionNM, strideNM) {
-			tile := layout.R(x, y, x+regionNM, y+regionNM)
-			sub := l.Window(tile)
-			raster := MakeSample(sub, nil, c).Raster
-			for _, d := range m.Detect(raster) {
-				clipNM := d.Clip.Scale(c.PitchNM).Translate(float64(x-window.X0), float64(y-window.Y0))
-				all = append(all, ScoredClip{Clip: clipNM, Score: d.Score})
-			}
+	ys := tileOrigins(window.Y0, window.Y1, regionNM, strideNM)
+	xs := tileOrigins(window.X0, window.X1, regionNM, strideNM)
+	type tile struct{ x, y int }
+	tiles := make([]tile, 0, len(ys)*len(xs))
+	for _, y := range ys {
+		for _, x := range xs {
+			tiles = append(tiles, tile{x, y})
 		}
+	}
+
+	scanTile := func(mw *Model, t tile) []ScoredClip {
+		sub := l.Window(layout.R(t.x, t.y, t.x+regionNM, t.y+regionNM))
+		raster := MakeSample(sub, nil, c).Raster
+		var clips []ScoredClip
+		for _, d := range mw.Detect(raster) {
+			clipNM := d.Clip.Scale(c.PitchNM).Translate(float64(t.x-window.X0), float64(t.y-window.Y0))
+			clips = append(clips, ScoredClip{Clip: clipNM, Score: d.Score})
+		}
+		return clips
+	}
+
+	perTile := make([][]ScoredClip, len(tiles))
+	workers := parallel.Workers()
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+	// Replica construction can fail only on an invalid Config, which m
+	// itself already passed; a defensive fallback keeps the scan serial on
+	// whatever replicas did build.
+	replicas := []*Model{m}
+	for len(replicas) < workers {
+		r, err := m.Clone()
+		if err != nil {
+			break
+		}
+		replicas = append(replicas, r)
+	}
+	if len(replicas) == 1 {
+		for i, t := range tiles {
+			perTile[i] = scanTile(m, t)
+		}
+	} else {
+		var next int32
+		var wg sync.WaitGroup
+		wg.Add(len(replicas))
+		for _, r := range replicas {
+			go func(mw *Model) {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt32(&next, 1)) - 1
+					if i >= len(tiles) {
+						return
+					}
+					perTile[i] = scanTile(mw, tiles[i])
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+
+	var all []ScoredClip
+	for _, clips := range perTile {
+		all = append(all, clips...)
 	}
 	merged := m.nms(all)
 	out := make([]Detection, len(merged))

@@ -213,6 +213,30 @@ func (m *Model) Params() []*nn.Param {
 	return ps
 }
 
+// Clone returns an independent replica: a freshly constructed network of
+// the same configuration with every parameter copied bit-for-bit. Layers
+// cache forward activations, so a single Model is not safe for concurrent
+// use — replicas are how the region-parallel scan in DetectLayout runs
+// tiles on multiple goroutines while producing identical outputs.
+func (m *Model) Clone() (*Model, error) {
+	r, err := NewModel(m.Config)
+	if err != nil {
+		return nil, err
+	}
+	src, dst := m.Params(), r.Params()
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("hsd: Clone parameter count mismatch %d vs %d", len(src), len(dst))
+	}
+	for i, p := range src {
+		if dst[i].Name != p.Name {
+			return nil, fmt.Errorf("hsd: Clone parameter order mismatch %q vs %q", dst[i].Name, p.Name)
+		}
+		copy(dst[i].W.Data(), p.W.Data())
+		copy(dst[i].Grad.Data(), p.Grad.Data())
+	}
+	return r, nil
+}
+
 // Save writes all model parameters to a checkpoint file.
 func (m *Model) Save(path string) error { return nn.SaveParamsFile(path, m.Params()) }
 

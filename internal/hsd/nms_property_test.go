@@ -1,0 +1,158 @@
+package hsd
+
+import (
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/geom"
+)
+
+// randomClipSet builds a clip population with pairwise-distinct scores so
+// the descending-score order (and therefore the NMS result) is unique and
+// permutation comparisons are exact.
+func randomClipSet(rng *rand.Rand, n int) []ScoredClip {
+	clips := make([]ScoredClip, n)
+	for i := range clips {
+		clips[i] = ScoredClip{
+			Clip: geom.RectCWH(rng.Float64()*100, rng.Float64()*100,
+				8+rng.Float64()*40, 8+rng.Float64()*40),
+			// Distinct scores: a strictly decreasing base plus jitter that
+			// cannot cross the 1e-3 spacing.
+			Score: 1 - float64(i)*1e-3 - rng.Float64()*1e-4,
+		}
+	}
+	return clips
+}
+
+func sameClips(a, b []ScoredClip) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHNMSPermutationInvariance: Algorithm 1 is defined on the
+// score-sorted population, so any input ordering must give the same
+// survivors in the same order.
+func TestHNMSPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		clips := randomClipSet(rng, 40+trial)
+		ref := HNMS(clips, 0.7)
+		for p := 0; p < 10; p++ {
+			perm := append([]ScoredClip(nil), clips...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			got := HNMS(perm, 0.7)
+			if !sameClips(ref, got) {
+				t.Fatalf("trial %d perm %d: HNMS output depends on input order\nref %v\ngot %v",
+					trial, p, ref, got)
+			}
+		}
+	}
+}
+
+// TestHNMSSurvivorsCoreDisjoint: no two survivors may share a core-region
+// IoU above the suppression threshold (the defining property of Alg. 1).
+func TestHNMSSurvivorsCoreDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	const threshold = 0.7
+	for trial := 0; trial < 30; trial++ {
+		clips := randomClipSet(rng, 60)
+		kept := HNMS(clips, threshold)
+		for i := range kept {
+			for j := i + 1; j < len(kept); j++ {
+				if iou := geom.CoreIoU(kept[i].Clip, kept[j].Clip); iou > threshold {
+					t.Fatalf("trial %d: survivors %d and %d have core IoU %.3f > %.2f",
+						trial, i, j, iou, threshold)
+				}
+			}
+		}
+	}
+}
+
+// TestHNMSStructuralProperties: survivors are a subset of the input,
+// sorted by strictly descending score, and always include the top-scoring
+// clip; every suppressed clip overlaps some higher-scoring survivor.
+func TestHNMSStructuralProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	const threshold = 0.7
+	for trial := 0; trial < 20; trial++ {
+		clips := randomClipSet(rng, 50)
+		kept := HNMS(clips, threshold)
+		if len(clips) > 0 && len(kept) == 0 {
+			t.Fatal("HNMS dropped every clip")
+		}
+		inInput := make(map[ScoredClip]bool, len(clips))
+		var best ScoredClip
+		for i, c := range clips {
+			inInput[c] = true
+			if i == 0 || c.Score > best.Score {
+				best = c
+			}
+		}
+		if len(kept) > 0 && kept[0] != best {
+			t.Fatalf("highest-scoring clip not kept first: got %+v want %+v", kept[0], best)
+		}
+		keptSet := make(map[ScoredClip]bool, len(kept))
+		for i, k := range kept {
+			if !inInput[k] {
+				t.Fatalf("survivor %+v not in input", k)
+			}
+			if i > 0 && kept[i-1].Score <= k.Score {
+				t.Fatalf("survivors not strictly descending at %d: %v then %v", i, kept[i-1].Score, k.Score)
+			}
+			keptSet[k] = true
+		}
+		for _, c := range clips {
+			if keptSet[c] {
+				continue
+			}
+			suppressed := false
+			for _, k := range kept {
+				if k.Score > c.Score && geom.CoreIoU(k.Clip, c.Clip) > threshold {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				t.Fatalf("clip %+v removed without a suppressing survivor", c)
+			}
+		}
+	}
+}
+
+// TestHNMSInputNotMutated: the input slice order must survive the call
+// (the doc promises the input is not modified).
+func TestHNMSInputNotMutated(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	clips := randomClipSet(rng, 30)
+	before := append([]ScoredClip(nil), clips...)
+	HNMS(clips, 0.7)
+	if !sameClips(before, clips) {
+		t.Fatal("HNMS mutated its input slice")
+	}
+}
+
+// TestConventionalNMSWholeClipDisjoint mirrors the core-IoU property for
+// the whole-clip baseline suppression.
+func TestConventionalNMSWholeClipDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	const threshold = 0.7
+	for trial := 0; trial < 20; trial++ {
+		clips := randomClipSet(rng, 60)
+		kept := ConventionalNMS(clips, threshold)
+		for i := range kept {
+			for j := i + 1; j < len(kept); j++ {
+				if iou := geom.IoU(kept[i].Clip, kept[j].Clip); iou > threshold {
+					t.Fatalf("trial %d: survivors %d and %d have IoU %.3f > %.2f",
+						trial, i, j, iou, threshold)
+				}
+			}
+		}
+	}
+}

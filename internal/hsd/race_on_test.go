@@ -1,0 +1,10 @@
+//go:build race
+
+package hsd
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The single-goroutine training smoke test is skipped under the
+// detector: its ~15× slowdown blows the package timeout while adding no
+// concurrency coverage — the parity suites are what exercise every
+// parallel kernel under -race.
+const raceDetectorEnabled = true

@@ -113,6 +113,9 @@ func TestEndToEndLearning(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training smoke test skipped in -short")
 	}
+	if raceDetectorEnabled {
+		t.Skip("single-goroutine training loop adds no race coverage and exceeds the -race timeout")
+	}
 	c := TinyConfig()
 	c.TrainSteps = 700
 	c.ScoreThreshold = 0.25

@@ -1,0 +1,128 @@
+// Package parallel is the repo-wide worker-pool primitive behind every
+// parallelised compute kernel (tensor GEMM/conv, region-parallel
+// detection). It exposes one scheduling verb, For, which splits an index
+// range into contiguous chunks and runs them on up to Workers()
+// goroutines.
+//
+// Determinism contract: For only decides *which goroutine* runs a chunk,
+// never the chunk boundaries or the per-index work. Kernels built on it
+// must write each output element from exactly one chunk with a fixed
+// accumulation order, so results are bit-identical for every worker
+// count. The parity tests in internal/tensor and internal/hsd enforce
+// this for all shipped kernels.
+//
+// The worker count defaults to runtime.NumCPU, can be set at process
+// start via the RHSD_WORKERS environment variable, and can be overridden
+// programmatically with SetWorkers (used by the -workers flags on the
+// command-line tools and by the parity tests).
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount holds the active worker count; 0 means "not yet resolved"
+// and resolves lazily to the environment/NumCPU default.
+var workerCount int32
+
+func defaultWorkers() int {
+	if s := os.Getenv("RHSD_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Workers returns the number of goroutines For may use concurrently.
+func Workers() int {
+	if w := atomic.LoadInt32(&workerCount); w > 0 {
+		return int(w)
+	}
+	w := int32(defaultWorkers())
+	atomic.CompareAndSwapInt32(&workerCount, 0, w)
+	return int(atomic.LoadInt32(&workerCount))
+}
+
+// SetWorkers overrides the worker count. Values below 1 reset to the
+// default (RHSD_WORKERS or NumCPU). It returns the previous count so
+// callers can restore it.
+func SetWorkers(n int) (prev int) {
+	prev = Workers()
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	atomic.StoreInt32(&workerCount, int32(n))
+	return prev
+}
+
+// For invokes fn over the range [0, n) split into contiguous chunks of at
+// most grain indices: fn(start, end) with 0 ≤ start < end ≤ n. Chunks are
+// claimed from a shared counter by up to Workers() goroutines (the caller
+// doubles as one of them); when the range fits in a single chunk or only
+// one worker is configured, fn runs serially on the calling goroutine
+// with no synchronisation at all.
+//
+// fn must be safe to call concurrently for disjoint chunks; For returns
+// only after every chunk has completed.
+func For(n, grain int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var next int32
+	run := func() {
+		for {
+			c := int(atomic.AddInt32(&next, 1)) - 1
+			if c >= chunks {
+				return
+			}
+			start := c * grain
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			fn(start, end)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
+// GrainFor sizes a chunk so each one carries at least minWork units when
+// every index costs perItem units: kernels use it to keep goroutine
+// overhead negligible on small problems (For falls back to serial when
+// the whole range fits in one chunk).
+func GrainFor(perItem, minWork int) int {
+	if perItem <= 0 {
+		perItem = 1
+	}
+	g := (minWork + perItem - 1) / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -1,6 +1,15 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"rhsd/internal/parallel"
+)
+
+// convMinChunkWork is the per-chunk floor (in touched elements) below
+// which the batched/blocked conv loops stay serial, matching the Gemm
+// heuristic.
+const convMinChunkWork = 1 << 15
 
 // ConvOpts describes a 2-D convolution geometry: square kernel, symmetric
 // stride and zero padding.
@@ -23,6 +32,8 @@ func (o ConvOpts) check() {
 
 // Im2Col lowers an input image x [C,H,W] into a matrix [C*K*K, OH*OW] so
 // convolution becomes a single GEMM. Out-of-bounds taps read as zero.
+// Channels lower independently (each owns a disjoint block of output
+// rows), so they are distributed over the worker pool.
 func Im2Col(x *Tensor, o ConvOpts) *Tensor {
 	o.check()
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
@@ -30,32 +41,35 @@ func Im2Col(x *Tensor, o ConvOpts) *Tensor {
 	col := New(c*o.Kernel*o.Kernel, oh*ow)
 	cd := col.data
 	xd := x.data
-	row := 0
-	for ch := 0; ch < c; ch++ {
-		base := ch * h * w
-		for ky := 0; ky < o.Kernel; ky++ {
-			for kx := 0; kx < o.Kernel; kx++ {
-				dst := cd[row*oh*ow:]
-				row++
-				i := 0
-				for oy := 0; oy < oh; oy++ {
-					sy := oy*o.Stride + ky - o.Padding
-					if sy < 0 || sy >= h {
-						i += ow
-						continue
-					}
-					srow := xd[base+sy*w : base+sy*w+w]
-					for ox := 0; ox < ow; ox++ {
-						sx := ox*o.Stride + kx - o.Padding
-						if sx >= 0 && sx < w {
-							dst[i] = srow[sx]
+	perChan := o.Kernel * o.Kernel * oh * ow
+	parallel.For(c, parallel.GrainFor(perChan, convMinChunkWork), func(c0, c1 int) {
+		for ch := c0; ch < c1; ch++ {
+			base := ch * h * w
+			row := ch * o.Kernel * o.Kernel
+			for ky := 0; ky < o.Kernel; ky++ {
+				for kx := 0; kx < o.Kernel; kx++ {
+					dst := cd[row*oh*ow:]
+					row++
+					i := 0
+					for oy := 0; oy < oh; oy++ {
+						sy := oy*o.Stride + ky - o.Padding
+						if sy < 0 || sy >= h {
+							i += ow
+							continue
 						}
-						i++
+						srow := xd[base+sy*w : base+sy*w+w]
+						for ox := 0; ox < ow; ox++ {
+							sx := ox*o.Stride + kx - o.Padding
+							if sx >= 0 && sx < w {
+								dst[i] = srow[sx]
+							}
+							i++
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return col
 }
 
@@ -71,32 +85,38 @@ func Col2Im(col *Tensor, c, h, w int, o ConvOpts) *Tensor {
 	x := New(c, h, w)
 	cd := col.data
 	xd := x.data
-	row := 0
-	for ch := 0; ch < c; ch++ {
-		base := ch * h * w
-		for ky := 0; ky < o.Kernel; ky++ {
-			for kx := 0; kx < o.Kernel; kx++ {
-				src := cd[row*oh*ow:]
-				row++
-				i := 0
-				for oy := 0; oy < oh; oy++ {
-					sy := oy*o.Stride + ky - o.Padding
-					if sy < 0 || sy >= h {
-						i += ow
-						continue
-					}
-					drow := xd[base+sy*w : base+sy*w+w]
-					for ox := 0; ox < ow; ox++ {
-						sx := ox*o.Stride + kx - o.Padding
-						if sx >= 0 && sx < w {
-							drow[sx] += src[i]
+	// Each channel scatters only into its own image plane, so channels
+	// parallelise without write conflicts; the ky/kx accumulation order
+	// within a channel is unchanged, keeping results bit-exact.
+	perChan := o.Kernel * o.Kernel * oh * ow
+	parallel.For(c, parallel.GrainFor(perChan, convMinChunkWork), func(c0, c1 int) {
+		for ch := c0; ch < c1; ch++ {
+			base := ch * h * w
+			row := ch * o.Kernel * o.Kernel
+			for ky := 0; ky < o.Kernel; ky++ {
+				for kx := 0; kx < o.Kernel; kx++ {
+					src := cd[row*oh*ow:]
+					row++
+					i := 0
+					for oy := 0; oy < oh; oy++ {
+						sy := oy*o.Stride + ky - o.Padding
+						if sy < 0 || sy >= h {
+							i += ow
+							continue
 						}
-						i++
+						drow := xd[base+sy*w : base+sy*w+w]
+						for ox := 0; ox < ow; ox++ {
+							sx := ox*o.Stride + kx - o.Padding
+							if sx >= 0 && sx < w {
+								drow[sx] += src[i]
+							}
+							i++
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return x
 }
 
@@ -113,12 +133,17 @@ func Conv2D(x, wgt, bias *Tensor, o ConvOpts) *Tensor {
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	out := New(n, oc, oh, ow)
 	wmat := wgt.Reshape(oc, c*o.Kernel*o.Kernel)
-	for i := 0; i < n; i++ {
-		xi := FromSlice(x.data[i*c*h*w:(i+1)*c*h*w], c, h, w)
-		col := Im2Col(xi, o)
-		dst := out.data[i*oc*oh*ow : (i+1)*oc*oh*ow]
-		Gemm(false, false, oc, oh*ow, c*o.Kernel*o.Kernel, 1, wmat.data, col.data, 0, dst)
-	}
+	// Batch items write disjoint output planes, so they fan out over the
+	// worker pool; with a single item the inner Gemm/Im2Col parallelise
+	// instead.
+	parallel.For(n, 1, func(n0, n1 int) {
+		for i := n0; i < n1; i++ {
+			xi := FromSlice(x.data[i*c*h*w:(i+1)*c*h*w], c, h, w)
+			col := Im2Col(xi, o)
+			dst := out.data[i*oc*oh*ow : (i+1)*oc*oh*ow]
+			Gemm(false, false, oc, oh*ow, c*o.Kernel*o.Kernel, 1, wmat.data, col.data, 0, dst)
+		}
+	})
 	if bias != nil {
 		addChannelBias(out, bias)
 	}
@@ -135,19 +160,43 @@ func Conv2DBackward(x, wgt, gy, dw, db *Tensor, o ConvOpts) (dx *Tensor) {
 	kk := c * o.Kernel * o.Kernel
 	dx = New(n, c, h, w)
 	wmat := wgt.Reshape(oc, kk)
-	for i := 0; i < n; i++ {
-		xi := FromSlice(x.data[i*c*h*w:(i+1)*c*h*w], c, h, w)
-		gyi := gy.data[i*oc*oh*ow : (i+1)*oc*oh*ow]
-		col := Im2Col(xi, o)
-		if dw != nil {
-			// dW += gy · colᵀ
-			Gemm(false, true, oc, kk, oh*ow, 1, gyi, col.data, 1, dw.data)
+	// Batch items are independent except for the dW accumulation. Each
+	// item therefore computes its weight-gradient contribution into a
+	// private buffer and the contributions are reduced in batch order
+	// afterwards — the same one-add-per-item-per-element sequence as the
+	// serial dW += gy·colᵀ loop, so results stay bit-identical. The n==1
+	// case (the detection hot path) skips the buffer and accumulates
+	// directly.
+	var dwParts [][]float32
+	if dw != nil && n > 1 {
+		dwParts = make([][]float32, n)
+	}
+	parallel.For(n, 1, func(n0, n1 int) {
+		for i := n0; i < n1; i++ {
+			xi := FromSlice(x.data[i*c*h*w:(i+1)*c*h*w], c, h, w)
+			gyi := gy.data[i*oc*oh*ow : (i+1)*oc*oh*ow]
+			col := Im2Col(xi, o)
+			if dw != nil {
+				if dwParts != nil {
+					part := make([]float32, oc*kk)
+					Gemm(false, true, oc, kk, oh*ow, 1, gyi, col.data, 0, part)
+					dwParts[i] = part
+				} else {
+					// dW += gy · colᵀ
+					Gemm(false, true, oc, kk, oh*ow, 1, gyi, col.data, 1, dw.data)
+				}
+			}
+			// dcol = Wᵀ · gy, then scatter back to image space.
+			dcol := New(kk, oh*ow)
+			Gemm(true, false, kk, oh*ow, oc, 1, wmat.data, gyi, 0, dcol.data)
+			dxi := Col2Im(dcol, c, h, w, o)
+			copy(dx.data[i*c*h*w:(i+1)*c*h*w], dxi.data)
 		}
-		// dcol = Wᵀ · gy, then scatter back to image space.
-		dcol := New(kk, oh*ow)
-		Gemm(true, false, kk, oh*ow, oc, 1, wmat.data, gyi, 0, dcol.data)
-		dxi := Col2Im(dcol, c, h, w, o)
-		copy(dx.data[i*c*h*w:(i+1)*c*h*w], dxi.data)
+	})
+	for _, part := range dwParts {
+		for e, v := range part {
+			dw.data[e] += v
+		}
 	}
 	if db != nil {
 		accumChannelBiasGrad(gy, db)
@@ -175,14 +224,16 @@ func Deconv2D(x, wgt, bias *Tensor, o ConvOpts) *Tensor {
 	out := New(n, oc, oh, ow)
 	kk := oc * o.Kernel * o.Kernel
 	wmat := wgt.Reshape(c, kk)
-	for i := 0; i < n; i++ {
-		xi := x.data[i*c*h*w : (i+1)*c*h*w]
-		// col = Wᵀ · x, then col2im scatters into the larger output plane.
-		col := New(kk, h*w)
-		Gemm(true, false, kk, h*w, c, 1, wmat.data, xi, 0, col.data)
-		oi := Col2Im(col, oc, oh, ow, o)
-		copy(out.data[i*oc*oh*ow:(i+1)*oc*oh*ow], oi.data)
-	}
+	parallel.For(n, 1, func(n0, n1 int) {
+		for i := n0; i < n1; i++ {
+			xi := x.data[i*c*h*w : (i+1)*c*h*w]
+			// col = Wᵀ · x, then col2im scatters into the larger output plane.
+			col := New(kk, h*w)
+			Gemm(true, false, kk, h*w, c, 1, wmat.data, xi, 0, col.data)
+			oi := Col2Im(col, oc, oh, ow, o)
+			copy(out.data[i*oc*oh*ow:(i+1)*oc*oh*ow], oi.data)
+		}
+	})
 	if bias != nil {
 		addChannelBias(out, bias)
 	}
@@ -200,16 +251,35 @@ func Deconv2DBackward(x, wgt, gy, dw, db *Tensor, o ConvOpts) (dx *Tensor) {
 	kk := oc * o.Kernel * o.Kernel
 	dx = New(n, c, h, w)
 	wmat := wgt.Reshape(c, kk)
-	for i := 0; i < n; i++ {
-		gyi := FromSlice(gy.data[i*oc*oh*ow:(i+1)*oc*oh*ow], oc, oh, ow)
-		gcol := Im2Col(gyi, o) // [kk, h*w]
-		xi := x.data[i*c*h*w : (i+1)*c*h*w]
-		if dw != nil {
-			// dW[c, kk] += x[c, h*w] · gcolᵀ
-			Gemm(false, true, c, kk, h*w, 1, xi, gcol.data, 1, dw.data)
+	// Same deterministic-reduction scheme as Conv2DBackward: private dW
+	// buffers per batch item, reduced in batch order.
+	var dwParts [][]float32
+	if dw != nil && n > 1 {
+		dwParts = make([][]float32, n)
+	}
+	parallel.For(n, 1, func(n0, n1 int) {
+		for i := n0; i < n1; i++ {
+			gyi := FromSlice(gy.data[i*oc*oh*ow:(i+1)*oc*oh*ow], oc, oh, ow)
+			gcol := Im2Col(gyi, o) // [kk, h*w]
+			xi := x.data[i*c*h*w : (i+1)*c*h*w]
+			if dw != nil {
+				if dwParts != nil {
+					part := make([]float32, c*kk)
+					Gemm(false, true, c, kk, h*w, 1, xi, gcol.data, 0, part)
+					dwParts[i] = part
+				} else {
+					// dW[c, kk] += x[c, h*w] · gcolᵀ
+					Gemm(false, true, c, kk, h*w, 1, xi, gcol.data, 1, dw.data)
+				}
+			}
+			// dx = W · gcol
+			Gemm(false, false, c, h*w, kk, 1, wmat.data, gcol.data, 0, dx.data[i*c*h*w:(i+1)*c*h*w])
 		}
-		// dx = W · gcol
-		Gemm(false, false, c, h*w, kk, 1, wmat.data, gcol.data, 0, dx.data[i*c*h*w:(i+1)*c*h*w])
+	})
+	for _, part := range dwParts {
+		for e, v := range part {
+			dw.data[e] += v
+		}
 	}
 	if db != nil {
 		accumChannelBiasGrad(gy, db)
@@ -219,6 +289,9 @@ func Deconv2DBackward(x, wgt, gy, dw, db *Tensor, o ConvOpts) (dx *Tensor) {
 
 func addChannelBias(t, bias *Tensor) {
 	n, c := t.shape[0], t.shape[1]
+	if n == 0 || c == 0 {
+		return
+	}
 	plane := t.Size() / (n * c)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -233,6 +306,9 @@ func addChannelBias(t, bias *Tensor) {
 
 func accumChannelBiasGrad(gy, db *Tensor) {
 	n, c := gy.shape[0], gy.shape[1]
+	if n == 0 || c == 0 {
+		return
+	}
 	plane := gy.Size() / (n * c)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -261,10 +337,14 @@ func MaxPool2D(x *Tensor, kernel, stride int) (*Tensor, []int32) {
 	}
 	out := New(n, c, oh, ow)
 	arg := make([]int32, out.Size())
-	oi := 0
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
-			plane := x.data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+	// Every (batch, channel) plane pools independently into its own output
+	// slice, so planes spread across the worker pool. The scan order within
+	// a plane is unchanged, preserving the first-maximum tie-break.
+	perPlane := oh * ow * kernel * kernel
+	parallel.For(n*c, parallel.GrainFor(perPlane, convMinChunkWork), func(p0, p1 int) {
+		for p := p0; p < p1; p++ {
+			plane := x.data[p*h*w : (p+1)*h*w]
+			oi := p * oh * ow
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					best := float32(-1e30)
@@ -286,7 +366,7 @@ func MaxPool2D(x *Tensor, kernel, stride int) (*Tensor, []int32) {
 				}
 			}
 		}
-	}
+	})
 	return out, arg
 }
 

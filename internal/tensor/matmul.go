@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"rhsd/internal/parallel"
+)
 
 // MatMul returns a × b for 2-D tensors a [m,k] and b [k,n].
 func MatMul(a, b *Tensor) *Tensor {
@@ -41,28 +45,48 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	return out
 }
 
+// gemmMinChunkFlops is the minimum number of multiply-adds a worker chunk
+// should carry: below it goroutine hand-off costs more than the maths, so
+// parallel.For degrades to the serial path.
+const gemmMinChunkFlops = 1 << 15
+
 // Gemm computes c = alpha·op(a)·op(b) + beta·c where op optionally
 // transposes. Dimensions follow BLAS convention: op(a) is m×k, op(b) is
 // k×n and c is m×n. The inner loops are arranged so the innermost access
 // pattern is contiguous for the common non-transposed case.
+//
+// Large products are row-blocked across the parallel worker pool; each
+// output element is produced by exactly one worker with a fixed p-ascending
+// accumulation order, so the result is bit-identical for every worker
+// count (including the serial fallback).
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	if len(c) < m*n {
 		panic("tensor: Gemm output buffer too small")
 	}
+	parallel.For(m, parallel.GrainFor(n*k, gemmMinChunkFlops), func(i0, i1 int) {
+		gemmRows(transA, transB, i0, i1, m, n, k, alpha, a, b, beta, c)
+	})
+}
+
+// gemmRows computes output rows [i0, i1) of the full m×n product,
+// including the beta pre-scaling of those rows. Each element c[i,j] is
+// read and written only by the chunk owning row i.
+func gemmRows(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	cseg := c[i0*n : i1*n]
 	if beta == 0 {
-		for i := range c[:m*n] {
-			c[i] = 0
+		for i := range cseg {
+			cseg[i] = 0
 		}
 	} else if beta != 1 {
-		for i := range c[:m*n] {
-			c[i] *= beta
+		for i := range cseg {
+			cseg[i] *= beta
 		}
 	}
 	switch {
 	case !transA && !transB:
 		// c[i,j] += alpha * a[i,p] * b[p,j]; iterate p in the middle so the
 		// inner j-loop walks b and c rows contiguously.
-		for i := 0; i < m; i++ {
+		for i := i0; i < i1; i++ {
 			arow := a[i*k : i*k+k]
 			crow := c[i*n : i*n+n]
 			for p := 0; p < k; p++ {
@@ -77,11 +101,13 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 			}
 		}
 	case transA && !transB:
-		// a is stored k×m: a[p,i].
+		// a is stored k×m: a[p,i]. p stays the outer loop for b-row reuse;
+		// restricting i to the chunk keeps per-element accumulation order
+		// (ascending p) identical to the serial full-range sweep.
 		for p := 0; p < k; p++ {
 			arow := a[p*m : p*m+m]
 			brow := b[p*n : p*n+n]
-			for i := 0; i < m; i++ {
+			for i := i0; i < i1; i++ {
 				av := alpha * arow[i]
 				if av == 0 {
 					continue
@@ -94,7 +120,7 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 		}
 	case !transA && transB:
 		// b is stored n×k: b[j,p]; dot products of contiguous rows.
-		for i := 0; i < m; i++ {
+		for i := i0; i < i1; i++ {
 			arow := a[i*k : i*k+k]
 			crow := c[i*n : i*n+n]
 			for j := 0; j < n; j++ {
@@ -107,7 +133,7 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 			}
 		}
 	default: // transA && transB
-		for i := 0; i < m; i++ {
+		for i := i0; i < i1; i++ {
 			crow := c[i*n : i*n+n]
 			for j := 0; j < n; j++ {
 				var s float32
