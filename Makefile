@@ -1,13 +1,16 @@
 # Tier-1 verification and developer shortcuts. `make verify` is the
-# gate every PR must keep green: build, full test suite, and the race
-# detector (short mode) over the parallel compute paths.
+# gate every PR must keep green: build, vet, full test suite, and the
+# race detector (short mode) over the parallel compute paths.
 
 GO ?= go
 
-.PHONY: build test race race-full verify bench bench-parallel
+.PHONY: build vet test race race-full verify bench bench-smoke bench-parallel bench-alloc
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -23,11 +26,23 @@ race:
 race-full:
 	$(GO) test -race ./...
 
-verify: build test race
+verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One iteration of every benchmark, to catch bit-rot in bench code
+# without paying full measurement time. The root package only runs the
+# Micro benchmarks: the Table1/Figure10 ones train models in their setup
+# and would dominate the smoke run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Micro -benchtime=1x .
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
+
 # Serial-vs-parallel wall-clock comparison; writes BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/rhsd-bench -exp parallel
+
+# Heap-path vs zero-allocation inference comparison; writes BENCH_alloc.json.
+bench-alloc:
+	$(GO) run ./cmd/rhsd-bench -exp alloc

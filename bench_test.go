@@ -178,6 +178,7 @@ func BenchmarkTable1OursDetect(b *testing.B) {
 	table1Setup(b)
 	r := table1State.data.Cases[0].Test[0]
 	sample := hsd.MakeSample(r.Layout, nil, table1State.ours.Config)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table1State.ours.Detect(sample.Raster)
@@ -191,6 +192,7 @@ func BenchmarkTable1OursDetect(b *testing.B) {
 func BenchmarkTable1TCADDetect(b *testing.B) {
 	table1Setup(b)
 	r := table1State.data.Cases[0].Test[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table1State.tcad.DetectRegion(r)
@@ -204,6 +206,7 @@ func BenchmarkTable1FasterRCNNDetect(b *testing.B) {
 	table1Setup(b)
 	r := table1State.data.Cases[0].Test[0]
 	clipNM := table1State.p.HSD.ClipNM()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table1State.frcnn.DetectRegion(r, clipNM)
@@ -217,6 +220,7 @@ func BenchmarkTable1SSDDetect(b *testing.B) {
 	table1Setup(b)
 	r := table1State.data.Cases[0].Test[0]
 	clipNM := table1State.p.HSD.ClipNM()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		table1State.ssd.DetectRegion(r, clipNM)
@@ -277,6 +281,7 @@ func benchAblationVariant(b *testing.B, name string) {
 	if m == nil {
 		b.Fatalf("variant %q missing", name)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Detect(figure10State.sample)
@@ -307,6 +312,7 @@ func BenchmarkFigure9Render(b *testing.B) {
 	for i, d := range dets {
 		md[i] = metrics.Detection{Clip: d.Clip, Score: d.Score}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		viz.RenderRegion(r.Layout, r.HotspotPoints(), md, 512)
@@ -317,6 +323,7 @@ func BenchmarkFigure9Render(b *testing.B) {
 // of realistic size (Figure 5 / Algorithm 1).
 func BenchmarkFigure5HNMS(b *testing.B) {
 	clips := nmsWorkload()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hsd.HNMS(clips, 0.7)
@@ -325,6 +332,7 @@ func BenchmarkFigure5HNMS(b *testing.B) {
 
 func BenchmarkFigure5ConventionalNMS(b *testing.B) {
 	clips := nmsWorkload()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hsd.ConventionalNMS(clips, 0.7)
@@ -353,6 +361,7 @@ func BenchmarkMicroConvForward(b *testing.B) {
 	x.RandN(rng, 1)
 	w.RandN(rng, 1)
 	o := tensor.ConvOpts{Kernel: 3, Stride: 1, Padding: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Conv2D(x, w, bias, o)
@@ -364,6 +373,7 @@ func BenchmarkMicroLithoSimulate(b *testing.B) {
 	ds := dataset.Generate(spec, litho.DefaultModel(), 1, 0)
 	l := ds.Train[0].Layout
 	m := litho.DefaultModel()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Simulate(l, l.Bounds)
@@ -374,6 +384,7 @@ func BenchmarkMicroRasterize(b *testing.B) {
 	spec := dataset.CaseSpecs(768)[0]
 	ds := dataset.Generate(spec, litho.DefaultModel(), 1, 0)
 	l := ds.Train[0].Layout
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Rasterize(l.Bounds, 8)
@@ -387,6 +398,7 @@ func BenchmarkMicroDCTFeatureTensor(b *testing.B) {
 			img.Data()[i] = 1
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dct.FeatureTensor(img, 8, 16)
@@ -402,6 +414,7 @@ func BenchmarkMicroRoIPool(b *testing.B) {
 	for i := range rois {
 		rois[i] = geom.RectCWH(20+rng.Float64()*50, 20+rng.Float64()*50, 24, 24)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pool.Forward(feat, rois)
@@ -419,6 +432,7 @@ func BenchmarkMicroAnchorAssign(b *testing.B) {
 	for i := range gt {
 		gt[i] = geom.RectCWH(20+rng.Float64()*56, 20+rng.Float64()*56, 24, 24)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hsd.AssignTargets(anchors, gt, c)
@@ -433,9 +447,10 @@ func BenchmarkMicroTrainStep(b *testing.B) {
 	}
 	tr := hsd.NewTrainer(m)
 	rng := rand.New(rand.NewSource(4))
-	img := tensor.New(1, 1, c.InputSize, c.InputSize)
+	img := tensor.New(1, hsd.InputChannels, c.InputSize, c.InputSize)
 	img.RandUniform(rng, 0, 1)
 	s := hsd.Sample{Raster: img, GT: []geom.Rect{geom.RectCWH(32, 32, c.ClipPx, c.ClipPx)}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step(s)

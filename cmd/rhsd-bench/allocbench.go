@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/geom"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// allocBenchEntry is one measured side of a before/after pair, in the
+// units Go benchmarks report: nanoseconds, heap bytes and heap
+// allocations per operation.
+type allocBenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// allocBenchPair compares the PR-1 path ("before") with the packed /
+// workspace-backed path ("after") for one kernel or pipeline stage.
+type allocBenchPair struct {
+	Name           string          `json:"name"`
+	Before         allocBenchEntry `json:"before"`
+	After          allocBenchEntry `json:"after"`
+	Speedup        float64         `json:"speedup"`         // before.ns / after.ns
+	AllocReduction float64         `json:"alloc_reduction"` // 1 - after.allocs/before.allocs
+}
+
+// allocBenchReport is the BENCH_alloc.json schema.
+type allocBenchReport struct {
+	Host    hostMeta         `json:"host"`
+	Workers int              `json:"workers"`
+	Pairs   []allocBenchPair `json:"pairs"`
+}
+
+// measure runs f under the testing benchmark harness and extracts
+// ns/op, B/op and allocs/op.
+func measure(name string, f func(b *testing.B)) allocBenchEntry {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return allocBenchEntry{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func pairOf(name string, before, after allocBenchEntry, progress func(string)) allocBenchPair {
+	p := allocBenchPair{Name: name, Before: before, After: after}
+	if after.NsPerOp > 0 {
+		p.Speedup = before.NsPerOp / after.NsPerOp
+	}
+	if before.AllocsPerOp > 0 {
+		p.AllocReduction = 1 - float64(after.AllocsPerOp)/float64(before.AllocsPerOp)
+	}
+	progress(fmt.Sprintf("alloc bench %-12s %9.2f → %9.2f ms/op (%.2fx)  %6d → %4d allocs/op (-%.1f%%)",
+		name, before.NsPerOp/1e6, after.NsPerOp/1e6, p.Speedup,
+		before.AllocsPerOp, after.AllocsPerOp, 100*p.AllocReduction))
+	return p
+}
+
+// runAllocBench compares the reference kernels against the packed GEMM
+// and the workspace-backed zero-allocation inference path, then writes
+// the comparison to outPath as JSON.
+//
+// Pairs:
+//   - gemm:   GemmUnblocked (PR-1 row kernel) vs Gemm (packed) at the
+//     [64 × 576 × 3136] shape dominating a 224-px backbone pass.
+//   - conv2d: Conv2D (fresh im2col + output per call, separate bias
+//     sweep) vs Conv2DInfer (workspace scratch, fused bias epilogue).
+//   - detect: the training-path composition ForwardBase + Proposals +
+//     RefineForward (every activation on the heap) vs Model.Detect
+//     (workspace arena + scratch buffers).
+func runAllocBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	warnIfSerialHost()
+	report := allocBenchReport{
+		Host:    collectHostMeta(),
+		Workers: workers,
+	}
+
+	// GEMM at the shape of the dominant backbone convolution:
+	// [64, 64·3·3] × [64·3·3, 56·56].
+	const gm, gk, gn = 64, 64 * 3 * 3, 56 * 56
+	ga := make([]float32, gm*gk)
+	gb := make([]float32, gk*gn)
+	gc := make([]float32, gm*gn)
+	for i := range ga {
+		ga[i] = float32(i%17) * 0.25
+	}
+	for i := range gb {
+		gb[i] = float32(i%13) * 0.5
+	}
+	gemmBefore := measure("gemm_unblocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.GemmUnblocked(false, false, gm, gn, gk, 1, ga, gb, 0, gc)
+		}
+	})
+	gemmAfter := measure("gemm_packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.Gemm(false, false, gm, gn, gk, 1, ga, gb, 0, gc)
+		}
+	})
+	report.Pairs = append(report.Pairs, pairOf("gemm", gemmBefore, gemmAfter, progress))
+
+	// One 3×3 convolution over a 64×56×56 feature map, bias + ReLU tail.
+	cx := tensor.New(1, 64, 56, 56)
+	cw := tensor.New(64, 64, 3, 3)
+	cbias := tensor.New(64)
+	for i, d := 0, cx.Data(); i < len(d); i++ {
+		d[i] = float32(i%11) * 0.1
+	}
+	for i, d := 0, cw.Data(); i < len(d); i++ {
+		d[i] = float32(i%7) * 0.2
+	}
+	copts := tensor.ConvOpts{Kernel: 3, Stride: 1, Padding: 1}
+	act := nn.NewReLU()
+	convBefore := measure("conv2d_train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := tensor.Conv2D(cx, cw, cbias, copts)
+			act.Forward(out)
+		}
+	})
+	ws := tensor.NewWorkspace()
+	ep := tensor.Epilogue{Bias: cbias, Act: true}
+	convAfter := measure("conv2d_infer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws.Reset()
+			tensor.Conv2DInfer(ws, cx, cw, copts, ep)
+		}
+	})
+	report.Pairs = append(report.Pairs, pairOf("conv2d", convBefore, convAfter, progress))
+
+	// Full-region detection: training-path composition vs the
+	// workspace-backed Detect. Untrained weights — wall-clock and
+	// allocation counts depend only on the architecture.
+	cfg := p.HSD
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	regionNM := cfg.RegionNM()
+	l := layout.New(layout.R(0, 0, 2*regionNM, 2*regionNM))
+	for x := 40; x < 2*regionNM-110; x += 150 {
+		l.Add(layout.R(x, 30, x+70, 2*regionNM-30))
+	}
+	region := l.Window(layout.R(0, 0, regionNM, regionNM))
+	raster := hsd.MakeSample(region, nil, cfg).Raster
+	detBefore := measure("detect_train_path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := m.ForwardBase(raster)
+			props := m.Proposals(out)
+			if cfg.UseRefine && len(props) > 0 {
+				rois := make([]geom.Rect, len(props))
+				for j, pr := range props {
+					rois[j] = pr.Clip
+				}
+				m.RefineForward(out, rois)
+			}
+		}
+	})
+	m.Detect(raster) // warm-up sizes the workspace arena
+	detAfter := measure("detect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Detect(raster)
+		}
+	})
+	report.Pairs = append(report.Pairs, pairOf("detect", detBefore, detAfter, progress))
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

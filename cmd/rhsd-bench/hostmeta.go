@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// hostMeta records the machine context a benchmark ran under. Every bench
+// JSON embeds it: BENCH_parallel.json captured on a 1-CPU host looks like
+// a parallelisation failure unless the reader can see num_cpu was 1.
+type hostMeta struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOARCH     string `json:"goarch"`
+	GOOS       string `json:"goos"`
+}
+
+func collectHostMeta() hostMeta {
+	return hostMeta{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOARCH:     runtime.GOARCH,
+		GOOS:       runtime.GOOS,
+	}
+}
+
+// warnIfSerialHost prints a prominent notice when the process has a
+// single scheduling thread: serial-vs-parallel speedups measured in that
+// state say nothing about multi-core behaviour.
+func warnIfSerialHost() {
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr,
+			"rhsd-bench: WARNING: GOMAXPROCS=1 — parallel speedups on this host are meaningless; "+
+				"rerun on a multi-core machine before comparing serial vs parallel numbers")
+	}
+}

@@ -5,11 +5,18 @@
 //	rhsd-bench -exp figure9 -out out/   # qualitative panels (Figure 9)
 //	rhsd-bench -exp figure10            # ablation study (Figure 10)
 //	rhsd-bench -exp parallel            # serial vs parallel compute engine
+//	rhsd-bench -exp alloc               # heap-path vs zero-alloc inference
 //	rhsd-bench -exp all -out out/
 //
 // The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
 // pool used by the parallel compute engine; -exp parallel writes the
-// serial-vs-parallel wall-clock comparison to BENCH_parallel.json.
+// serial-vs-parallel wall-clock comparison to BENCH_parallel.json and
+// -exp alloc writes the allocation comparison (unblocked vs packed GEMM,
+// training-path vs workspace-backed inference) to BENCH_alloc.json. Both
+// reports embed host metadata (CPU count, GOMAXPROCS, arch).
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering
+// whatever experiments ran, for offline hot-path diagnosis.
 //
 // All experiments run the FastProfile: a proportionally shrunk
 // configuration that executes in minutes on one CPU core. Absolute
@@ -22,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rhsd/internal/dataset"
@@ -30,7 +39,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
@@ -38,10 +47,30 @@ func main() {
 	seed := flag.Int64("seed", 0, "override model seed (0 = profile default)")
 	workersFlag := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -exp parallel report")
+	allocOut := flag.String("alloc-out", "BENCH_alloc.json", "output path for the -exp alloc report")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *workersFlag > 0 {
 		parallel.SetWorkers(*workersFlag)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
 	}
 
 	p := eval.FastProfile()
@@ -72,13 +101,21 @@ func main() {
 	runExtAbl := *expFlag == "ablation-ext" || *expFlag == "all"
 	runExtTable := *expFlag == "table1-ext" || *expFlag == "all"
 	runPar := *expFlag == "parallel" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar {
+	runAlloc := *expFlag == "alloc" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
 
 	if runPar {
 		progress(fmt.Sprintf("parallel compute bench: %d workers", parallel.Workers()))
 		if err := runParallelBench(p, parallel.Workers(), *parallelOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runAlloc {
+		progress(fmt.Sprintf("allocation bench: %d workers", parallel.Workers()))
+		if err := runAllocBench(p, parallel.Workers(), *allocOut, progress); err != nil {
 			fatal(err)
 		}
 	}
@@ -158,4 +195,18 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rhsd-bench:", err)
 	os.Exit(1)
+}
+
+// writeHeapProfile snapshots the heap after a final GC, the conventional
+// -memprofile behaviour.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }

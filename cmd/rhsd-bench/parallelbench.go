@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"rhsd/internal/eval"
@@ -26,10 +25,9 @@ type parallelBenchEntry struct {
 // parallelBenchReport is the BENCH_parallel.json schema; it records the
 // machine context so speedup trajectories across PRs stay interpretable.
 type parallelBenchReport struct {
-	NumCPU     int                  `json:"num_cpu"`
-	GOMAXPROCS int                  `json:"gomaxprocs"`
-	Workers    int                  `json:"workers"`
-	Entries    []parallelBenchEntry `json:"entries"`
+	Host    hostMeta             `json:"host"`
+	Workers int                  `json:"workers"`
+	Entries []parallelBenchEntry `json:"entries"`
 }
 
 // bestOf runs f iters times and returns the fastest wall-clock duration —
@@ -72,10 +70,10 @@ func compare(name string, workers, iters int, f func(), progress func(string)) p
 // seed-random): detection wall-clock depends only on the architecture,
 // not on what the weights converged to.
 func runParallelBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	warnIfSerialHost()
 	report := parallelBenchReport{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    workers,
+		Host:    collectHostMeta(),
+		Workers: workers,
 	}
 
 	// GEMM at the shape that dominates a 224-px region forward pass:

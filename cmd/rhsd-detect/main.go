@@ -11,12 +11,17 @@
 // Tiles are scanned concurrently by the parallel compute engine; -workers
 // (default: RHSD_WORKERS or NumCPU) sizes the pool. Results are
 // bit-identical for every worker count.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of the scan
+// for offline hot-path diagnosis.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rhsd/internal/eval"
 	"rhsd/internal/hsd"
@@ -32,10 +37,38 @@ func main() {
 	pngPath := flag.String("png", "", "optional detection-map PNG output")
 	thresh := flag.Float64("threshold", 0, "override score threshold (0 = config default)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	if *layoutPath == "" {
 		fatal(fmt.Errorf("-layout is required"))

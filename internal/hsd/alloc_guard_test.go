@@ -1,0 +1,48 @@
+package hsd
+
+import (
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/parallel"
+	"rhsd/internal/tensor"
+)
+
+// TestDetectSteadyStateAllocs is the allocation regression guard for the
+// detection hot path: after a warm-up pass has sized the model's
+// workspace and scratch buffers, a Detect call must perform only a small
+// fixed number of heap allocations — essentially just the returned
+// []Detection slice. Every kernel on the inference path takes a direct
+// serial call when the worker pool has one worker, so not even
+// parallel.For closure headers are allocated. Before the workspace
+// arena, a single pass allocated every activation tensor: thousands of
+// allocations and tens of megabytes. Workers are pinned to 1 because
+// AllocsPerRun runs under GOMAXPROCS(1) and goroutine spawns would add
+// nondeterministic bookkeeping allocations.
+func TestDetectSteadyStateAllocs(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	c := TinyConfig()
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	x := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	x.RandUniform(rng, 0, 1)
+
+	m.Detect(x) // warm-up: sizes the workspace arena and scratch
+
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Detect(x)
+	})
+	// Budget: measured exactly 1 for TinyConfig (the returned []Detection
+	// slice). 8 leaves headroom for toolchain drift without masking a
+	// regression to per-tensor allocation (a single pass used to make
+	// thousands).
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("steady-state Detect allocated %.0f times per run, want ≤ %d", allocs, budget)
+	}
+}

@@ -42,6 +42,7 @@ func benchDetectSetup(b *testing.B) (*Model, *tensor.Tensor) {
 // the hot path the parallel worker pool accelerates.
 func BenchmarkDetectRegion(b *testing.B) {
 	m, x := benchDetectSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Detect(x)
@@ -59,6 +60,7 @@ func BenchmarkDetectRegionTiny(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	x := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
 	x.RandUniform(rng, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Detect(x)

@@ -1,6 +1,8 @@
 package hsd
 
 import (
+	"cmp"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -16,6 +18,98 @@ type Detection struct {
 	Score float64
 }
 
+// detectScratch is the model's reusable non-tensor detection state. All
+// slices grow to the high-water mark of the pipeline and are recycled
+// every Detect call, so steady-state detection allocates only the
+// returned []Detection. The embedded BaseOutput is rewritten by each
+// InferBase call.
+type detectScratch struct {
+	base    BaseOutput
+	cand    []ScoredClip // decoded anchor candidates
+	topk    []ScoredClip // pre-NMS top-K working copy
+	sorted  []ScoredClip // nmsInto sort buffer
+	kept    []ScoredClip // nmsInto survivors
+	scored  []ScoredClip // refined, thresholded clips
+	removed []bool       // nmsInto suppression marks
+	rois    []geom.Rect  // cascade RoIs (current)
+	next    []geom.Rect  // cascade RoIs (next iteration)
+}
+
+// topKInto copies clips into dst, sorts them by descending score (stable,
+// matching TopK) and truncates to k. The returned slice aliases dst.
+func topKInto(dst []ScoredClip, clips []ScoredClip, k int) []ScoredClip {
+	dst = append(dst[:0], clips...)
+	slices.SortStableFunc(dst, func(a, b ScoredClip) int { return cmp.Compare(b.Score, a.Score) })
+	if k > 0 && k < len(dst) {
+		dst = dst[:k]
+	}
+	return dst
+}
+
+// nmsInto is the scratch-backed counterpart of Model.nms: identical
+// ordering and suppression semantics, but sort, survivor and removal
+// buffers all come from s. The returned slice aliases s.kept and is valid
+// until the next nmsInto call on the same scratch.
+func (m *Model) nmsInto(s *detectScratch, clips []ScoredClip) []ScoredClip {
+	overlap := geom.CoreIoU
+	if m.Config.ConventionalNMS {
+		overlap = geom.IoU
+	}
+	threshold := m.Config.NMSThreshold
+	s.sorted = append(s.sorted[:0], clips...)
+	sorted := s.sorted
+	slices.SortStableFunc(sorted, func(a, b ScoredClip) int { return cmp.Compare(b.Score, a.Score) })
+	if cap(s.removed) < len(sorted) {
+		s.removed = make([]bool, len(sorted))
+	}
+	removed := s.removed[:len(sorted)]
+	for i := range removed {
+		removed[i] = false
+	}
+	s.kept = s.kept[:0]
+	for i := range sorted {
+		if removed[i] {
+			continue
+		}
+		s.kept = append(s.kept, sorted[i])
+		for j := i + 1; j < len(sorted); j++ {
+			if removed[j] {
+				continue
+			}
+			if overlap(sorted[i].Clip, sorted[j].Clip) > threshold {
+				removed[j] = true
+			}
+		}
+	}
+	return s.kept
+}
+
+// proposalsInto is the scratch-backed counterpart of Proposals, used by
+// the detection path. The returned slice aliases scratch buffers and is
+// valid until the next proposalsInto/nmsInto call.
+func (m *Model) proposalsInto(s *detectScratch, out *BaseOutput) []ScoredClip {
+	c := m.Config
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	s.cand = s.cand[:0]
+	for i, anchor := range m.Anchors.Boxes {
+		l0, l1 := m.anchorLogits(out.ClsMap, i)
+		score := sigmoidDiff(l1, l0)
+		box := geom.Decode(m.anchorReg(out.RegMap, i), anchor).Clip(bounds)
+		if box.W() < 2 || box.H() < 2 {
+			continue
+		}
+		s.cand = append(s.cand, ScoredClip{Clip: box, Score: score})
+	}
+	s.topk = topKInto(s.topk, s.cand, preNMSTopK)
+	kept := m.nmsInto(s, s.topk)
+	// kept is already in descending score order, so the final TopK is a
+	// prefix — same result as Proposals' trailing TopK call.
+	if c.ProposalCount > 0 && c.ProposalCount < len(kept) {
+		kept = kept[:c.ProposalCount]
+	}
+	return kept
+}
+
 // Detect runs one-pass region-based detection on an input raster
 // [1,1,S,S] and returns final hotspot clips in input-pixel coordinates.
 //
@@ -24,10 +118,17 @@ type Detection struct {
 // classification re-scores each candidate and the 2nd regression fine-
 // tunes its clip. Without refinement ("w/o. Refine") the proposals are
 // reported directly, thresholded on the 1st-stage score.
+//
+// Detect runs on the model's allocation-free inference path: activations
+// come from the per-model workspace (reset on entry), candidate and NMS
+// buffers from the model's scratch. Results are bit-identical to the
+// training-path ForwardBase/Proposals/RefineForward composition; the
+// only steady-state heap allocation is the returned []Detection.
 func (m *Model) Detect(x *tensor.Tensor) []Detection {
 	c := m.Config
-	out := m.ForwardBase(x)
-	props := m.Proposals(out)
+	s := &m.scratch
+	out := m.InferBase(x)
+	props := m.proposalsInto(s, out)
 	if !c.UseRefine {
 		var dets []Detection
 		for _, p := range props {
@@ -40,21 +141,21 @@ func (m *Model) Detect(x *tensor.Tensor) []Detection {
 	if len(props) == 0 {
 		return nil
 	}
-	rois := make([]geom.Rect, len(props))
-	for i, p := range props {
-		rois[i] = p.Clip
+	cur, nxt := s.rois[:0], s.next[:0]
+	for _, p := range props {
+		cur = append(cur, p.Clip)
 	}
 	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
 	iters := c.RefineIterations
 	if iters < 1 {
 		iters = 1
 	}
-	var scored []ScoredClip
-	for it := 0; it < iters; it++ {
-		refCls, refReg := m.RefineForward(out, rois)
-		scored = scored[:0]
-		next := rois[:0:0]
-		for i, r := range rois {
+	empty := false
+	for it := 0; it < iters && !empty; it++ {
+		refCls, refReg := m.RefineInfer(out, cur)
+		s.scored = s.scored[:0]
+		nxt = nxt[:0]
+		for i, r := range cur {
 			score := sigmoidDiff(refCls.At(i, 1), refCls.At(i, 0))
 			enc := geom.BoxEncoding{
 				LX: float64(refReg.At(i, 0)),
@@ -71,23 +172,30 @@ func (m *Model) Detect(x *tensor.Tensor) []Detection {
 			// the score threshold.
 			if it == iters-1 {
 				if score >= c.ScoreThreshold {
-					scored = append(scored, ScoredClip{Clip: box, Score: score})
+					s.scored = append(s.scored, ScoredClip{Clip: box, Score: score})
 				}
 			} else {
-				next = append(next, box)
+				nxt = append(nxt, box)
 			}
 		}
 		if it < iters-1 {
-			if len(next) == 0 {
-				return nil
+			if len(nxt) == 0 {
+				empty = true
+				break
 			}
-			rois = next
+			cur, nxt = nxt, cur
 		}
 	}
-	final := m.nms(scored)
+	// Store the (possibly swapped, possibly grown) buffers back so their
+	// capacity is kept for the next call.
+	s.rois, s.next = cur, nxt
+	if empty {
+		return nil
+	}
+	final := m.nmsInto(s, s.scored)
 	dets := make([]Detection, len(final))
-	for i, s := range final {
-		dets[i] = Detection{Clip: s.Clip, Score: s.Score}
+	for i, sc := range final {
+		dets[i] = Detection{Clip: sc.Clip, Score: sc.Score}
 	}
 	return dets
 }

@@ -45,6 +45,17 @@ type Model struct {
 
 	Anchors *AnchorSet
 	rng     *rand.Rand
+
+	// ws is the model's inference workspace: every tensor the detection
+	// path needs is drawn from this arena and recycled by the Reset at
+	// the top of each Detect call, so steady-state inference allocates no
+	// tensor memory. Clone() builds a fresh Model and therefore a fresh
+	// workspace, which is what keeps DetectLayout's per-replica tile scan
+	// race-free.
+	ws *tensor.Workspace
+	// scratch holds the reusable non-tensor buffers of the detection
+	// pipeline (candidate lists, NMS bookkeeping, RoI rectangles).
+	scratch detectScratch
 }
 
 // NewModel builds and initializes an R-HSD network for the configuration.
@@ -53,7 +64,7 @@ func NewModel(c Config) (*Model, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
-	m := &Model{Config: c, rng: rng}
+	m := &Model{Config: c, rng: rng, ws: tensor.NewWorkspace()}
 
 	// --- feature extraction stem: 3 convs + 2 max pools, ×4 compression
 	// ("compress the feature map size from 224×224 to 56×56", §3.1). The
@@ -272,6 +283,30 @@ func (m *Model) ForwardBase(x *tensor.Tensor) *BaseOutput {
 	}
 }
 
+// InferBase is the inference-path ForwardBase: it resets the model's
+// workspace and runs the extractor and clip proposal network through the
+// allocation-free nn.Inferer path (with conv+activation fusion). The
+// returned BaseOutput and its tensors are owned by the model and valid
+// only until the next InferBase/Detect call. Values are bit-identical to
+// ForwardBase.
+func (m *Model) InferBase(x *tensor.Tensor) *BaseOutput {
+	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != InputChannels ||
+		x.Dim(2) != m.Config.InputSize || x.Dim(3) != m.Config.InputSize {
+		panic(fmt.Sprintf("hsd: InferBase input %v, want [1 %d %d %d]",
+			x.Shape(), InputChannels, m.Config.InputSize, m.Config.InputSize))
+	}
+	m.ws.Reset()
+	fine := m.Stem.Infer(x, m.ws)
+	feat := m.Trunk.Infer(fine, m.ws)
+	trunk := m.RPNTrunk.Infer(feat, m.ws)
+	b := &m.scratch.base
+	b.Feat = feat
+	b.FineFeat = fine
+	b.ClsMap = m.RPNCls.Infer(trunk, m.ws)
+	b.RegMap = m.RPNReg.Infer(trunk, m.ws)
+	return b
+}
+
 // anchorLogits gathers the (non-hotspot, hotspot) logits of anchor i from
 // the cls map. Anchor index layout matches GenerateAnchors: i =
 // (y*W + x)*A + a.
@@ -363,6 +398,22 @@ func (m *Model) RefineForward(out *BaseOutput, rois []geom.Rect) (cls, reg *tens
 	trunkOut := m.RefineTrunk.Forward(pooled)
 	hidden := m.RefineFC.Forward(trunkOut)
 	return m.RefineCls.Forward(hidden), m.RefineReg.Forward(hidden)
+}
+
+// RefineInfer is the inference-path RefineForward: RoI pooling and the
+// refinement stage run on workspace memory with nothing cached for
+// Backward. The returned tensors are valid until the workspace's next
+// Reset (i.e. the next InferBase/Detect call). Values are bit-identical
+// to RefineForward.
+func (m *Model) RefineInfer(out *BaseOutput, rois []geom.Rect) (cls, reg *tensor.Tensor) {
+	pooled := m.RoI.Infer(m.ws, out.Feat, rois)
+	if m.Config.UseFineTap {
+		finePooled := m.RoIFine.Infer(m.ws, out.FineFeat, rois)
+		pooled = tensor.ConcatChannelsInfer(m.ws, pooled, finePooled)
+	}
+	trunkOut := m.RefineTrunk.Infer(pooled, m.ws)
+	hidden := m.RefineFC.Infer(trunkOut, m.ws)
+	return m.RefineCls.Infer(hidden, m.ws), m.RefineReg.Infer(hidden, m.ws)
 }
 
 // RefineBackward propagates head gradients back to the shared feature

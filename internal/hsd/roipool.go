@@ -88,6 +88,57 @@ func (p *RoIPool) Forward(feat *tensor.Tensor, rois []geom.Rect) *tensor.Tensor 
 	return out
 }
 
+// Infer pools each RoI into workspace memory without recording argmax
+// indices or caching the feature map — the allocation-free counterpart
+// of Forward for the detection path. Values are bit-identical to
+// Forward's output.
+func (p *RoIPool) Infer(ws *tensor.Workspace, feat *tensor.Tensor, rois []geom.Rect) *tensor.Tensor {
+	c, h, w := feat.Dim(1), feat.Dim(2), feat.Dim(3)
+	// Zeroed output: degenerate bins and out-of-extent RoIs rely on it.
+	out := ws.ZeroTensor(len(rois), c, p.Size, p.Size)
+	oi := 0
+	for _, roi := range rois {
+		fx0 := clampF(roi.X0/p.Stride, 0, float64(w))
+		fx1 := clampF(roi.X1/p.Stride, 0, float64(w))
+		fy0 := clampF(roi.Y0/p.Stride, 0, float64(h))
+		fy1 := clampF(roi.Y1/p.Stride, 0, float64(h))
+		if fx1-fx0 <= 0 || fy1-fy0 <= 0 {
+			oi += c * p.Size * p.Size
+			continue
+		}
+		bw := (fx1 - fx0) / float64(p.Size)
+		bh := (fy1 - fy0) / float64(p.Size)
+		for ch := 0; ch < c; ch++ {
+			plane := feat.Data()[ch*h*w : (ch+1)*h*w]
+			for by := 0; by < p.Size; by++ {
+				y0 := int(math.Floor(fy0 + float64(by)*bh))
+				y1 := int(math.Ceil(fy0 + float64(by+1)*bh))
+				y0, y1 = clampBin(y0, y1, h)
+				for bx := 0; bx < p.Size; bx++ {
+					x0 := int(math.Floor(fx0 + float64(bx)*bw))
+					x1 := int(math.Ceil(fx0 + float64(bx+1)*bw))
+					x0, x1 = clampBin(x0, x1, w)
+					best := float32(math.Inf(-1))
+					found := false
+					for y := y0; y < y1; y++ {
+						for x := x0; x < x1; x++ {
+							if v := plane[y*w+x]; v > best {
+								best = v
+								found = true
+							}
+						}
+					}
+					if found {
+						out.Data()[oi] = best
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Backward scatters the pooled gradient [R, C, Size, Size] back onto the
 // feature map, accumulating where RoIs overlap.
 func (p *RoIPool) Backward(gy *tensor.Tensor) *tensor.Tensor {

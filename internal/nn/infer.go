@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"rhsd/internal/tensor"
+)
+
+// Inferer is the allocation-free forward path: Infer computes the same
+// values as Forward but draws all output and scratch memory from the
+// caller's Workspace, caches nothing for Backward and never mutates layer
+// state — so a layer may serve Infer calls from one goroutine while its
+// clone trains in another. Returned tensors are valid until the
+// workspace's next Reset.
+//
+// Sequential.Infer additionally fuses Conv2D/Deconv2D + ReLU pairs into a
+// single output sweep via tensor.Epilogue; the fused sequence performs
+// the identical add-then-scale arithmetic, so Infer and Forward agree bit
+// for bit (pinned by TestInferMatchesForward).
+type Inferer interface {
+	Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor
+}
+
+// Infer runs the convolution with its bias fused into the output sweep.
+func (l *Conv2D) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	return tensor.Conv2DInfer(ws, x, l.Weight.W, l.Opts, tensor.Epilogue{Bias: l.Bias.W})
+}
+
+// inferFused additionally folds a trailing leaky ReLU into the sweep.
+func (l *Conv2D) inferFused(x *tensor.Tensor, ws *tensor.Workspace, slope float32) *tensor.Tensor {
+	return tensor.Conv2DInfer(ws, x, l.Weight.W, l.Opts,
+		tensor.Epilogue{Bias: l.Bias.W, Act: true, Slope: slope})
+}
+
+// Infer runs the transposed convolution with fused bias.
+func (l *Deconv2D) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	return tensor.Deconv2DInfer(ws, x, l.Weight.W, l.Opts, tensor.Epilogue{Bias: l.Bias.W})
+}
+
+func (l *Deconv2D) inferFused(x *tensor.Tensor, ws *tensor.Workspace, slope float32) *tensor.Tensor {
+	return tensor.Deconv2DInfer(ws, x, l.Weight.W, l.Opts,
+		tensor.Epilogue{Bias: l.Bias.W, Act: true, Slope: slope})
+}
+
+// Infer pools without recording argmax indices.
+func (l *MaxPool2D) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	return tensor.MaxPool2DInfer(ws, x, l.Kernel, l.Stride)
+}
+
+// Infer applies the activation into workspace memory, leaving the input
+// and the layer's backward mask untouched.
+func (l *ReLU) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	y := ws.Tensor(x.Shape()...)
+	yd, xd := y.Data(), x.Data()
+	for i, v := range xd {
+		if v > 0 {
+			yd[i] = v
+		} else {
+			yd[i] = v * l.Slope
+		}
+	}
+	return y
+}
+
+// Infer reshapes through a workspace view without caching the input shape
+// (Backward is never called on the inference path).
+func (l *Flatten) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	n := x.Dim(0)
+	return ws.View(x.Data(), n, x.Size()/n)
+}
+
+// Infer computes x·W + b into workspace memory.
+func (l *Dense) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	n := x.Dim(0)
+	y := ws.Tensor(n, l.Out)
+	tensor.Gemm(false, false, n, l.Out, l.In, 1, x.Data(), l.Weight.W.Data(), 0, y.Data())
+	bd := l.Bias.W.Data()
+	for i := 0; i < n; i++ {
+		row := y.Data()[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y
+}
+
+// Infer is the identity: dropout is defined to be a no-op at inference
+// time, regardless of the layer's training flag.
+func (l *Dropout) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	return x
+}
+
+// Infer chains the layers' inference paths, fusing each Conv2D/Deconv2D
+// with an immediately following ReLU into one kernel with a fused
+// bias+activation epilogue. Layers without an Infer method fall back to
+// Forward (which allocates and caches — correct, just not free).
+func (s *Sequential) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	for i := 0; i < len(s.Layers); i++ {
+		switch l := s.Layers[i].(type) {
+		case *Conv2D:
+			if i+1 < len(s.Layers) {
+				if r, ok := s.Layers[i+1].(*ReLU); ok {
+					x = l.inferFused(x, ws, r.Slope)
+					i++
+					continue
+				}
+			}
+			x = l.Infer(x, ws)
+		case *Deconv2D:
+			if i+1 < len(s.Layers) {
+				if r, ok := s.Layers[i+1].(*ReLU); ok {
+					x = l.inferFused(x, ws, r.Slope)
+					i++
+					continue
+				}
+			}
+			x = l.Infer(x, ws)
+		default:
+			x = inferLayer(s.Layers[i], x, ws)
+		}
+	}
+	return x
+}
+
+// Infer runs every branch on x and concatenates along channels. The
+// branch-output scratch slice is cached on the layer; it holds only
+// workspace tensors and is overwritten on every call, so it is not
+// training state.
+func (l *ConcatBranches) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	if cap(l.inferOuts) < len(l.Branches) {
+		l.inferOuts = make([]*tensor.Tensor, len(l.Branches))
+	}
+	outs := l.inferOuts[:len(l.Branches)]
+	for i, b := range l.Branches {
+		outs[i] = inferLayer(b, x, ws)
+	}
+	return tensor.ConcatChannelsInfer(ws, outs...)
+}
+
+// inferLayer dispatches to a layer's Infer when it has one, else Forward.
+func inferLayer(l Layer, x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	if inf, ok := l.(Inferer); ok {
+		return inf.Infer(x, ws)
+	}
+	return l.Forward(x)
+}

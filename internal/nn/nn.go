@@ -309,7 +309,8 @@ func (s *Sequential) Params() []*Param {
 type ConcatBranches struct {
 	Branches []Layer
 
-	outC []int
+	outC      []int
+	inferOuts []*tensor.Tensor // reusable branch-output scratch for Infer
 }
 
 // NewConcatBranches builds a multi-branch concat container.

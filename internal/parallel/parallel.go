@@ -112,6 +112,83 @@ func For(n, grain int, fn func(start, end int)) {
 	wg.Wait()
 }
 
+// Slots returns the number of worker slots ForIndexed will use for a
+// range of n indices at the given grain: min(Workers(), chunk count),
+// at least 1. Callers that hand each worker a private scratch buffer
+// (e.g. the packed-GEMM B panels) size the buffer array with Slots
+// before invoking ForIndexed.
+func Slots(n, grain int) int {
+	if n <= 0 {
+		return 1
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForIndexed is For with worker-slot identity: fn additionally receives
+// a slot id in [0, Slots(n, grain)) that is stable for the lifetime of
+// one goroutine. Chunks are still claimed dynamically, so the slot→chunk
+// mapping is not deterministic — slots exist only so each concurrent
+// worker can own private scratch (a workspace) without locking. Kernels
+// must not let slot identity influence results; the determinism contract
+// of For applies unchanged.
+//
+// The worker count must not change between a Slots call and the
+// ForIndexed call it sizes (SetWorkers is a test/startup-time knob, not
+// a mid-kernel one).
+func ForIndexed(n, grain int, fn func(slot, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var next int32
+	run := func(slot int) {
+		for {
+			c := int(atomic.AddInt32(&next, 1)) - 1
+			if c >= chunks {
+				return
+			}
+			start := c * grain
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			fn(slot, start, end)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		go func(slot int) {
+			defer wg.Done()
+			run(slot)
+		}(i)
+	}
+	run(0)
+	wg.Wait()
+}
+
 // GrainFor sizes a chunk so each one carries at least minWork units when
 // every index costs perItem units: kernels use it to keep goroutine
 // overhead negligible on small problems (For falls back to serial when

@@ -15,6 +15,7 @@ func BenchmarkGemm(b *testing.B) {
 	bb := randSlice(rng, k*n)
 	c := make([]float32, m*n)
 	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Gemm(false, false, m, n, k, 1, a, bb, 0, c)
@@ -32,6 +33,7 @@ func BenchmarkConv2D(b *testing.B) {
 	bias := New(64)
 	bias.RandN(rng, 1)
 	o := ConvOpts{Kernel: 3, Stride: 1, Padding: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Conv2D(x, w, bias, o)
@@ -44,6 +46,7 @@ func BenchmarkMaxPool2D(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	x := New(1, 32, 224, 224)
 	x.RandN(rng, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MaxPool2D(x, 2, 2)

@@ -39,37 +39,7 @@ func Im2Col(x *Tensor, o ConvOpts) *Tensor {
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	col := New(c*o.Kernel*o.Kernel, oh*ow)
-	cd := col.data
-	xd := x.data
-	perChan := o.Kernel * o.Kernel * oh * ow
-	parallel.For(c, parallel.GrainFor(perChan, convMinChunkWork), func(c0, c1 int) {
-		for ch := c0; ch < c1; ch++ {
-			base := ch * h * w
-			row := ch * o.Kernel * o.Kernel
-			for ky := 0; ky < o.Kernel; ky++ {
-				for kx := 0; kx < o.Kernel; kx++ {
-					dst := cd[row*oh*ow:]
-					row++
-					i := 0
-					for oy := 0; oy < oh; oy++ {
-						sy := oy*o.Stride + ky - o.Padding
-						if sy < 0 || sy >= h {
-							i += ow
-							continue
-						}
-						srow := xd[base+sy*w : base+sy*w+w]
-						for ox := 0; ox < ow; ox++ {
-							sx := ox*o.Stride + kx - o.Padding
-							if sx >= 0 && sx < w {
-								dst[i] = srow[sx]
-							}
-							i++
-						}
-					}
-				}
-			}
-		}
-	})
+	im2colInto(x.data, c, h, w, o, col.data)
 	return col
 }
 
@@ -83,40 +53,10 @@ func Col2Im(col *Tensor, c, h, w int, o ConvOpts) *Tensor {
 			col.shape, c, h, w, o))
 	}
 	x := New(c, h, w)
-	cd := col.data
-	xd := x.data
 	// Each channel scatters only into its own image plane, so channels
 	// parallelise without write conflicts; the ky/kx accumulation order
 	// within a channel is unchanged, keeping results bit-exact.
-	perChan := o.Kernel * o.Kernel * oh * ow
-	parallel.For(c, parallel.GrainFor(perChan, convMinChunkWork), func(c0, c1 int) {
-		for ch := c0; ch < c1; ch++ {
-			base := ch * h * w
-			row := ch * o.Kernel * o.Kernel
-			for ky := 0; ky < o.Kernel; ky++ {
-				for kx := 0; kx < o.Kernel; kx++ {
-					src := cd[row*oh*ow:]
-					row++
-					i := 0
-					for oy := 0; oy < oh; oy++ {
-						sy := oy*o.Stride + ky - o.Padding
-						if sy < 0 || sy >= h {
-							i += ow
-							continue
-						}
-						drow := xd[base+sy*w : base+sy*w+w]
-						for ox := 0; ox < ow; ox++ {
-							sx := ox*o.Stride + kx - o.Padding
-							if sx >= 0 && sx < w {
-								drow[sx] += src[i]
-							}
-							i++
-						}
-					}
-				}
-			}
-		}
-	})
+	col2imInto(col.data, c, h, w, o, x.data)
 	return x
 }
 
@@ -337,37 +277,60 @@ func MaxPool2D(x *Tensor, kernel, stride int) (*Tensor, []int32) {
 	}
 	out := New(n, c, oh, ow)
 	arg := make([]int32, out.Size())
-	// Every (batch, channel) plane pools independently into its own output
-	// slice, so planes spread across the worker pool. The scan order within
-	// a plane is unchanged, preserving the first-maximum tie-break.
+	maxPool2DInto(x.data, n, c, h, w, kernel, stride, out.data, arg)
+	return out, arg
+}
+
+// maxPool2DInto is the shared pooling core: it fills od (and arg when
+// non-nil) for an input plane set [n,c,h,w]. Every (batch, channel)
+// plane pools independently into its own output slice, so planes spread
+// across the worker pool. The scan order within a plane is unchanged,
+// preserving the first-maximum tie-break.
+func maxPool2DInto(xd []float32, n, c, h, w, kernel, stride int, od []float32, arg []int32) {
+	oh := (h-kernel)/stride + 1
+	ow := (w-kernel)/stride + 1
 	perPlane := oh * ow * kernel * kernel
+	// Direct call when serial: creating the closure for parallel.For would
+	// heap-allocate on every pool layer (see gemmPacked for the rationale).
+	if parallel.Workers() == 1 {
+		maxPoolPlanes(xd, h, w, kernel, stride, od, arg, 0, n*c)
+		return
+	}
 	parallel.For(n*c, parallel.GrainFor(perPlane, convMinChunkWork), func(p0, p1 int) {
-		for p := p0; p < p1; p++ {
-			plane := x.data[p*h*w : (p+1)*h*w]
-			oi := p * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := float32(-1e30)
-					bestIdx := int32(0)
-					for ky := 0; ky < kernel; ky++ {
-						sy := oy*stride + ky
-						rowOff := sy * w
-						for kx := 0; kx < kernel; kx++ {
-							sx := ox*stride + kx
-							if v := plane[rowOff+sx]; v > best {
-								best = v
-								bestIdx = int32(rowOff + sx)
-							}
+		maxPoolPlanes(xd, h, w, kernel, stride, od, arg, p0, p1)
+	})
+}
+
+// maxPoolPlanes pools (batch, channel) planes [p0, p1).
+func maxPoolPlanes(xd []float32, h, w, kernel, stride int, od []float32, arg []int32, p0, p1 int) {
+	oh := (h-kernel)/stride + 1
+	ow := (w-kernel)/stride + 1
+	for p := p0; p < p1; p++ {
+		plane := xd[p*h*w : (p+1)*h*w]
+		oi := p * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(-1e30)
+				bestIdx := int32(0)
+				for ky := 0; ky < kernel; ky++ {
+					sy := oy*stride + ky
+					rowOff := sy * w
+					for kx := 0; kx < kernel; kx++ {
+						sx := ox*stride + kx
+						if v := plane[rowOff+sx]; v > best {
+							best = v
+							bestIdx = int32(rowOff + sx)
 						}
 					}
-					out.data[oi] = best
-					arg[oi] = bestIdx
-					oi++
 				}
+				od[oi] = best
+				if arg != nil {
+					arg[oi] = bestIdx
+				}
+				oi++
 			}
 		}
-	})
-	return out, arg
+	}
 }
 
 // MaxPool2DBackward routes the upstream gradient gy back to the argmax

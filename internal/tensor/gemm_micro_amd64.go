@@ -1,0 +1,22 @@
+package tensor
+
+// gemmMicro4x8 dispatches to the SSE micro-kernel. MULPS/ADDPS round each
+// lane exactly like the scalar mul-then-add of gemmMicro4x8Go (no FMA
+// contraction), so the asm and portable kernels are bit-identical and the
+// cross-worker determinism contract is unaffected by the architecture.
+func gemmMicro4x8(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
+	if kc <= 0 {
+		for i := range acc {
+			acc[i] = 0
+		}
+		return
+	}
+	_ = pa[kc*gemmMR-1]
+	_ = pb[kc*gemmNR-1]
+	gemmMicro4x8SSE(kc, &pa[0], &pb[0], acc)
+}
+
+// gemmMicro4x8SSE is implemented in gemm_micro_amd64.s.
+//
+//go:noescape
+func gemmMicro4x8SSE(kc int, pa, pb *float32, acc *[gemmMR * gemmNR]float32)

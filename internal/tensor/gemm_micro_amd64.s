@@ -1,0 +1,82 @@
+// SSE micro-kernel for the packed GEMM: a 4×8 register tile accumulated
+// over kc packed steps.
+//
+//   acc[r*8+s] = Σ_p pa[p*4+r] · pb[p*8+s]
+//
+// The 4×8 tile lives in X0–X7 (two 4-lane vectors per row). Each step
+// loads one 8-wide B slice (X8, X9), broadcasts the 4 A values in turn
+// (X12) and does mul-then-add per row — MOVAPS+MULPS+ADDPS, not FMA, so
+// every lane rounds exactly like the portable Go kernel.
+//
+// func gemmMicro4x8SSE(kc int, pa, pb *float32, acc *[32]float32)
+#include "textflag.h"
+
+TEXT ·gemmMicro4x8SSE(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+loop:
+	MOVUPS (DI), X8      // b0..b3
+	MOVUPS 16(DI), X9    // b4..b7
+
+	MOVSS  (SI), X12     // a0
+	SHUFPS $0x00, X12, X12
+	MOVAPS X8, X10
+	MOVAPS X9, X11
+	MULPS  X12, X10
+	MULPS  X12, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+
+	MOVSS  4(SI), X12    // a1
+	SHUFPS $0x00, X12, X12
+	MOVAPS X8, X10
+	MOVAPS X9, X11
+	MULPS  X12, X10
+	MULPS  X12, X11
+	ADDPS  X10, X2
+	ADDPS  X11, X3
+
+	MOVSS  8(SI), X12    // a2
+	SHUFPS $0x00, X12, X12
+	MOVAPS X8, X10
+	MOVAPS X9, X11
+	MULPS  X12, X10
+	MULPS  X12, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+
+	MOVSS  12(SI), X12   // a3
+	SHUFPS $0x00, X12, X12
+	MOVAPS X8, X10
+	MOVAPS X9, X11
+	MULPS  X12, X10
+	MULPS  X12, X11
+	ADDPS  X10, X6
+	ADDPS  X11, X7
+
+	ADDQ $16, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+	MOVUPS X0, (DX)
+	MOVUPS X1, 16(DX)
+	MOVUPS X2, 32(DX)
+	MOVUPS X3, 48(DX)
+	MOVUPS X4, 64(DX)
+	MOVUPS X5, 80(DX)
+	MOVUPS X6, 96(DX)
+	MOVUPS X7, 112(DX)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// gemmMicro4x8 falls back to the portable kernel on architectures without
+// an assembly implementation.
+func gemmMicro4x8(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
+	gemmMicro4x8Go(kc, pa, pb, acc)
+}

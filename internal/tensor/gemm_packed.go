@@ -1,0 +1,342 @@
+package tensor
+
+import (
+	"sync"
+
+	"rhsd/internal/parallel"
+)
+
+// Packed cache-blocked GEMM (BLIS-style). op(A) and op(B) are repacked
+// into contiguous panels sized for cache residency and swept by a
+// register-blocked 4×8 micro-kernel:
+//
+//   - A is packed once, alpha folded in, as MR-wide row panels grouped by
+//     KC-deep k-blocks. The whole packed A is reused by every column
+//     block, so it stays hot in L2/L3 across the sweep.
+//   - The n axis is cut into NC-wide column blocks; the blocks fan out
+//     over the worker pool and each concurrent worker packs B panels for
+//     its current block into a private per-slot buffer (no locking,
+//     parallel.ForIndexed provides the slot id).
+//   - For each (k-block, column block) the micro-kernel accumulates a
+//     4×8 register tile over the packed panels and adds it into C.
+//
+// Determinism: the block geometry (MR/NR/KC/NC) is fixed and the k-blocks
+// of one output element are always accumulated in ascending order by the
+// single worker that owns the element's column block, so the result is
+// bit-identical for every worker count. Only the grouping of the k-sum
+// differs from the unblocked kernel, so the two agree to rounding.
+const (
+	gemmMR = 4   // micro-kernel rows (register tile height)
+	gemmNR = 8   // micro-kernel cols (register tile width)
+	gemmKC = 256 // k-block depth: one A panel (KC·MR) ≈ 4 KB, L1-resident
+	gemmNC = 128 // column-block width: one packed B block (KC·NC) = 128 KB
+)
+
+// packBufPool recycles pack buffers across Gemm calls so steady-state
+// inference performs no heap allocations. Buffers are binned by
+// power-of-two size class; each class keeps a bounded stack so a burst of
+// concurrent training goroutines cannot pin unbounded memory.
+var packBufPool struct {
+	mu   sync.Mutex
+	bins map[int][][]float32
+}
+
+const packBufPoolPerClass = 16
+
+func packBufGet(n int) []float32 {
+	class := sizeClass(n)
+	packBufPool.mu.Lock()
+	if packBufPool.bins == nil {
+		packBufPool.bins = make(map[int][][]float32)
+	}
+	bin := packBufPool.bins[class]
+	if len(bin) > 0 {
+		buf := bin[len(bin)-1]
+		packBufPool.bins[class] = bin[:len(bin)-1]
+		packBufPool.mu.Unlock()
+		return buf[:n]
+	}
+	packBufPool.mu.Unlock()
+	return make([]float32, n, 1<<class)
+}
+
+func packBufPut(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	class := sizeClass(len(buf))
+	if 1<<class != len(buf) {
+		// Foreign capacity (not pool-shaped); binning it would lie about
+		// its size class, so drop it for the GC.
+		return
+	}
+	packBufPool.mu.Lock()
+	if packBufPool.bins == nil {
+		packBufPool.bins = make(map[int][][]float32)
+	}
+	if len(packBufPool.bins[class]) < packBufPoolPerClass {
+		packBufPool.bins[class] = append(packBufPool.bins[class], buf)
+	}
+	packBufPool.mu.Unlock()
+}
+
+// sizeClass returns the exponent of the smallest power of two ≥ n (≥ 64
+// elements, so tiny buffers share a bin).
+func sizeClass(n int) int {
+	class := 6
+	for 1<<class < n {
+		class++
+	}
+	return class
+}
+
+func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	mPanels := (m + gemmMR - 1) / gemmMR
+	kBlocks := (k + gemmKC - 1) / gemmKC
+	nBlocks := (n + gemmNC - 1) / gemmNC
+
+	pa := packBufGet(kBlocks * mPanels * gemmKC * gemmMR)
+	packA(transA, m, k, alpha, a, pa)
+
+	const pbStride = gemmKC * gemmNC
+	slots := parallel.Slots(nBlocks, 1)
+	pbAll := packBufGet(slots * pbStride)
+
+	if slots == 1 {
+		// Serial fast path: calling the named block sweep directly avoids
+		// creating a closure (which Go heap-allocates unconditionally
+		// because it may flow to a goroutine) — this keeps single-worker
+		// inference allocation-free.
+		gemmPackedBlocks(transB, m, n, k, beta, b, c, pa, pbAll, kBlocks, mPanels, 0, nBlocks)
+	} else {
+		parallel.ForIndexed(nBlocks, 1, func(slot, b0, b1 int) {
+			pb := pbAll[slot*pbStride : (slot+1)*pbStride]
+			gemmPackedBlocks(transB, m, n, k, beta, b, c, pa, pb, kBlocks, mPanels, b0, b1)
+		})
+	}
+
+	packBufPut(pbAll)
+	packBufPut(pa)
+}
+
+// gemmPackedBlocks sweeps column blocks [b0, b1) using the private pack
+// buffer pb for B panels.
+func gemmPackedBlocks(transB bool, m, n, k int, beta float32, b, c, pa, pb []float32, kBlocks, mPanels, b0, b1 int) {
+	for blk := b0; blk < b1; blk++ {
+		jc := blk * gemmNC
+		nc := n - jc
+		if nc > gemmNC {
+			nc = gemmNC
+		}
+		nPanels := (nc + gemmNR - 1) / gemmNR
+		for kb := 0; kb < kBlocks; kb++ {
+			pc := kb * gemmKC
+			kc := k - pc
+			if kc > gemmKC {
+				kc = gemmKC
+			}
+			packB(transB, k, n, jc, nc, pc, kc, b, pb)
+			first := kb == 0
+			for mp := 0; mp < mPanels; mp++ {
+				paPanel := pa[(kb*mPanels+mp)*gemmKC*gemmMR:]
+				i0 := mp * gemmMR
+				mi := m - i0
+				if mi > gemmMR {
+					mi = gemmMR
+				}
+				for np := 0; np < nPanels; np++ {
+					j0 := jc + np*gemmNR
+					nj := n - j0
+					if nj > gemmNR {
+						nj = gemmNR
+					}
+					var acc [gemmMR * gemmNR]float32
+					gemmMicro4x8(kc, paPanel, pb[np*gemmKC*gemmNR:], &acc)
+					storeTile(c, n, i0, j0, mi, nj, &acc, first, beta)
+				}
+			}
+		}
+	}
+}
+
+// packA lays op(A) out as [kBlocks][mPanels][KC·MR] panels with alpha
+// folded in: within a panel, element (p, r) holds alpha·op(A)[i0+r, pc+p].
+// Rows beyond m pad with zeros so the micro-kernel needs no row tail.
+func packA(transA bool, m, k int, alpha float32, a []float32, pa []float32) {
+	mPanels := (m + gemmMR - 1) / gemmMR
+	for kb, pc := 0, 0; pc < k; kb, pc = kb+1, pc+gemmKC {
+		kc := k - pc
+		if kc > gemmKC {
+			kc = gemmKC
+		}
+		for mp := 0; mp < mPanels; mp++ {
+			dst := pa[(kb*mPanels+mp)*gemmKC*gemmMR:]
+			i0 := mp * gemmMR
+			if i0+gemmMR <= m {
+				// Full panel: no row bounds checks in the copy loop.
+				if transA {
+					for p := 0; p < kc; p++ {
+						arow := a[(pc+p)*m+i0:]
+						d := dst[p*gemmMR:]
+						d[0] = alpha * arow[0]
+						d[1] = alpha * arow[1]
+						d[2] = alpha * arow[2]
+						d[3] = alpha * arow[3]
+					}
+				} else {
+					a0 := a[i0*k:]
+					a1 := a[(i0+1)*k:]
+					a2 := a[(i0+2)*k:]
+					a3 := a[(i0+3)*k:]
+					for p := 0; p < kc; p++ {
+						d := dst[p*gemmMR:]
+						d[0] = alpha * a0[pc+p]
+						d[1] = alpha * a1[pc+p]
+						d[2] = alpha * a2[pc+p]
+						d[3] = alpha * a3[pc+p]
+					}
+				}
+				continue
+			}
+			for p := 0; p < kc; p++ {
+				for r := 0; r < gemmMR; r++ {
+					i := i0 + r
+					var v float32
+					if i < m {
+						if transA {
+							v = a[(pc+p)*m+i]
+						} else {
+							v = a[i*k+pc+p]
+						}
+					}
+					dst[p*gemmMR+r] = alpha * v
+				}
+			}
+		}
+	}
+}
+
+// packB lays the (pc..pc+kc, jc..jc+nc) block of op(B) out as
+// [nPanels][KC·NR] panels: within a panel, element (p, s) holds
+// op(B)[pc+p, j0+s]. Columns beyond the matrix pad with zeros.
+func packB(transB bool, k, n, jc, nc, pc, kc int, b []float32, pb []float32) {
+	nPanels := (nc + gemmNR - 1) / gemmNR
+	for np := 0; np < nPanels; np++ {
+		dst := pb[np*gemmKC*gemmNR:]
+		j0 := jc + np*gemmNR
+		if j0+gemmNR <= jc+nc {
+			if transB {
+				for p := 0; p < kc; p++ {
+					d := dst[p*gemmNR:]
+					for s := 0; s < gemmNR; s++ {
+						d[s] = b[(j0+s)*k+pc+p]
+					}
+				}
+			} else {
+				for p := 0; p < kc; p++ {
+					brow := b[(pc+p)*n+j0:]
+					copy(dst[p*gemmNR:p*gemmNR+gemmNR], brow[:gemmNR])
+				}
+			}
+			continue
+		}
+		for p := 0; p < kc; p++ {
+			for s := 0; s < gemmNR; s++ {
+				j := j0 + s
+				var v float32
+				if j < jc+nc {
+					if transB {
+						v = b[j*k+pc+p]
+					} else {
+						v = b[(pc+p)*n+j]
+					}
+				}
+				dst[p*gemmNR+s] = v
+			}
+		}
+	}
+}
+
+// gemmMicro4x8Go accumulates a 4×8 tile over kc packed steps:
+// acc[r*8+s] = Σ_p pa[p*4+r]·pb[p*8+s]. It is the portable reference for
+// the per-arch gemmMicro4x8; the SSE implementation uses MULPS/ADDPS,
+// whose per-lane rounding is identical to scalar mul-then-add, so both
+// produce bit-identical results (pinned by TestGemmMicroKernelParity).
+func gemmMicro4x8Go(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
+	var (
+		c00, c01, c02, c03, c04, c05, c06, c07 float32
+		c10, c11, c12, c13, c14, c15, c16, c17 float32
+		c20, c21, c22, c23, c24, c25, c26, c27 float32
+		c30, c31, c32, c33, c34, c35, c36, c37 float32
+	)
+	pa = pa[:kc*gemmMR]
+	pb = pb[:kc*gemmNR]
+	for p := 0; p < kc; p++ {
+		pav := pa[p*gemmMR : p*gemmMR+gemmMR]
+		pbv := pb[p*gemmNR : p*gemmNR+gemmNR]
+		a0, a1, a2, a3 := pav[0], pav[1], pav[2], pav[3]
+		b0, b1, b2, b3 := pbv[0], pbv[1], pbv[2], pbv[3]
+		b4, b5, b6, b7 := pbv[4], pbv[5], pbv[6], pbv[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
+	}
+	acc[0], acc[1], acc[2], acc[3], acc[4], acc[5], acc[6], acc[7] = c00, c01, c02, c03, c04, c05, c06, c07
+	acc[8], acc[9], acc[10], acc[11], acc[12], acc[13], acc[14], acc[15] = c10, c11, c12, c13, c14, c15, c16, c17
+	acc[16], acc[17], acc[18], acc[19], acc[20], acc[21], acc[22], acc[23] = c20, c21, c22, c23, c24, c25, c26, c27
+	acc[24], acc[25], acc[26], acc[27], acc[28], acc[29], acc[30], acc[31] = c30, c31, c32, c33, c34, c35, c36, c37
+}
+
+// storeTile adds the mi×nj valid region of a 4×8 accumulator tile into C
+// at (i0, j0). On the first k-block the destination is beta-scaled first,
+// matching the beta-then-accumulate semantics of the unblocked kernel.
+func storeTile(c []float32, n, i0, j0, mi, nj int, acc *[gemmMR * gemmNR]float32, first bool, beta float32) {
+	for r := 0; r < mi; r++ {
+		crow := c[(i0+r)*n+j0 : (i0+r)*n+j0+nj]
+		arow := acc[r*gemmNR : r*gemmNR+nj]
+		switch {
+		case first && beta == 0:
+			for s := range crow {
+				crow[s] = arow[s]
+			}
+		case first && beta != 1:
+			for s := range crow {
+				crow[s] = beta*crow[s] + arow[s]
+			}
+		default:
+			for s := range crow {
+				crow[s] += arow[s]
+			}
+		}
+	}
+}

@@ -50,29 +50,79 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // parallel.For degrades to the serial path.
 const gemmMinChunkFlops = 1 << 15
 
+// gemmPackedMinFlops is the multiply-add count below which Gemm skips the
+// packed kernel: for small products the pack/store traffic costs more
+// than the cache blocking saves, so the unblocked row kernel runs
+// serially instead. The cutoff depends only on the problem shape, never
+// on the worker count, so results stay bit-identical across pools.
+const gemmPackedMinFlops = 1 << 17
+
 // Gemm computes c = alpha·op(a)·op(b) + beta·c where op optionally
 // transposes. Dimensions follow BLAS convention: op(a) is m×k, op(b) is
-// k×n and c is m×n. The inner loops are arranged so the innermost access
-// pattern is contiguous for the common non-transposed case.
+// k×n and c is m×n.
 //
-// Large products are row-blocked across the parallel worker pool; each
-// output element is produced by exactly one worker with a fixed p-ascending
-// accumulation order, so the result is bit-identical for every worker
-// count (including the serial fallback).
+// Large products run through the packed cache-blocked kernel
+// (gemm_packed.go): A and B are packed into cache-resident panels and a
+// register-blocked 4×8 micro-kernel sweeps them, with column blocks
+// fanned out over the parallel worker pool. Small products fall back to
+// the unblocked row kernel, serially. In both regimes every output
+// element is produced by exactly one worker with a fixed k-ascending
+// accumulation order determined only by the problem shape, so the result
+// is bit-identical for every worker count.
+//
+// Zero entries in a do not short-circuit the update: 0·x follows IEEE
+// semantics, so NaN and Inf in b propagate into c (pinned by
+// TestGemmZeroTimesNaNPropagates).
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	if len(c) < m*n {
 		panic("tensor: Gemm output buffer too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		// Degenerate product: by BLAS convention alpha==0 (and an empty
+		// inner dimension) means op(a)·op(b) is not referenced and only
+		// the beta scaling of c remains.
+		scaleRows(c, m*n, beta)
+		return
+	}
+	if m*n*k < gemmPackedMinFlops {
+		gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, beta, c)
+		return
+	}
+	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+// GemmUnblocked is the PR-1 row-parallel triple-loop kernel, kept as the
+// reference implementation: the packed kernel is validated against it in
+// tests and compared against it in `rhsd-bench -exp alloc`. Semantics
+// match Gemm (including IEEE 0·NaN propagation); only the accumulation
+// *grouping* differs, so results agree to rounding, not to the bit.
+func GemmUnblocked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if len(c) < m*n {
+		panic("tensor: Gemm output buffer too small")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		scaleRows(c, m*n, beta)
+		return
+	}
+	// Direct call when serial so no closure is allocated (see gemmPacked).
+	if parallel.Workers() == 1 {
+		gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, beta, c)
+		return
 	}
 	parallel.For(m, parallel.GrainFor(n*k, gemmMinChunkFlops), func(i0, i1 int) {
 		gemmRows(transA, transB, i0, i1, m, n, k, alpha, a, b, beta, c)
 	})
 }
 
-// gemmRows computes output rows [i0, i1) of the full m×n product,
-// including the beta pre-scaling of those rows. Each element c[i,j] is
-// read and written only by the chunk owning row i.
-func gemmRows(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
-	cseg := c[i0*n : i1*n]
+// scaleRows applies the beta pre-scaling to the first n elements of c.
+func scaleRows(c []float32, n int, beta float32) {
+	cseg := c[:n]
 	if beta == 0 {
 		for i := range cseg {
 			cseg[i] = 0
@@ -82,6 +132,16 @@ func gemmRows(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b []fl
 			cseg[i] *= beta
 		}
 	}
+}
+
+// gemmRows computes output rows [i0, i1) of the full m×n product,
+// including the beta pre-scaling of those rows. Each element c[i,j] is
+// read and written only by the chunk owning row i.
+//
+// There is deliberately no `av == 0` fast path: skipping zero entries of
+// a would suppress IEEE NaN/Inf propagation from b (0·NaN must be NaN).
+func gemmRows(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	scaleRows(c[i0*n:], (i1-i0)*n, beta)
 	switch {
 	case !transA && !transB:
 		// c[i,j] += alpha * a[i,p] * b[p,j]; iterate p in the middle so the
@@ -91,9 +151,6 @@ func gemmRows(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b []fl
 			crow := c[i*n : i*n+n]
 			for p := 0; p < k; p++ {
 				av := alpha * arow[p]
-				if av == 0 {
-					continue
-				}
 				brow := b[p*n : p*n+n]
 				for j, bv := range brow {
 					crow[j] += av * bv
@@ -109,9 +166,6 @@ func gemmRows(transA, transB bool, i0, i1, m, n, k int, alpha float32, a, b []fl
 			brow := b[p*n : p*n+n]
 			for i := i0; i < i1; i++ {
 				av := alpha * arow[i]
-				if av == 0 {
-					continue
-				}
 				crow := c[i*n : i*n+n]
 				for j, bv := range brow {
 					crow[j] += av * bv

@@ -115,7 +115,9 @@ func (t *Tensor) offset(idx []int) int {
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+			// Static message: formatting idx here would leak the variadic
+			// slice and make every At/Set call heap-allocate its indices.
+			panic("tensor: index out of range")
 		}
 		off = off*t.shape[i] + x
 	}

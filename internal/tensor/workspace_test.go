@@ -1,0 +1,91 @@
+package tensor
+
+import "testing"
+
+func TestWorkspaceReuseAfterReset(t *testing.T) {
+	ws := NewWorkspace()
+	b1 := ws.Get(100)
+	if len(b1) != 100 {
+		t.Fatalf("Get(100) returned len %d", len(b1))
+	}
+	t1 := ws.Tensor(3, 5)
+	if got := t1.Shape(); got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Tensor shape = %v", got)
+	}
+	ws.Reset()
+
+	// Same size classes after Reset → same backing arrays, no growth.
+	b2 := ws.Get(100)
+	if &b1[0] != &b2[0] {
+		t.Error("Get after Reset did not reuse the freed buffer")
+	}
+	t2 := ws.Tensor(5, 3)
+	if t1 != t2 {
+		t.Error("Tensor header was not recycled after Reset")
+	}
+	if got := t2.Shape(); got[0] != 5 || got[1] != 3 {
+		t.Fatalf("recycled header shape = %v", got)
+	}
+
+	// Steady state: identical request sequence allocates nothing.
+	allocs := testing.AllocsPerRun(20, func() {
+		ws.Reset()
+		_ = ws.Get(100)
+		_ = ws.Tensor(5, 3)
+		_ = ws.View(b2, 10, 10)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state workspace use allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+func TestWorkspaceZeroed(t *testing.T) {
+	ws := NewWorkspace()
+	s := ws.Get(64)
+	for i := range s {
+		s[i] = 7
+	}
+	ws.Reset()
+	z := ws.GetZeroed(64)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed[%d] = %v", i, v)
+		}
+	}
+	ws.Reset()
+	zt := ws.ZeroTensor(8, 8)
+	for i, v := range zt.Data() {
+		if v != 0 {
+			t.Fatalf("ZeroTensor data[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestWorkspaceNilFallback(t *testing.T) {
+	var ws *Workspace
+	if got := len(ws.Get(10)); got != 10 {
+		t.Fatalf("nil Get len = %d", got)
+	}
+	tt := ws.Tensor(2, 3)
+	if got := tt.Shape(); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("nil Tensor shape = %v", got)
+	}
+	v := ws.View(make([]float32, 6), 3, 2)
+	if got := v.Shape(); got[0] != 3 || got[1] != 2 {
+		t.Fatalf("nil View shape = %v", got)
+	}
+	ws.Reset() // must not panic
+	if ws.Footprint() != 0 {
+		t.Fatal("nil Footprint != 0")
+	}
+}
+
+func TestWorkspaceViewLengthCheck(t *testing.T) {
+	ws := NewWorkspace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("View with mismatched length did not panic")
+		}
+	}()
+	ws.View(make([]float32, 5), 2, 3)
+}
