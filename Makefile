@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify bench bench-smoke bench-parallel bench-alloc
+.PHONY: build vet test race race-full verify bench bench-smoke bench-parallel bench-alloc bench-scan
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,7 @@ bench-parallel:
 # Heap-path vs zero-allocation inference comparison; writes BENCH_alloc.json.
 bench-alloc:
 	$(GO) run ./cmd/rhsd-bench -exp alloc
+
+# Per-tile vs megatile full-chip scan comparison; writes BENCH_scan.json.
+bench-scan:
+	$(GO) run ./cmd/rhsd-bench -exp scan

@@ -6,14 +6,17 @@
 //	rhsd-bench -exp figure10            # ablation study (Figure 10)
 //	rhsd-bench -exp parallel            # serial vs parallel compute engine
 //	rhsd-bench -exp alloc               # heap-path vs zero-alloc inference
+//	rhsd-bench -exp scan                # per-tile vs megatile full-chip scan
 //	rhsd-bench -exp all -out out/
 //
 // The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
 // pool used by the parallel compute engine; -exp parallel writes the
-// serial-vs-parallel wall-clock comparison to BENCH_parallel.json and
+// serial-vs-parallel wall-clock comparison to BENCH_parallel.json,
 // -exp alloc writes the allocation comparison (unblocked vs packed GEMM,
-// training-path vs workspace-backed inference) to BENCH_alloc.json. Both
-// reports embed host metadata (CPU count, GOMAXPROCS, arch).
+// training-path vs workspace-backed inference) to BENCH_alloc.json, and
+// -exp scan writes the per-tile vs megatile scan comparison to
+// BENCH_scan.json. All reports embed host metadata (CPU count,
+// GOMAXPROCS, arch).
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // whatever experiments ran, for offline hot-path diagnosis.
@@ -39,7 +42,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
@@ -48,6 +51,7 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -exp parallel report")
 	allocOut := flag.String("alloc-out", "BENCH_alloc.json", "output path for the -exp alloc report")
+	scanOut := flag.String("scan-out", "BENCH_scan.json", "output path for the -exp scan report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -102,7 +106,8 @@ func main() {
 	runExtTable := *expFlag == "table1-ext" || *expFlag == "all"
 	runPar := *expFlag == "parallel" || *expFlag == "all"
 	runAlloc := *expFlag == "alloc" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc {
+	runScan := *expFlag == "scan" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
 
@@ -116,6 +121,13 @@ func main() {
 	if runAlloc {
 		progress(fmt.Sprintf("allocation bench: %d workers", parallel.Workers()))
 		if err := runAllocBench(p, parallel.Workers(), *allocOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runScan {
+		progress(fmt.Sprintf("scan bench: %d workers", parallel.Workers()))
+		if err := runScanBench(p, parallel.Workers(), *scanOut, progress); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+)
+
+// scanBenchEntry is one full-chip scan measurement in BENCH_scan.json.
+// Factor 0 is the per-tile baseline; factor f ≥ 1 is the megatile scan
+// with f×f regions per forward pass.
+type scanBenchEntry struct {
+	Name       string  `json:"name"`
+	Factor     int     `json:"factor"`
+	WallMS     float64 `json:"wall_ms"`
+	Speedup    float64 `json:"speedup_vs_per_tile"`
+	RasterPx   int64   `json:"raster_px"`
+	Detections int     `json:"detections"`
+}
+
+// scanBenchReport is the BENCH_scan.json schema: the per-tile scan
+// against megatile scans of increasing factor on the same window, at the
+// configured worker count, with host context.
+type scanBenchReport struct {
+	Host       hostMeta         `json:"host"`
+	Workers    int              `json:"workers"`
+	WindowNM   int              `json:"window_nm"`
+	WindowTile int              `json:"window_regions_per_side"`
+	Entries    []scanBenchEntry `json:"entries"`
+}
+
+// runScanBench compares the per-tile full-chip scan against the megatile
+// scan at factors 1, 2 and 4 on a multi-megatile window, then writes the
+// comparison to outPath. The detector is untrained (weights are
+// seed-random): scan wall-clock depends only on the architecture and the
+// tiling, not on what the weights converged to.
+func runScanBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	warnIfSerialHost()
+	report := scanBenchReport{
+		Host:    collectHostMeta(),
+		Workers: workers,
+	}
+
+	cfg := p.HSD
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	// A 15×15-region window: every factor tiles it with at most one
+	// halo's worth of clamp overlap (the 4× megatile stride divides the
+	// span exactly), so the comparison measures redundancy elimination
+	// rather than last-row clamping artifacts.
+	const side = 15
+	regionNM := cfg.RegionNM()
+	W := side * regionNM
+	report.WindowNM = W
+	report.WindowTile = side
+	l := layout.New(layout.R(0, 0, W, W))
+	p8 := 8 * int(cfg.PitchNM)
+	for y := 0; y < W; y += p8 {
+		l.Add(layout.R(0, y, W, y+int(cfg.PitchNM)))
+	}
+	for x := 40; x < W-110; x += 531 {
+		l.Add(layout.R(x, 30, x+70, W-30))
+	}
+
+	measure := func(name string, factor int, scan func() []hsd.Detection) {
+		var dets []hsd.Detection
+		layout.ResetRasterizedPixels()
+		wall := bestOf(2, func() { dets = scan() })
+		px := layout.RasterizedPixels() / 2 // two bestOf iterations
+		e := scanBenchEntry{
+			Name:       name,
+			Factor:     factor,
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			RasterPx:   px,
+			Detections: len(dets),
+		}
+		if len(report.Entries) > 0 {
+			base := report.Entries[0].WallMS
+			if e.WallMS > 0 {
+				e.Speedup = base / e.WallMS
+			}
+		} else {
+			e.Speedup = 1
+		}
+		progress(fmt.Sprintf("scan bench %-12s %9.2f ms  %8d px  speedup %.2fx",
+			name, e.WallMS, e.RasterPx, e.Speedup))
+		report.Entries = append(report.Entries, e)
+	}
+
+	measure("per_tile", 0, func() []hsd.Detection { return m.DetectLayout(l, l.Bounds) })
+	for _, f := range []int{1, 2, 4} {
+		f := f
+		measure(fmt.Sprintf("megatile_%dx", f), f,
+			func() []hsd.Detection { return m.DetectLayoutMegatile(l, l.Bounds, f) })
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

@@ -4,9 +4,14 @@
 //	rhsd-detect -ckpt rhsd.ckpt -layout region.layout
 //	rhsd-detect -ckpt rhsd.ckpt -layout chip.layout -png out.png
 //
-// Layouts larger than one model region are scanned with overlapping
-// region tiles and the per-tile detections are merged with hotspot NMS.
-// Detections print as CSV (clip centre, size, score) in layout nm.
+// Layouts larger than one model region are scanned in megatiles —
+// factor×factor-region windows, each rasterized once and detected in a
+// single fully-convolutional forward pass — and the per-megatile
+// detections are merged with hotspot NMS. The -megatile flag picks the
+// factor: 0 (default) sizes it automatically from the -megatile-mem
+// workspace budget, an explicit N forces N×N regions per pass, and a
+// negative value falls back to the legacy per-tile scan. Detections
+// print as CSV (clip centre, size, score) in layout nm.
 //
 // Tiles are scanned concurrently by the parallel compute engine; -workers
 // (default: RHSD_WORKERS or NumCPU) sizes the pool. Results are
@@ -36,6 +41,8 @@ func main() {
 	layoutPath := flag.String("layout", "", "layout file (BOUNDS/RECT format)")
 	pngPath := flag.String("png", "", "optional detection-map PNG output")
 	thresh := flag.Float64("threshold", 0, "override score threshold (0 = config default)")
+	megatile := flag.Int("megatile", 0, "megatile factor: 0 = auto from -megatile-mem, N = N×N regions per pass, negative = per-tile scan")
+	megatileMem := flag.Int("megatile-mem", 512, "inference workspace budget in MiB for -megatile 0 (auto)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -95,7 +102,17 @@ func main() {
 		fatal(err)
 	}
 
-	dets := m.DetectLayout(l, l.Bounds)
+	var dets []hsd.Detection
+	switch {
+	case *megatile < 0:
+		dets = m.DetectLayout(l, l.Bounds)
+	case *megatile == 0:
+		factor := m.AutoMegatileFactor(l.Bounds, int64(*megatileMem)<<20)
+		fmt.Fprintf(os.Stderr, "rhsd-detect: auto megatile factor %d (budget %d MiB)\n", factor, *megatileMem)
+		dets = m.DetectLayoutMegatile(l, l.Bounds, factor)
+	default:
+		dets = m.DetectLayoutMegatile(l, l.Bounds, *megatile)
+	}
 	fmt.Println("cx_nm,cy_nm,w_nm,h_nm,score")
 	for _, d := range dets {
 		fmt.Printf("%.1f,%.1f,%.1f,%.1f,%.4f\n",

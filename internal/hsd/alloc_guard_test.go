@@ -46,3 +46,33 @@ func TestDetectSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state Detect allocated %.0f times per run, want ≤ %d", allocs, budget)
 	}
 }
+
+// TestMegatileDetectSteadyStateAllocs extends the allocation guard to the
+// megatile shape: after a warm-up pass has grown the workspace to the
+// factor-2 raster, repeated megatile-sized Detect calls must stay on the
+// zero-allocation path — the megatile scan's per-pass cost is O(1)
+// allocations just like the nominal scan's.
+func TestMegatileDetectSteadyStateAllocs(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	c := TinyConfig()
+	m, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	px := 2 * c.InputSize
+	x := tensor.New(1, InputChannels, px, px)
+	x.RandUniform(rng, 0, 1)
+
+	m.Detect(x) // warm-up: grows workspace and anchor cache to megatile size
+
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Detect(x)
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("steady-state megatile Detect allocated %.0f times per run, want ≤ %d", allocs, budget)
+	}
+}

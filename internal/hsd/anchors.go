@@ -18,12 +18,22 @@ type AnchorSet struct {
 	FeatW   int
 }
 
-// GenerateAnchors enumerates the anchor grid for the configuration.
-// Each feature cell centres its group at (x+0.5, y+0.5)*stride; group
-// member sizes are ClipPx × scale with width/height skewed by the aspect
-// ratio at constant area, the standard region-proposal parameterization.
+// GenerateAnchors enumerates the anchor grid for the configuration's
+// nominal InputSize×InputSize region.
 func GenerateAnchors(c Config) *AnchorSet {
-	fh, fw := c.FeatureSize(), c.FeatureSize()
+	return GenerateAnchorsSized(c, c.FeatureSize(), c.FeatureSize())
+}
+
+// GenerateAnchorsSized enumerates the anchor grid for an arbitrary
+// feature-map extent fh×fw — the grid a shape-polymorphic forward pass
+// over an fh·8 × fw·8 raster emits. Each feature cell centres its group at
+// (x+0.5, y+0.5)*stride; group member sizes are ClipPx × scale with
+// width/height skewed by the aspect ratio at constant area, the standard
+// region-proposal parameterization. Because cell geometry depends only on
+// the cell's own coordinates, the sized grid restricted to any sub-window
+// is a translate of the nominal grid — the property the megatile scan's
+// interior-equivalence relies on.
+func GenerateAnchorsSized(c Config, fh, fw int) *AnchorSet {
 	per := c.AnchorsPerCell()
 	s := &AnchorSet{PerCell: per, FeatH: fh, FeatW: fw}
 	s.Boxes = make([]geom.Rect, 0, fh*fw*per)

@@ -242,3 +242,13 @@ func (c Config) RegionNM() int { return int(float64(c.InputSize) * c.PitchNM) }
 
 // ClipNM returns the ground-truth clip size in nanometres.
 func (c Config) ClipNM() float64 { return c.ClipPx * c.PitchNM }
+
+// HaloNM is the megatile seam margin in nanometres: half a clip, the same
+// worst-case context the per-tile scan's one-clip overlap guarantees a
+// seam hotspot. Adjacent megatiles overlap by two halos and detections
+// are owned by the megatile whose edge is at least one halo away from
+// their clip centre (DESIGN.md §11). The network's theoretical receptive
+// field is wider than this; the halo bounds the *clip-containment*
+// margin, while border-induced numeric drift decays over the effective
+// receptive field — hence the bit-identity caveat at megatile borders.
+func (c Config) HaloNM() int { return (int(c.ClipNM()) + 1) / 2 }

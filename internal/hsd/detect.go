@@ -67,6 +67,9 @@ func (m *Model) nmsInto(s *detectScratch, clips []ScoredClip) []ScoredClip {
 		removed[i] = false
 	}
 	s.kept = s.kept[:0]
+	// Same disjointness quick-reject as the allocating nms: suppression
+	// decisions are unchanged for non-negative thresholds.
+	quick := threshold >= 0
 	for i := range sorted {
 		if removed[i] {
 			continue
@@ -74,6 +77,9 @@ func (m *Model) nmsInto(s *detectScratch, clips []ScoredClip) []ScoredClip {
 		s.kept = append(s.kept, sorted[i])
 		for j := i + 1; j < len(sorted); j++ {
 			if removed[j] {
+				continue
+			}
+			if quick && sorted[i].Clip.Disjoint(sorted[j].Clip) {
 				continue
 			}
 			if overlap(sorted[i].Clip, sorted[j].Clip) > threshold {
@@ -85,39 +91,54 @@ func (m *Model) nmsInto(s *detectScratch, clips []ScoredClip) []ScoredClip {
 }
 
 // proposalsInto is the scratch-backed counterpart of Proposals, used by
-// the detection path. The returned slice aliases scratch buffers and is
-// valid until the next proposalsInto/nmsInto call.
-func (m *Model) proposalsInto(s *detectScratch, out *BaseOutput) []ScoredClip {
+// the detection path. It decodes the CPN output over the given anchor
+// grid, bounded by the w×h pixel extent of the raster that produced out.
+// The pre-NMS top-K and proposal-count budgets scale with the grid's cell
+// count relative to the nominal grid, so a megatile keeps the same
+// proposal density per unit area as a per-tile scan; at the nominal size
+// both scale factors are exactly 1 and the behaviour is unchanged. The
+// returned slice aliases scratch buffers and is valid until the next
+// proposalsInto/nmsInto call.
+func (m *Model) proposalsInto(s *detectScratch, set *AnchorSet, out *BaseOutput, w, h int) []ScoredClip {
 	c := m.Config
-	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(w), Y1: float64(h)}
+	base := c.FeatureSize() * c.FeatureSize()
+	ratio := (set.FeatH*set.FeatW + base - 1) / base
 	s.cand = s.cand[:0]
-	for i, anchor := range m.Anchors.Boxes {
-		l0, l1 := m.anchorLogits(out.ClsMap, i)
+	for i, anchor := range set.Boxes {
+		l0, l1 := anchorLogits(set, out.ClsMap, i)
 		score := sigmoidDiff(l1, l0)
-		box := geom.Decode(m.anchorReg(out.RegMap, i), anchor).Clip(bounds)
+		box := geom.Decode(anchorReg(set, out.RegMap, i), anchor).Clip(bounds)
 		if box.W() < 2 || box.H() < 2 {
 			continue
 		}
 		s.cand = append(s.cand, ScoredClip{Clip: box, Score: score})
 	}
-	s.topk = topKInto(s.topk, s.cand, preNMSTopK)
+	s.topk = topKInto(s.topk, s.cand, preNMSTopK*ratio)
 	kept := m.nmsInto(s, s.topk)
 	// kept is already in descending score order, so the final TopK is a
 	// prefix — same result as Proposals' trailing TopK call.
-	if c.ProposalCount > 0 && c.ProposalCount < len(kept) {
-		kept = kept[:c.ProposalCount]
+	if pc := c.ProposalCount * ratio; c.ProposalCount > 0 && pc < len(kept) {
+		kept = kept[:pc]
 	}
 	return kept
 }
 
 // Detect runs one-pass region-based detection on an input raster
-// [1,1,S,S] and returns final hotspot clips in input-pixel coordinates.
+// [1,2,H,W] (H, W positive multiples of FeatureStride) and returns final
+// hotspot clips in input-pixel coordinates.
 //
 // With refinement enabled this is the full two-stage flow of Figure 8:
 // the clip proposal network localizes candidates, then the 2nd
 // classification re-scores each candidate and the 2nd regression fine-
 // tunes its clip. Without refinement ("w/o. Refine") the proposals are
 // reported directly, thresholded on the 1st-stage score.
+//
+// Detect is shape-polymorphic: the backbone and heads are fully
+// convolutional, the anchor grid is generated (and cached) per
+// feature-map extent, and refinement RoI-pools per proposal from whatever
+// feature map exists — so one call can cover a whole megatile of layout.
+// Proposal budgets scale with raster area (see proposalsInto).
 //
 // Detect runs on the model's allocation-free inference path: activations
 // come from the per-model workspace (reset on entry), candidate and NMS
@@ -127,8 +148,10 @@ func (m *Model) proposalsInto(s *detectScratch, out *BaseOutput) []ScoredClip {
 func (m *Model) Detect(x *tensor.Tensor) []Detection {
 	c := m.Config
 	s := &m.scratch
+	h, w := x.Dim(2), x.Dim(3)
 	out := m.InferBase(x)
-	props := m.proposalsInto(s, out)
+	set := m.anchorsFor(h/FeatureStride, w/FeatureStride)
+	props := m.proposalsInto(s, set, out, w, h)
 	if !c.UseRefine {
 		var dets []Detection
 		for _, p := range props {
@@ -145,7 +168,7 @@ func (m *Model) Detect(x *tensor.Tensor) []Detection {
 	for _, p := range props {
 		cur = append(cur, p.Clip)
 	}
-	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(w), Y1: float64(h)}
 	iters := c.RefineIterations
 	if iters < 1 {
 		iters = 1
@@ -245,43 +268,9 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 	}
 
 	perTile := make([][]ScoredClip, len(tiles))
-	workers := parallel.Workers()
-	if workers > len(tiles) {
-		workers = len(tiles)
-	}
-	// Replica construction can fail only on an invalid Config, which m
-	// itself already passed; a defensive fallback keeps the scan serial on
-	// whatever replicas did build.
-	replicas := []*Model{m}
-	for len(replicas) < workers {
-		r, err := m.Clone()
-		if err != nil {
-			break
-		}
-		replicas = append(replicas, r)
-	}
-	if len(replicas) == 1 {
-		for i, t := range tiles {
-			perTile[i] = scanTile(m, t)
-		}
-	} else {
-		var next int32
-		var wg sync.WaitGroup
-		wg.Add(len(replicas))
-		for _, r := range replicas {
-			go func(mw *Model) {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt32(&next, 1)) - 1
-					if i >= len(tiles) {
-						return
-					}
-					perTile[i] = scanTile(mw, tiles[i])
-				}
-			}(r)
-		}
-		wg.Wait()
-	}
+	m.scanReplicated(len(tiles), func(mw *Model, i int) {
+		perTile[i] = scanTile(mw, tiles[i])
+	})
 
 	var all []ScoredClip
 	for _, clips := range perTile {
@@ -295,12 +284,63 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 	return out
 }
 
+// scanReplicated runs scan(replica, i) for every work item i in [0, n) on
+// up to parallel.Workers() goroutines, each driving its own model replica
+// (Clone) because layers and workspaces are single-goroutine state. Work
+// items are claimed from a shared counter; callers store per-item results
+// in a slice indexed by i so output order — and therefore the final merge
+// — is identical for every worker count.
+func (m *Model) scanReplicated(n int, scan func(mw *Model, i int)) {
+	workers := parallel.Workers()
+	if workers > n {
+		workers = n
+	}
+	// Replica construction can fail only on an invalid Config, which m
+	// itself already passed; a defensive fallback keeps the scan serial on
+	// whatever replicas did build.
+	replicas := []*Model{m}
+	for len(replicas) < workers {
+		r, err := m.Clone()
+		if err != nil {
+			break
+		}
+		replicas = append(replicas, r)
+	}
+	if len(replicas) == 1 {
+		for i := 0; i < n; i++ {
+			scan(m, i)
+		}
+		return
+	}
+	var next int32
+	var wg sync.WaitGroup
+	wg.Add(len(replicas))
+	for _, r := range replicas {
+		go func(mw *Model) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				scan(mw, i)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
 // tileOrigins enumerates tile start coordinates covering [lo, hi) with the
 // given stride, clamping the final tile so it ends at hi rather than
 // overhanging the window (when the window is at least one region wide).
+// Non-positive strides are clamped to a full region so a degenerate
+// overlap configuration can never loop forever.
 func tileOrigins(lo, hi, region, stride int) []int {
 	if hi-lo <= region {
 		return []int{lo}
+	}
+	if stride <= 0 {
+		stride = region
 	}
 	var out []int
 	for p := lo; ; p += stride {

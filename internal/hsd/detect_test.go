@@ -82,6 +82,12 @@ func TestTileOrigins(t *testing.T) {
 		{0, 500, 768, 576, []int{0}},            // window smaller than region
 		{0, 1536, 768, 576, []int{0, 576, 768}}, // clamped final tile
 		{100, 1000, 400, 300, []int{100, 400, 600}},
+		// Negative-coordinate windows: origins stay on the window grid.
+		{-768, 0, 768, 576, []int{-768}},
+		{-1000, 536, 768, 576, []int{-1000, -424, -232}},
+		// Degenerate strides clamp to one full region instead of looping.
+		{0, 1536, 768, 0, []int{0, 768}},
+		{0, 2000, 768, -5, []int{0, 768, 1232}},
 	}
 	for _, c := range cases {
 		got := tileOrigins(c.lo, c.hi, c.region, c.stride)

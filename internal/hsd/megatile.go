@@ -1,0 +1,243 @@
+package hsd
+
+import (
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+// This file implements the megatile scan: instead of rasterizing and
+// inferring every InputSize tile independently — recomputing backbone
+// features in every overlap band and paying per-tile dispatch, anchor
+// decode and rasterization overhead — the layout is cut into megatiles of
+// Factor×Factor regions, each rasterized once and pushed through a single
+// fully-convolutional forward pass whose CPN output covers Factor² tiles'
+// worth of layout. Megatiles are the unit of work for the parallel scan;
+// seams are handled by a halo-ownership rule (see seamBoundaries) plus the
+// cross-megatile h-NMS merge. DESIGN.md §11 documents the halo math and
+// the bit-identity caveat at megatile borders.
+
+// MegatileSpec describes the scan geometry for one megatile factor.
+type MegatileSpec struct {
+	// Factor is the number of nominal regions per megatile side.
+	Factor int
+	// PxSize is the megatile raster side in pixels (Factor × InputSize).
+	PxSize int
+	// RegionNM is the physical megatile side (Factor × Config.RegionNM).
+	RegionNM int
+	// OverlapNM is the seam overlap between adjacent megatiles: twice the
+	// halo, so a clip owned by either neighbour sits at least one halo
+	// from the edge of the megatile that computed it.
+	OverlapNM int
+	// StrideNM is the scan stride (RegionNM − OverlapNM).
+	StrideNM int
+}
+
+// Megatile returns the scan geometry for the given factor (clamped to at
+// least 1).
+func (c Config) Megatile(factor int) MegatileSpec {
+	if factor < 1 {
+		factor = 1
+	}
+	spec := MegatileSpec{
+		Factor:    factor,
+		PxSize:    factor * c.InputSize,
+		RegionNM:  factor * c.RegionNM(),
+		OverlapNM: 2 * c.HaloNM(),
+	}
+	spec.StrideNM = spec.RegionNM - spec.OverlapNM
+	if spec.StrideNM <= 0 {
+		spec.StrideNM = spec.RegionNM
+	}
+	return spec
+}
+
+// megatileFactorCap clamps a requested factor so one megatile is no
+// larger than the scan window needs: scanning a half-region window with a
+// 4× megatile would spend 98% of the raster on padding.
+func megatileFactorCap(c Config, window layout.Rect, factor int) int {
+	maxDim := window.W()
+	if window.H() > maxDim {
+		maxDim = window.H()
+	}
+	fit := (maxDim + c.RegionNM() - 1) / c.RegionNM()
+	if fit < 1 {
+		fit = 1
+	}
+	if factor > fit {
+		factor = fit
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	return factor
+}
+
+// seamBoundaries returns the ownership boundaries between consecutive
+// megatiles along one axis: the midpoint of each overlap strip. A clip
+// centre v is owned by megatile i when boundaries[i-1] <= v <
+// boundaries[i] (with virtual ±∞ at the window ends), so every centre has
+// exactly one owner. Because the overlap is two halos wide, the owner
+// sees its clip at least one halo away from the megatile edge that
+// truncated its context.
+func seamBoundaries(origins []int, region int) []float64 {
+	b := make([]float64, len(origins)-1)
+	for i := range b {
+		b[i] = float64(origins[i+1]+origins[i]+region) / 2
+	}
+	return b
+}
+
+// ownershipSlackNM is the tolerance band around each seam boundary,
+// in which BOTH adjacent megatiles keep their detections. Strict
+// half-open ownership of the clip centre can silently drop a hotspot
+// sitting exactly on a boundary: the two megatiles compute its centre
+// from rasters with different borders, and when regression jitter puts
+// each centre on the *other* side of the boundary, both disclaim it.
+// Within the slack band the duplicates are instead kept and collapsed by
+// the cross-megatile h-NMS (their core IoU is far above the suppression
+// threshold), so a boundary hotspot is reported exactly once as long as
+// the two localizations differ by less than half a halo — a quarter
+// clip, well above observed cross-context jitter of one or two pixels.
+func ownershipSlackNM(c Config) float64 { return float64(c.HaloNM()) / 2 }
+
+// keptBy reports whether coordinate v belongs to megatile i's expanded
+// ownership interval [boundaries[i-1]-slack, boundaries[i]+slack), with
+// virtual ±∞ at the window ends.
+func keptBy(boundaries []float64, v float64, i int, slack float64) bool {
+	if i > 0 && v < boundaries[i-1]-slack {
+		return false
+	}
+	if i < len(boundaries) && v >= boundaries[i]+slack {
+		return false
+	}
+	return true
+}
+
+// RegionRaster rasterizes a layout's bounds into the detector's
+// two-channel input tensor of px×px pixels — MakeSample's raster step
+// generalized to megatile sizes. Each layout window is rasterized exactly
+// once per megatile; the per-tile scan's re-rasterization of every
+// one-clip overlap strip is what this path eliminates.
+func RegionRaster(l *layout.Layout, c Config, px int) *tensor.Tensor {
+	raster := l.Rasterize(l.Bounds, c.PitchNM)
+	img := tensor.New(1, InputChannels, px, px)
+	// The raster may deviate by a pixel from px when region and pitch
+	// don't divide exactly; copy the overlap. The second channel is
+	// initialized to 1 (all space) and overwritten where metal rasters.
+	for i := px * px; i < 2*px*px; i++ {
+		img.Data()[i] = 1
+	}
+	h, w := raster.Dim(1), raster.Dim(2)
+	for y := 0; y < minInt(h, px); y++ {
+		for x := 0; x < minInt(w, px); x++ {
+			v := raster.At(0, y, x)
+			img.Set(v, 0, 0, y, x)
+			img.Set(1-v, 0, 1, y, x)
+		}
+	}
+	return img
+}
+
+// DetectLayoutMegatile scans an arbitrarily large layout window in
+// megatiles of factor×factor regions: each megatile is rasterized once
+// and detected in a single shape-polymorphic forward pass, then
+// detections are filtered by the halo-ownership rule (a clip whose centre
+// falls inside the seam overlap past the midpoint — beyond the boundary
+// slack band, see ownershipSlackNM — is deferred to the neighbouring
+// megatile that sees it with more context) and merged with cross-megatile
+// h-NMS. Detections are returned in nanometre coordinates relative to the
+// window origin.
+//
+// Megatiles — not tiles — are the unit of work for the parallel scan:
+// each of up to parallel.Workers() goroutines drives its own model
+// replica whose workspace grows to the megatile shape. Per-megatile
+// results land in a slice indexed by megatile and are concatenated in
+// row-major order before the final h-NMS, so the output is bit-identical
+// to a serial scan for every worker count.
+//
+// factor < 1 requests 1; factors larger than the window needs are clamped
+// (so DetectLayoutMegatile on a sub-region window degrades gracefully to
+// the per-region scan). Interior detections match the per-tile
+// DetectLayout up to border effects attenuated over the halo; seams of
+// the per-tile grid do not exist inside a megatile at all — the paper's
+// region-over-clip argument applied one level up.
+func (m *Model) DetectLayoutMegatile(l *layout.Layout, window layout.Rect, factor int) []Detection {
+	c := m.Config
+	window = window.Canon()
+	spec := c.Megatile(megatileFactorCap(c, window, factor))
+
+	ys := tileOrigins(window.Y0, window.Y1, spec.RegionNM, spec.StrideNM)
+	xs := tileOrigins(window.X0, window.X1, spec.RegionNM, spec.StrideNM)
+	yb := seamBoundaries(ys, spec.RegionNM)
+	xb := seamBoundaries(xs, spec.RegionNM)
+	type tile struct{ x, y, ix, iy int }
+	tiles := make([]tile, 0, len(ys)*len(xs))
+	for iy, y := range ys {
+		for ix, x := range xs {
+			tiles = append(tiles, tile{x, y, ix, iy})
+		}
+	}
+
+	scanTile := func(mw *Model, t tile) []ScoredClip {
+		sub := l.Window(layout.R(t.x, t.y, t.x+spec.RegionNM, t.y+spec.RegionNM))
+		raster := RegionRaster(sub, c, spec.PxSize)
+		var clips []ScoredClip
+		slack := ownershipSlackNM(c)
+		for _, d := range mw.Detect(raster) {
+			clipNM := d.Clip.Scale(c.PitchNM).Translate(float64(t.x), float64(t.y))
+			// Halo ownership: clips centred past the overlap midpoint (plus
+			// the boundary slack band) are deferred to the neighbouring
+			// megatile, which computes them with at least a halo of real
+			// context on every side; in-band duplicates are collapsed by the
+			// final h-NMS.
+			if !keptBy(xb, clipNM.CX(), t.ix, slack) || !keptBy(yb, clipNM.CY(), t.iy, slack) {
+				continue
+			}
+			clipNM = clipNM.Translate(float64(-window.X0), float64(-window.Y0))
+			clips = append(clips, ScoredClip{Clip: clipNM, Score: d.Score})
+		}
+		return clips
+	}
+
+	perTile := make([][]ScoredClip, len(tiles))
+	m.scanReplicated(len(tiles), func(mw *Model, i int) {
+		perTile[i] = scanTile(mw, tiles[i])
+	})
+
+	var all []ScoredClip
+	for _, clips := range perTile {
+		all = append(all, clips...)
+	}
+	merged := m.nms(all)
+	out := make([]Detection, len(merged))
+	for i, s := range merged {
+		out[i] = Detection{Clip: s.Clip, Score: s.Score}
+	}
+	return out
+}
+
+// AutoMegatileFactor picks the largest megatile factor whose predicted
+// inference workspace fits budgetBytes, capped by what the window needs.
+// It measures the factor-1 footprint with one warm-up pass on an empty
+// region (activation memory is linear in raster area, so factor f costs
+// ≈ f² of that), which also leaves the model's workspace and anchor cache
+// warm for the scan itself.
+func (m *Model) AutoMegatileFactor(window layout.Rect, budgetBytes int64) int {
+	c := m.Config
+	window = window.Canon()
+	x := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+	for i := c.InputSize * c.InputSize; i < 2*c.InputSize*c.InputSize; i++ {
+		x.Data()[i] = 1 // all space, matching an empty region's raster
+	}
+	m.Detect(x)
+	perRegion := int64(m.WorkspaceFootprint()) * 4 // float32 bytes
+	if perRegion <= 0 {
+		return 1
+	}
+	factor := 1
+	fit := megatileFactorCap(c, window, 1<<20)
+	for factor < fit && perRegion*int64(factor+1)*int64(factor+1) <= budgetBytes {
+		factor++
+	}
+	return factor
+}

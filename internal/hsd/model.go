@@ -44,7 +44,12 @@ type Model struct {
 	RefineReg   *nn.Dense
 
 	Anchors *AnchorSet
-	rng     *rand.Rand
+	// anchorGrids caches anchor sets for non-nominal feature-map extents
+	// (megatile inference), keyed by fh<<32|fw. Like the workspace it is
+	// per-model state: replicas fill their own caches, so the megatile
+	// scan never shares a mutable map across goroutines.
+	anchorGrids map[int64]*AnchorSet
+	rng         *rand.Rand
 
 	// ws is the model's inference workspace: every tensor the detection
 	// path needs is drawn from this arena and recycled by the Reset at
@@ -166,6 +171,42 @@ func NewModel(c Config) (*Model, error) {
 	return m, nil
 }
 
+// anchorsFor returns the anchor grid for an fh×fw feature map, generating
+// and caching it on first use. The nominal grid is served without a map
+// lookup so the fixed-size Detect path stays allocation-free from the
+// first call.
+func (m *Model) anchorsFor(fh, fw int) *AnchorSet {
+	if fh == m.Anchors.FeatH && fw == m.Anchors.FeatW {
+		return m.Anchors
+	}
+	key := int64(fh)<<32 | int64(fw)
+	if s, ok := m.anchorGrids[key]; ok {
+		return s
+	}
+	if m.anchorGrids == nil {
+		m.anchorGrids = make(map[int64]*AnchorSet)
+	}
+	s := GenerateAnchorsSized(m.Config, fh, fw)
+	m.anchorGrids[key] = s
+	return s
+}
+
+// WorkspaceFootprint reports the float32 capacity retained by the model's
+// inference workspace — the number auto megatile sizing and the Trim
+// policy reason about.
+func (m *Model) WorkspaceFootprint() int { return m.ws.Footprint() }
+
+// TrimWorkspace releases retained inference scratch until at most
+// maxFloats float32s remain, recycling live buffers first. A model that
+// has served a megatile pass keeps megatile-sized buffers alive for the
+// next pass; callers that drop back to nominal-size Detect calls can trim
+// to a nominal budget and the workspace regrows on demand (see DESIGN.md
+// §10/§11 for the retention policy).
+func (m *Model) TrimWorkspace(maxFloats int) {
+	m.ws.Reset()
+	m.ws.Trim(maxFloats)
+}
+
 // inceptionA builds module A of Figure 3: four stride-1 branches
 // (1×1 | 1×1→3×3 | 1×1→3×3→3×3 | 3×3) concatenated in the channel
 // direction. "The aim of the module A is to extract multiple features
@@ -265,12 +306,17 @@ type BaseOutput struct {
 }
 
 // ForwardBase runs the extractor and clip proposal network on one input
-// raster [1, 1, S, S].
+// raster. Like InferBase it is shape-polymorphic: any [1, 2, H, W] raster
+// with H and W positive multiples of FeatureStride is accepted, which is
+// what lets a model train on megatile-sized samples (multi-scale
+// training) and close the context-distribution gap between the nominal
+// region and the megatile scan.
 func (m *Model) ForwardBase(x *tensor.Tensor) *BaseOutput {
 	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != InputChannels ||
-		x.Dim(2) != m.Config.InputSize || x.Dim(3) != m.Config.InputSize {
-		panic(fmt.Sprintf("hsd: ForwardBase input %v, want [1 %d %d %d]",
-			x.Shape(), InputChannels, m.Config.InputSize, m.Config.InputSize))
+		x.Dim(2) <= 0 || x.Dim(2)%FeatureStride != 0 ||
+		x.Dim(3) <= 0 || x.Dim(3)%FeatureStride != 0 {
+		panic(fmt.Sprintf("hsd: ForwardBase input %v, want [1 %d 8k 8k]",
+			x.Shape(), InputChannels))
 	}
 	fine := m.Stem.Forward(x)
 	feat := m.Trunk.Forward(fine)
@@ -289,11 +335,17 @@ func (m *Model) ForwardBase(x *tensor.Tensor) *BaseOutput {
 // returned BaseOutput and its tensors are owned by the model and valid
 // only until the next InferBase/Detect call. Values are bit-identical to
 // ForwardBase.
+//
+// Unlike the training path, InferBase is shape-polymorphic: the backbone
+// and CPN heads are fully convolutional, so any [1, 2, H, W] raster with
+// H and W positive multiples of FeatureStride is accepted — the megatile
+// scan feeds it rasters covering many regions at once.
 func (m *Model) InferBase(x *tensor.Tensor) *BaseOutput {
 	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != InputChannels ||
-		x.Dim(2) != m.Config.InputSize || x.Dim(3) != m.Config.InputSize {
-		panic(fmt.Sprintf("hsd: InferBase input %v, want [1 %d %d %d]",
-			x.Shape(), InputChannels, m.Config.InputSize, m.Config.InputSize))
+		x.Dim(2) <= 0 || x.Dim(2)%FeatureStride != 0 ||
+		x.Dim(3) <= 0 || x.Dim(3)%FeatureStride != 0 {
+		panic(fmt.Sprintf("hsd: InferBase input %v, want [1 %d 8k 8k]",
+			x.Shape(), InputChannels))
 	}
 	m.ws.Reset()
 	fine := m.Stem.Infer(x, m.ws)
@@ -308,22 +360,23 @@ func (m *Model) InferBase(x *tensor.Tensor) *BaseOutput {
 }
 
 // anchorLogits gathers the (non-hotspot, hotspot) logits of anchor i from
-// the cls map. Anchor index layout matches GenerateAnchors: i =
-// (y*W + x)*A + a.
-func (m *Model) anchorLogits(cls *tensor.Tensor, i int) (float32, float32) {
-	a := i % m.Anchors.PerCell
-	cell := i / m.Anchors.PerCell
-	y := cell / m.Anchors.FeatW
-	x := cell % m.Anchors.FeatW
+// the cls map under the given anchor grid. Anchor index layout matches
+// GenerateAnchorsSized: i = (y*W + x)*A + a.
+func anchorLogits(set *AnchorSet, cls *tensor.Tensor, i int) (float32, float32) {
+	a := i % set.PerCell
+	cell := i / set.PerCell
+	y := cell / set.FeatW
+	x := cell % set.FeatW
 	return cls.At(0, 2*a, y, x), cls.At(0, 2*a+1, y, x)
 }
 
-// anchorReg gathers the 4 regression outputs of anchor i.
-func (m *Model) anchorReg(reg *tensor.Tensor, i int) geom.BoxEncoding {
-	a := i % m.Anchors.PerCell
-	cell := i / m.Anchors.PerCell
-	y := cell / m.Anchors.FeatW
-	x := cell % m.Anchors.FeatW
+// anchorReg gathers the 4 regression outputs of anchor i under the given
+// anchor grid.
+func anchorReg(set *AnchorSet, reg *tensor.Tensor, i int) geom.BoxEncoding {
+	a := i % set.PerCell
+	cell := i / set.PerCell
+	y := cell / set.FeatW
+	x := cell % set.FeatW
 	return geom.BoxEncoding{
 		LX: float64(reg.At(0, 4*a, y, x)),
 		LY: float64(reg.At(0, 4*a+1, y, x)),
@@ -337,23 +390,30 @@ func (m *Model) anchorReg(reg *tensor.Tensor, i int) geom.BoxEncoding {
 const preNMSTopK = 256
 
 // Proposals decodes, scores, bounds and h-NMS-filters the clip proposal
-// network's output into at most Config.ProposalCount candidate clips in
-// input-pixel coordinates.
+// network's output into candidate clips in input-pixel coordinates. The
+// grid is inferred from the head output's spatial extent, and the pre-NMS
+// and proposal budgets scale with its cell count relative to the nominal
+// grid (both exactly 1 at the nominal size), so Proposals serves sized
+// forward passes and the training loop alike.
 func (m *Model) Proposals(out *BaseOutput) []ScoredClip {
 	c := m.Config
-	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(c.InputSize), Y1: float64(c.InputSize)}
-	cand := make([]ScoredClip, 0, m.Anchors.Len())
-	for i, anchor := range m.Anchors.Boxes {
-		l0, l1 := m.anchorLogits(out.ClsMap, i)
+	fh, fw := out.ClsMap.Dim(2), out.ClsMap.Dim(3)
+	set := m.anchorsFor(fh, fw)
+	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(fw * FeatureStride), Y1: float64(fh * FeatureStride)}
+	base := c.FeatureSize() * c.FeatureSize()
+	ratio := (fh*fw + base - 1) / base
+	cand := make([]ScoredClip, 0, set.Len())
+	for i, anchor := range set.Boxes {
+		l0, l1 := anchorLogits(set, out.ClsMap, i)
 		score := sigmoidDiff(l1, l0)
-		box := geom.Decode(m.anchorReg(out.RegMap, i), anchor).Clip(bounds)
+		box := geom.Decode(anchorReg(set, out.RegMap, i), anchor).Clip(bounds)
 		if box.W() < 2 || box.H() < 2 {
 			continue
 		}
 		cand = append(cand, ScoredClip{Clip: box, Score: score})
 	}
-	kept := m.nms(TopK(cand, preNMSTopK))
-	return TopK(kept, c.ProposalCount)
+	kept := m.nms(TopK(cand, preNMSTopK*ratio))
+	return TopK(kept, c.ProposalCount*ratio)
 }
 
 // nms applies the configured suppression: h-NMS (Alg. 1) by default,

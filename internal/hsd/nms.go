@@ -33,6 +33,12 @@ func nms(clips []ScoredClip, threshold float64, overlap func(a, b geom.Rect) flo
 	sorted := append([]ScoredClip(nil), clips...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
 	removed := make([]bool, len(sorted))
+	// Disjoint clips (and therefore their cores) have overlap exactly 0,
+	// so for the usual non-negative thresholds the expensive IoU can be
+	// skipped without changing any suppression decision. Megatile scans
+	// push O(area)-scaled candidate sets through this O(n·kept) loop;
+	// the quick reject keeps the pair cost at four comparisons.
+	quick := threshold >= 0
 	var out []ScoredClip
 	for i := range sorted {
 		if removed[i] {
@@ -41,6 +47,9 @@ func nms(clips []ScoredClip, threshold float64, overlap func(a, b geom.Rect) flo
 		out = append(out, sorted[i])
 		for j := i + 1; j < len(sorted); j++ {
 			if removed[j] {
+				continue
+			}
+			if quick && sorted[i].Clip.Disjoint(sorted[j].Clip) {
 				continue
 			}
 			if overlap(sorted[i].Clip, sorted[j].Clip) > threshold {

@@ -2,6 +2,8 @@ package hsd
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -122,5 +124,62 @@ func TestTopK(t *testing.T) {
 	}
 	if len(TopK(clips, 10)) != 3 {
 		t.Fatal("k beyond len keeps all")
+	}
+}
+
+// referenceNMS is the unoptimized suppression loop without the
+// disjointness quick-reject, kept as the oracle for the optimized path.
+func referenceNMS(clips []ScoredClip, threshold float64, overlap func(a, b geom.Rect) float64) []ScoredClip {
+	sorted := append([]ScoredClip(nil), clips...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	removed := make([]bool, len(sorted))
+	var out []ScoredClip
+	for i := range sorted {
+		if removed[i] {
+			continue
+		}
+		out = append(out, sorted[i])
+		for j := i + 1; j < len(sorted); j++ {
+			if removed[j] || overlap(sorted[i].Clip, sorted[j].Clip) <= threshold {
+				continue
+			}
+			removed[j] = true
+		}
+	}
+	return out
+}
+
+// TestNMSQuickRejectExact pins that the disjointness quick-reject never
+// changes a suppression decision: on dense random candidate sets — many
+// disjoint pairs, many barely-overlapping ones — the optimized HNMS and
+// ConventionalNMS match the reject-free reference exactly.
+func TestNMSQuickRejectExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		clips := make([]ScoredClip, n)
+		for i := range clips {
+			x := rng.Float64() * 200
+			y := rng.Float64() * 200
+			w := 4 + rng.Float64()*30
+			h := 4 + rng.Float64()*30
+			clips[i] = ScoredClip{
+				Clip:  geom.Rect{X0: x, Y0: y, X1: x + w, Y1: y + h},
+				Score: rng.Float64(),
+			}
+		}
+		for _, th := range []float64{0, 0.3, 0.7} {
+			got := HNMS(clips, th)
+			want := referenceNMS(clips, th, geom.CoreIoU)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d threshold %v: HNMS diverged from reference (%d vs %d survivors)",
+					trial, th, len(got), len(want))
+			}
+			got = ConventionalNMS(clips, th)
+			want = referenceNMS(clips, th, geom.IoU)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d threshold %v: ConventionalNMS diverged from reference", trial, th)
+			}
+		}
 	}
 }

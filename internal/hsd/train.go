@@ -9,8 +9,12 @@ import (
 	"rhsd/internal/tensor"
 )
 
-// Sample is one training region: an input raster [1,1,S,S] and its
-// ground-truth hotspot clips in input-pixel coordinates.
+// Sample is one training region: an input raster [1, 2, S, S] and its
+// ground-truth hotspot clips in input-pixel coordinates. S is the nominal
+// InputSize for region samples, but any multiple of FeatureStride is
+// trainable — mixing megatile-sized samples in (MakeSampleSized) teaches
+// the network the border-free interior context the megatile scan runs it
+// on (multi-scale training).
 type Sample struct {
 	Raster *tensor.Tensor
 	GT     []geom.Rect
@@ -25,24 +29,17 @@ type Sample struct {
 const InputChannels = 2
 
 // MakeSample rasterizes a layout region and converts ground-truth hotspot
-// points (region-relative nm) into pixel-space clips of size ClipPx.
+// points (region-relative nm) into pixel-space clips of size ClipPx. The
+// raster build is RegionRaster at the nominal InputSize.
 func MakeSample(l *layout.Layout, hotspotsNM [][2]float64, c Config) Sample {
-	raster := l.Rasterize(l.Bounds, c.PitchNM)
-	img := tensor.New(1, InputChannels, c.InputSize, c.InputSize)
-	// The raster may deviate by a pixel from InputSize when region and
-	// pitch don't divide exactly; copy the overlap. The second channel is
-	// initialized to 1 (all space) and overwritten where metal rasters.
-	for i := c.InputSize * c.InputSize; i < 2*c.InputSize*c.InputSize; i++ {
-		img.Data()[i] = 1
-	}
-	h, w := raster.Dim(1), raster.Dim(2)
-	for y := 0; y < minInt(h, c.InputSize); y++ {
-		for x := 0; x < minInt(w, c.InputSize); x++ {
-			v := raster.At(0, y, x)
-			img.Set(v, 0, 0, y, x)
-			img.Set(1-v, 0, 1, y, x)
-		}
-	}
+	return MakeSampleSized(l, hotspotsNM, c, c.InputSize)
+}
+
+// MakeSampleSized is MakeSample at an arbitrary raster size (a positive
+// multiple of FeatureStride) — the sample builder for multi-scale
+// training on megatile-shaped windows.
+func MakeSampleSized(l *layout.Layout, hotspotsNM [][2]float64, c Config, px int) Sample {
+	img := RegionRaster(l, c, px)
 	gt := make([]geom.Rect, 0, len(hotspotsNM))
 	for _, p := range hotspotsNM {
 		gt = append(gt, geom.RectCWH(p[0]/c.PitchNM, p[1]/c.PitchNM, c.ClipPx, c.ClipPx))
@@ -169,7 +166,8 @@ func (t *Trainer) accumulate(s Sample) StepStats {
 	var stats StepStats
 
 	out := m.ForwardBase(s.Raster)
-	targets := AssignTargets(m.Anchors, s.GT, c)
+	set := m.anchorsFor(s.Raster.Dim(2)/FeatureStride, s.Raster.Dim(3)/FeatureStride)
+	targets := AssignTargets(set, s.GT, c)
 	batch := targets.SampleBatch(t.rng, c.BatchAnchors)
 
 	// --- 1st C&R: classification over the sampled anchors.
@@ -179,7 +177,7 @@ func (t *Trainer) accumulate(s Sample) StepStats {
 		logits := tensor.New(len(batch), 2)
 		labels := make([]int, len(batch))
 		for k, i := range batch {
-			l0, l1 := m.anchorLogits(out.ClsMap, i)
+			l0, l1 := anchorLogits(set, out.ClsMap, i)
 			logits.Set(l0, k, 0)
 			logits.Set(l1, k, 1)
 			labels[k] = int(targets.Label[i])
@@ -187,7 +185,7 @@ func (t *Trainer) accumulate(s Sample) StepStats {
 		loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
 		stats.RPNCls = loss
 		for k, i := range batch {
-			t.scatterCls(gCls, i, grad.At(k, 0), grad.At(k, 1))
+			scatterCls(set, gCls, i, grad.At(k, 0), grad.At(k, 1))
 		}
 	}
 
@@ -204,7 +202,7 @@ func (t *Trainer) accumulate(s Sample) StepStats {
 		tgt := tensor.New(len(positives), 4)
 		wts := make([]float32, len(positives))
 		for k, i := range positives {
-			e := m.anchorReg(out.RegMap, i)
+			e := anchorReg(set, out.RegMap, i)
 			for j, v := range e.Vec4() {
 				pred.Set(float32(v), k, j)
 			}
@@ -218,7 +216,7 @@ func (t *Trainer) accumulate(s Sample) StepStats {
 		grad.Scale(float32(c.AlphaLoc))
 		stats.RPNReg = loss
 		for k, i := range positives {
-			t.scatterReg(gReg, i,
+			scatterReg(set, gReg, i,
 				grad.At(k, 0), grad.At(k, 1), grad.At(k, 2), grad.At(k, 3))
 		}
 	}
@@ -375,22 +373,24 @@ func refineTargets(rois, gt []geom.Rect) (labels []int, regTgt *tensor.Tensor, r
 	return labels, regTgt, regW
 }
 
-func (t *Trainer) scatterCls(g *tensor.Tensor, i int, g0, g1 float32) {
-	m := t.Model
-	a := i % m.Anchors.PerCell
-	cell := i / m.Anchors.PerCell
-	y := cell / m.Anchors.FeatW
-	x := cell % m.Anchors.FeatW
+// scatterCls accumulates an anchor's classification gradient into the cls
+// head's gradient map under the given anchor grid.
+func scatterCls(set *AnchorSet, g *tensor.Tensor, i int, g0, g1 float32) {
+	a := i % set.PerCell
+	cell := i / set.PerCell
+	y := cell / set.FeatW
+	x := cell % set.FeatW
 	g.Set(g.At(0, 2*a, y, x)+g0, 0, 2*a, y, x)
 	g.Set(g.At(0, 2*a+1, y, x)+g1, 0, 2*a+1, y, x)
 }
 
-func (t *Trainer) scatterReg(g *tensor.Tensor, i int, g0, g1, g2, g3 float32) {
-	m := t.Model
-	a := i % m.Anchors.PerCell
-	cell := i / m.Anchors.PerCell
-	y := cell / m.Anchors.FeatW
-	x := cell % m.Anchors.FeatW
+// scatterReg accumulates an anchor's regression gradient into the reg
+// head's gradient map under the given anchor grid.
+func scatterReg(set *AnchorSet, g *tensor.Tensor, i int, g0, g1, g2, g3 float32) {
+	a := i % set.PerCell
+	cell := i / set.PerCell
+	y := cell / set.FeatW
+	x := cell % set.FeatW
 	g.Set(g.At(0, 4*a, y, x)+g0, 0, 4*a, y, x)
 	g.Set(g.At(0, 4*a+1, y, x)+g1, 0, 4*a+1, y, x)
 	g.Set(g.At(0, 4*a+2, y, x)+g2, 0, 4*a+2, y, x)

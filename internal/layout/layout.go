@@ -14,10 +14,25 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"rhsd/internal/geom"
 	"rhsd/internal/tensor"
 )
+
+// rasterizedPixels counts every pixel allocated by Rasterize since the
+// last reset, across all goroutines. It instruments redundant-raster
+// regressions: a full-chip scan that re-rasterizes overlap strips per
+// tile shows up as a pixel count well above the window area, while the
+// megatile scan stays within window area + seam overlap (pinned by
+// TestMegatileRasterizesWindowOnce in internal/hsd).
+var rasterizedPixels atomic.Int64
+
+// RasterizedPixels reports the pixels rasterized since the last reset.
+func RasterizedPixels() int64 { return rasterizedPixels.Load() }
+
+// ResetRasterizedPixels zeroes the rasterized-pixel counter.
+func ResetRasterizedPixels() { rasterizedPixels.Store(0) }
 
 // Rect is an axis-aligned rectangle on the nanometre grid, spanning
 // [X0,X1) × [Y0,Y1).
@@ -132,6 +147,7 @@ func (l *Layout) Rasterize(window Rect, pitch float64) *tensor.Tensor {
 	if wpx <= 0 || hpx <= 0 {
 		panic(fmt.Sprintf("layout: window %v too small for pitch %v", window, pitch))
 	}
+	rasterizedPixels.Add(int64(wpx) * int64(hpx))
 	img := tensor.New(1, hpx, wpx)
 	data := img.Data()
 	for _, r := range l.Rects {

@@ -148,6 +148,54 @@ func (ws *Workspace) Reset() {
 	ws.used = 0
 }
 
+// Trim releases free buffers — largest size classes first — until the
+// retained footprint is at most maxFloats float32s (best effort: live
+// buffers are never touched, so call Reset first to trim everything).
+// This is the high-water release for mixed workloads: a workspace grown
+// to megatile size during a scan would otherwise pin megatile-class
+// buffers forever even when the owner drops back to nominal-size
+// inference. Trimmed classes simply re-allocate on next use, so Trim
+// trades one transient allocation spike for bounded steady-state memory.
+func (ws *Workspace) Trim(maxFloats int) {
+	if ws == nil {
+		return
+	}
+	total := ws.Footprint()
+	if total <= maxFloats {
+		return
+	}
+	classes := make([]int, 0, len(ws.free))
+	for class := range ws.free {
+		classes = append(classes, class)
+	}
+	// Largest classes first: one megatile-sized buffer dwarfs every
+	// nominal-size class, so dropping from the top frees the most memory
+	// while keeping the hot small classes warm.
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[j] > classes[i] {
+				classes[i], classes[j] = classes[j], classes[i]
+			}
+		}
+	}
+	for _, class := range classes {
+		bin := ws.free[class]
+		for len(bin) > 0 && total > maxFloats {
+			total -= cap(bin[len(bin)-1])
+			bin[len(bin)-1] = nil
+			bin = bin[:len(bin)-1]
+		}
+		if len(bin) == 0 {
+			delete(ws.free, class)
+		} else {
+			ws.free[class] = bin
+		}
+		if total <= maxFloats {
+			return
+		}
+	}
+}
+
 // Footprint reports the total float32 capacity currently retained by the
 // arena (free and live), for diagnostics and the memory-model docs.
 func (ws *Workspace) Footprint() int {

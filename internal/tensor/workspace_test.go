@@ -89,3 +89,46 @@ func TestWorkspaceViewLengthCheck(t *testing.T) {
 	}()
 	ws.View(make([]float32, 5), 2, 3)
 }
+
+func TestWorkspaceTrim(t *testing.T) {
+	ws := NewWorkspace()
+	small := ws.Get(100)    // 128-float class
+	large := ws.Get(1 << 20) // 1Mi-float class
+	_ = large
+	ws.Reset()
+
+	if fp := ws.Footprint(); fp != 128+1<<20 {
+		t.Fatalf("footprint before trim = %d, want %d", fp, 128+1<<20)
+	}
+	// A budget above the footprint is a no-op.
+	ws.Trim(2 << 20)
+	if fp := ws.Footprint(); fp != 128+1<<20 {
+		t.Fatalf("over-budget Trim changed footprint to %d", fp)
+	}
+	// Trimming evicts the largest class first, keeping small classes warm.
+	ws.Trim(1 << 10)
+	if fp := ws.Footprint(); fp > 1<<10 {
+		t.Fatalf("footprint after Trim(1024) = %d, want ≤ 1024", fp)
+	}
+	if b := ws.Get(100); &b[0] != &small[0] {
+		t.Error("Trim evicted the small class; want largest-first eviction")
+	}
+	ws.Reset()
+
+	// Live buffers are never trimmed.
+	live := ws.Get(1 << 16)
+	ws.Trim(0)
+	if fp := ws.Footprint(); fp < 1<<16 {
+		t.Fatalf("Trim(0) released a live buffer: footprint %d", fp)
+	}
+	live[0] = 3 // must still be usable
+	ws.Reset()
+	ws.Trim(0)
+	if fp := ws.Footprint(); fp != 0 {
+		t.Fatalf("Trim(0) after Reset left footprint %d", fp)
+	}
+
+	// Nil workspace: no-op, no panic.
+	var nil_ *Workspace
+	nil_.Trim(0)
+}
