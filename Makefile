@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify bench bench-smoke bench-parallel bench-alloc bench-scan
+.PHONY: build vet test race race-full verify serve-smoke bench bench-smoke bench-parallel bench-alloc bench-scan
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,9 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass in short mode: the parity suites in
-# internal/parallel, internal/tensor and internal/hsd drive every
-# parallelised kernel under -race; -short keeps the training-heavy
-# packages fast.
+# internal/parallel, internal/tensor, internal/hsd and internal/serve
+# drive every parallelised kernel and the serving pool under -race;
+# -short keeps the training-heavy packages fast.
 race:
 	$(GO) test -race -short ./...
 
@@ -26,7 +26,13 @@ race:
 race-full:
 	$(GO) test -race ./...
 
-verify: build vet test race
+# End-to-end daemon check: rhsd-serve starts on a loopback port, scans a
+# generated layout through its own HTTP API, verifies the error boundary
+# on a malformed request, and drains cleanly.
+serve-smoke:
+	$(GO) run ./cmd/rhsd-serve -selftest -init-random
+
+verify: build vet test race serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

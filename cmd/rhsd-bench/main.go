@@ -56,6 +56,13 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
+	// 0 means "unset" for -workers, so an explicitly passed bad value is
+	// caught by checking which flags were set, not the sentinel.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" && *workersFlag < 1 {
+			fatal(fmt.Errorf("-workers must be >= 1 (got %d)", *workersFlag))
+		}
+	})
 	if *workersFlag > 0 {
 		parallel.SetWorkers(*workersFlag)
 	}

@@ -40,7 +40,7 @@ func main() {
 	ckpt := flag.String("ckpt", "rhsd.ckpt", "model checkpoint from rhsd-train")
 	layoutPath := flag.String("layout", "", "layout file (BOUNDS/RECT format)")
 	pngPath := flag.String("png", "", "optional detection-map PNG output")
-	thresh := flag.Float64("threshold", 0, "override score threshold (0 = config default)")
+	thresh := flag.Float64("threshold", -1, "override score threshold, 0 allowed (negative = config default)")
 	megatile := flag.Int("megatile", 0, "megatile factor: 0 = auto from -megatile-mem, N = N×N regions per pass, negative = per-tile scan")
 	megatileMem := flag.Int("megatile-mem", 512, "inference workspace budget in MiB for -megatile 0 (auto)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
@@ -48,6 +48,21 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
+	// 0 means "unset" for -workers and -megatile, so an explicitly passed
+	// bad value must be caught by inspecting which flags were set rather
+	// than by comparing against the sentinel.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers":
+			if *workers < 1 {
+				fatal(fmt.Errorf("-workers must be >= 1 (got %d)", *workers))
+			}
+		case "megatile-mem":
+			if *megatileMem < 1 {
+				fatal(fmt.Errorf("-megatile-mem must be >= 1 MiB (got %d)", *megatileMem))
+			}
+		}
+	})
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
@@ -91,27 +106,30 @@ func main() {
 	}
 
 	cfg := eval.FastProfile().HSD
-	if *thresh > 0 {
+	if *thresh >= 0 {
 		cfg.ScoreThreshold = *thresh
 	}
 	m, err := hsd.NewModel(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	if err := m.Load(*ckpt); err != nil {
+	if err := m.LoadChecked(*ckpt); err != nil {
 		fatal(err)
 	}
 
 	var dets []hsd.Detection
 	switch {
 	case *megatile < 0:
-		dets = m.DetectLayout(l, l.Bounds)
+		dets, err = m.DetectLayoutChecked(l, l.Bounds)
 	case *megatile == 0:
 		factor := m.AutoMegatileFactor(l.Bounds, int64(*megatileMem)<<20)
 		fmt.Fprintf(os.Stderr, "rhsd-detect: auto megatile factor %d (budget %d MiB)\n", factor, *megatileMem)
-		dets = m.DetectLayoutMegatile(l, l.Bounds, factor)
+		dets, err = m.DetectLayoutMegatileChecked(l, l.Bounds, factor)
 	default:
-		dets = m.DetectLayoutMegatile(l, l.Bounds, *megatile)
+		dets, err = m.DetectLayoutMegatileChecked(l, l.Bounds, *megatile)
+	}
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Println("cx_nm,cy_nm,w_nm,h_nm,score")
 	for _, d := range dets {

@@ -1,0 +1,240 @@
+// Command rhsd-serve is the R-HSD detection daemon: it loads a trained
+// checkpoint once, builds a pool of model clones, and serves hotspot
+// detection over HTTP.
+//
+//	rhsd-serve -ckpt rhsd.ckpt -addr :8080
+//	curl --data-binary @chip.layout localhost:8080/detect
+//
+// Endpoints:
+//
+//	POST /detect   layout text (BOUNDS/RECT format) in, JSON detections out
+//	GET  /healthz  liveness; 503 while draining
+//	GET  /statusz  pool, queue, workspace and request counters as JSON
+//
+// The pool holds -pool model clones (default: one per compute worker),
+// each scanning with its share of the worker budget, so a saturated
+// daemon uses the same compute as one CLI scan. Requests beyond
+// -pool + -queue are shed with 429; each request is bounded by -timeout.
+// The whole detection stack runs behind a panic-recovery boundary: a
+// corrupt request or an internal bug answers a JSON error and the daemon
+// keeps serving. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// -selftest starts the daemon on a loopback port, posts a generated
+// layout to it, checks /healthz and /statusz, and exits 0 on success —
+// used by `make serve-smoke` as an end-to-end build check.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/parallel"
+	"rhsd/internal/serve"
+)
+
+func main() {
+	ckpt := flag.String("ckpt", "rhsd.ckpt", "model checkpoint from rhsd-train")
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 0, "model clones serving concurrently (0 = one per compute worker)")
+	queue := flag.Int("queue", -1, "admitted requests that may wait beyond the pool; past pool+queue sheds 429 (negative = 2×pool, 0 = no waiting room)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline covering queue wait and detection (0 = none)")
+	maxBody := flag.Int64("max-body", 16<<20, "largest accepted /detect body in bytes")
+	thresh := flag.Float64("threshold", -1, "override score threshold, 0 allowed (negative = config default)")
+	megatile := flag.Int("megatile", 0, "megatile factor: 0 = auto from -megatile-mem, N = N×N regions per pass, negative = per-tile scan")
+	megatileMem := flag.Int("megatile-mem", 512, "per-clone inference workspace budget in MiB for -megatile 0 (auto)")
+	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
+	idleTrim := flag.Duration("idle-trim", time.Minute, "trim per-clone workspaces after this much idle time (0 = never)")
+	initRandom := flag.Bool("init-random", false, "serve freshly initialized weights instead of loading -ckpt (smoke tests)")
+	selftest := flag.Bool("selftest", false, "start on a loopback port, run one end-to-end request against it, and exit")
+	flag.Parse()
+
+	// 0 means "unset" for -workers and -megatile, so an explicit bad value
+	// must be caught by inspecting which flags the user actually passed.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers":
+			if *workers < 1 {
+				fatal(fmt.Errorf("-workers must be >= 1 (got %d)", *workers))
+			}
+		case "megatile-mem":
+			if *megatileMem < 1 {
+				fatal(fmt.Errorf("-megatile-mem must be >= 1 MiB (got %d)", *megatileMem))
+			}
+		}
+	})
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+
+	m, err := hsd.NewModel(eval.FastProfile().HSD)
+	if err != nil {
+		fatal(err)
+	}
+	if *initRandom {
+		fmt.Fprintln(os.Stderr, "rhsd-serve: serving randomly initialized weights (-init-random)")
+	} else if err := m.LoadChecked(*ckpt); err != nil {
+		fatal(err)
+	}
+
+	cfg := serve.Config{
+		Pool:           *pool,
+		QueueDepth:     *queue,
+		Timeout:        *timeout,
+		MaxBodyBytes:   *maxBody,
+		MegatileFactor: *megatile,
+		MegatileMemMiB: *megatileMem,
+		ScoreThreshold: *thresh,
+		IdleTrim:       *idleTrim,
+	}
+	if *timeout == 0 {
+		cfg.Timeout = -1 // Config uses 0 as "default"; the flag's 0 means none
+	}
+	if *idleTrim == 0 {
+		cfg.IdleTrim = -1
+	}
+	s, err := serve.New(m, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	listenAddr := *addr
+	if *selftest {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "rhsd-serve: listening on %s\n", ln.Addr())
+
+	if *selftest {
+		if err := runSelftest(m.Config, "http://"+ln.Addr().String()); err != nil {
+			fmt.Fprintln(os.Stderr, "rhsd-serve: selftest FAILED:", err)
+			os.Exit(1)
+		}
+		shutdown(srv, s)
+		fmt.Println("rhsd-serve: selftest ok")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rhsd-serve: signal received, draining")
+		shutdown(srv, s)
+	case err := <-serveErr:
+		fatal(err)
+	}
+}
+
+// shutdown stops accepting connections, then drains in-flight detections.
+func shutdown(srv *http.Server, s *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rhsd-serve: http shutdown:", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rhsd-serve: drain:", err)
+	}
+}
+
+// runSelftest exercises the live daemon end to end: health, one detection
+// over a generated layout, and status counters that reflect it.
+func runSelftest(c hsd.Config, base string) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	var buf bytes.Buffer
+	if err := selftestLayout(c).Save(&buf); err != nil {
+		return fmt.Errorf("building layout: %w", err)
+	}
+	resp, err = client.Post(base+"/detect", "text/plain", &buf)
+	if err != nil {
+		return fmt.Errorf("detect: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("detect: status %d: %s", resp.StatusCode, body)
+	}
+	var dr serve.DetectResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		return fmt.Errorf("detect: decoding %q: %w", body, err)
+	}
+	if dr.Count != len(dr.Detections) {
+		return fmt.Errorf("detect: count %d but %d detections", dr.Count, len(dr.Detections))
+	}
+
+	// A malformed body must come back as a 4xx JSON error, not kill the
+	// daemon — the serving boundary's core promise.
+	resp, err = client.Post(base+"/detect", "text/plain", bytes.NewReader([]byte("RECT with no bounds")))
+	if err != nil {
+		return fmt.Errorf("malformed detect: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("malformed detect: status %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	resp, err = client.Get(base + "/statusz")
+	if err != nil {
+		return fmt.Errorf("statusz: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st serve.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("statusz: decoding %q: %w", body, err)
+	}
+	if st.Requests != 2 || st.OK != 1 || st.ClientErrors != 1 {
+		return fmt.Errorf("statusz: counters %+v after one good and one bad request", st)
+	}
+	fmt.Fprintf(os.Stderr, "rhsd-serve: selftest scanned layout, %d detections, pool %d\n", dr.Count, st.Pool)
+	return nil
+}
+
+// selftestLayout covers one megatile and a ragged margin with dense wire
+// stripes, enough geometry to drive a real scan.
+func selftestLayout(c hsd.Config) *layout.Layout {
+	regionNM := c.RegionNM()
+	p := int(c.PitchNM)
+	l := layout.New(layout.R(0, 0, regionNM+regionNM/2, regionNM+regionNM/4))
+	for y := 0; y < l.Bounds.Y1; y += 6 * p {
+		l.Add(layout.R(0, y, l.Bounds.X1, y+p))
+	}
+	l.Add(layout.R(regionNM/2-4*p, regionNM/2-4*p, regionNM/2+5*p, regionNM/2+5*p))
+	return l
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhsd-serve:", err)
+	os.Exit(1)
+}

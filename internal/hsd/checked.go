@@ -1,0 +1,105 @@
+package hsd
+
+import (
+	"errors"
+	"fmt"
+
+	"rhsd/internal/guard"
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+// This file is the package's panic-free boundary. The detection kernels
+// keep zero-cost panic contracts (shape checks compile to a compare and a
+// static panic, nothing is plumbed through the hot loops); the *Checked
+// wrappers validate the inputs a caller can plausibly get wrong up front
+// with descriptive errors, then run the kernel through guard.Run so any
+// remaining panic — a bug, a corrupt model, an unforeseen input — comes
+// back as a *guard.PanicError instead of tearing down a long-running
+// process. rhsd-serve is built entirely on these wrappers.
+
+// ErrBadInput tags validation failures of the checked detection API so
+// servers can map them to 4xx responses (errors.Is).
+var ErrBadInput = errors.New("invalid detection input")
+
+func badInputf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBadInput)...)
+}
+
+// validateRaster mirrors the InferBase shape contract as an error.
+func validateRaster(x *tensor.Tensor) error {
+	if x == nil {
+		return badInputf("hsd: nil input raster")
+	}
+	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != InputChannels ||
+		x.Dim(2) <= 0 || x.Dim(2)%FeatureStride != 0 ||
+		x.Dim(3) <= 0 || x.Dim(3)%FeatureStride != 0 {
+		return badInputf("hsd: input raster shape %v, want [1 %d H W] with H, W positive multiples of %d",
+			x.Shape(), InputChannels, FeatureStride)
+	}
+	return nil
+}
+
+// validateWindow checks a scan request's layout and window.
+func validateWindow(l *layout.Layout, window layout.Rect) error {
+	if l == nil {
+		return badInputf("hsd: nil layout")
+	}
+	if window.Canon().Empty() {
+		return badInputf("hsd: empty scan window %v", window)
+	}
+	return nil
+}
+
+// DetectChecked is Detect behind the error boundary: invalid rasters
+// return an ErrBadInput-tagged error, and any panic from the inference
+// stack is converted into a *guard.PanicError. Valid inputs produce
+// bit-identical results to Detect.
+func (m *Model) DetectChecked(x *tensor.Tensor) (dets []Detection, err error) {
+	if err := validateRaster(x); err != nil {
+		return nil, err
+	}
+	if err := guard.Run(func() { dets = m.Detect(x) }); err != nil {
+		return nil, err
+	}
+	return dets, nil
+}
+
+// DetectLayoutChecked is DetectLayout behind the error boundary.
+func (m *Model) DetectLayoutChecked(l *layout.Layout, window layout.Rect) (dets []Detection, err error) {
+	if err := validateWindow(l, window); err != nil {
+		return nil, err
+	}
+	if err := guard.Run(func() { dets = m.DetectLayout(l, window) }); err != nil {
+		return nil, err
+	}
+	return dets, nil
+}
+
+// DetectLayoutMegatileChecked is DetectLayoutMegatile behind the error
+// boundary. Any factor is accepted (the kernel clamps it); layout and
+// window are validated like DetectLayoutChecked.
+func (m *Model) DetectLayoutMegatileChecked(l *layout.Layout, window layout.Rect, factor int) (dets []Detection, err error) {
+	if err := validateWindow(l, window); err != nil {
+		return nil, err
+	}
+	if err := guard.Run(func() { dets = m.DetectLayoutMegatile(l, window, factor) }); err != nil {
+		return nil, err
+	}
+	return dets, nil
+}
+
+// LoadChecked restores model parameters from a checkpoint like Load, with
+// the additional guarantee that a corrupt file can only produce an error,
+// never a panic — nn.LoadParams validates every untrusted header field,
+// and this boundary catches anything it might still miss.
+func (m *Model) LoadChecked(path string) error {
+	var inner error
+	if err := guard.Run(func() { inner = m.Load(path) }); err != nil {
+		return fmt.Errorf("hsd: loading checkpoint %q: %w", path, err)
+	}
+	if inner != nil {
+		return fmt.Errorf("hsd: loading checkpoint %q: %w", path, inner)
+	}
+	return nil
+}

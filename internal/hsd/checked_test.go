@@ -1,0 +1,176 @@
+package hsd
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rhsd/internal/guard"
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+func TestDetectCheckedValidatesRaster(t *testing.T) {
+	m := parityModel(t)
+	c := m.Config
+	bad := []*tensor.Tensor{
+		nil,
+		tensor.New(c.InputSize, c.InputSize),                       // wrong rank
+		tensor.New(2, InputChannels, c.InputSize, c.InputSize),     // batch > 1
+		tensor.New(1, 3, c.InputSize, c.InputSize),                 // wrong channels
+		tensor.New(1, InputChannels, c.InputSize-1, c.InputSize),   // not 8k
+		tensor.New(1, InputChannels, c.InputSize, c.InputSize-1),   // not 8k
+	}
+	for i, x := range bad {
+		dets, err := m.DetectChecked(x)
+		if err == nil || !errors.Is(err, ErrBadInput) {
+			t.Fatalf("case %d: err = %v, want ErrBadInput", i, err)
+		}
+		if dets != nil {
+			t.Fatalf("case %d: detections returned alongside error", i)
+		}
+	}
+}
+
+func TestDetectCheckedMatchesDetect(t *testing.T) {
+	m := parityModel(t)
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(1, InputChannels, m.Config.InputSize, m.Config.InputSize)
+	x.RandUniform(rng, 0, 1)
+	want := m.Detect(x)
+	got, err := m.DetectChecked(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDetections(t, "DetectChecked", want, got)
+}
+
+func TestDetectLayoutCheckedValidates(t *testing.T) {
+	m := parityModel(t)
+	if _, err := m.DetectLayoutChecked(nil, layout.R(0, 0, 100, 100)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil layout: err = %v", err)
+	}
+	l := layout.New(layout.R(0, 0, 100, 100))
+	if _, err := m.DetectLayoutChecked(l, layout.R(5, 5, 5, 9)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty window: err = %v", err)
+	}
+	if _, err := m.DetectLayoutMegatileChecked(nil, layout.R(0, 0, 100, 100), 2); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("megatile nil layout: err = %v", err)
+	}
+}
+
+func TestDetectCheckedConvertsPanics(t *testing.T) {
+	m := parityModel(t)
+	// Corrupt internal state so the kernel panics (nil anchor set): the
+	// boundary must return a *guard.PanicError, not crash the test binary.
+	m.Anchors = nil
+	x := tensor.New(1, InputChannels, m.Config.InputSize, m.Config.InputSize)
+	_, err := m.DetectChecked(x)
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *guard.PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+}
+
+func TestLoadCheckedErrors(t *testing.T) {
+	m := parityModel(t)
+	if err := m.LoadChecked(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("missing checkpoint loaded without error")
+	}
+	corrupt := filepath.Join(t.TempDir(), "corrupt.ckpt")
+	if err := os.WriteFile(corrupt, []byte("RHSDCKPT1\xff\xff\xff\xff garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadChecked(corrupt); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
+
+func TestLoadCheckedRoundTrip(t *testing.T) {
+	m := parityModel(t)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := parityModel(t)
+	if err := m2.LoadChecked(path); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	x := tensor.New(1, InputChannels, m.Config.InputSize, m.Config.InputSize)
+	x.RandUniform(rng, 0, 1)
+	assertSameDetections(t, "LoadChecked round trip", m.Detect(x), m2.Detect(x))
+}
+
+// scanLayout builds the ragged multi-region layout the parity tests use.
+func scanLayout(c Config) *layout.Layout {
+	regionNM := c.RegionNM()
+	l := layout.New(layout.R(0, 0, 2*regionNM+regionNM/3, 2*regionNM+regionNM/5))
+	for x := 40; x < l.Bounds.X1-80; x += 150 {
+		l.Add(layout.R(x, 30, x+70, l.Bounds.Y1-50))
+	}
+	return l
+}
+
+func TestScanWorkersCapParity(t *testing.T) {
+	m := parityModel(t)
+	l := scanLayout(m.Config)
+	full := detectAtWorkers(8, func() []Detection { return m.DetectLayout(l, l.Bounds) })
+
+	capped := parityModel(t)
+	capped.SetScanWorkers(1)
+	serial := detectAtWorkers(8, func() []Detection { return capped.DetectLayout(l, l.Bounds) })
+	assertSameDetections(t, "scanWorkers=1", full, serial)
+
+	capped.SetScanWorkers(2)
+	two := detectAtWorkers(8, func() []Detection { return capped.DetectLayout(l, l.Bounds) })
+	assertSameDetections(t, "scanWorkers=2", full, two)
+
+	capped.SetScanWorkers(0) // back to the default
+	def := detectAtWorkers(8, func() []Detection { return capped.DetectLayout(l, l.Bounds) })
+	assertSameDetections(t, "scanWorkers reset", full, def)
+}
+
+func TestCachedReplicasResyncAfterLoad(t *testing.T) {
+	// Scan once (populating the replica cache), then load different
+	// weights and scan again: the cached replicas must serve the new
+	// weights, bit-identical to a fresh model.
+	c := TinyConfig()
+	c.Seed = 99 // different weights than parityModel
+	other, err := NewModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "other.ckpt")
+	if err := other.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	m := parityModel(t)
+	l := scanLayout(m.Config)
+	detectAtWorkers(4, func() []Detection { return m.DetectLayout(l, l.Bounds) }) // warm the cache
+	if err := m.LoadChecked(path); err != nil {
+		t.Fatal(err)
+	}
+	got := detectAtWorkers(4, func() []Detection { return m.DetectLayout(l, l.Bounds) })
+	want := detectAtWorkers(4, func() []Detection { return other.DetectLayout(l, l.Bounds) })
+	assertSameDetections(t, "replica resync", want, got)
+}
+
+func TestTrimWorkspaceCascadesToReplicas(t *testing.T) {
+	m := parityModel(t)
+	l := scanLayout(m.Config)
+	detectAtWorkers(4, func() []Detection { return m.DetectLayout(l, l.Bounds) })
+	if m.TotalWorkspaceFootprint() <= m.WorkspaceFootprint() {
+		t.Skip("no replicas were cached (single-CPU run)")
+	}
+	m.TrimWorkspace(0)
+	if got := m.TotalWorkspaceFootprint(); got != 0 {
+		t.Fatalf("TotalWorkspaceFootprint = %d after full trim", got)
+	}
+}

@@ -285,25 +285,39 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 }
 
 // scanReplicated runs scan(replica, i) for every work item i in [0, n) on
-// up to parallel.Workers() goroutines, each driving its own model replica
-// (Clone) because layers and workspaces are single-goroutine state. Work
+// up to parallel.Workers() goroutines — capped by SetScanWorkers — each
+// driving its own model replica (Clone) because layers and workspaces are
+// single-goroutine state. Replicas are cached on the model and reused
+// across calls (with their parameters re-synced from m each time, so a
+// Load between scans takes effect), which keeps a long-lived model from
+// re-building the network and re-growing workspaces on every scan. Work
 // items are claimed from a shared counter; callers store per-item results
 // in a slice indexed by i so output order — and therefore the final merge
 // — is identical for every worker count.
 func (m *Model) scanReplicated(n int, scan func(mw *Model, i int)) {
 	workers := parallel.Workers()
+	if m.scanWorkers > 0 && m.scanWorkers < workers {
+		workers = m.scanWorkers
+	}
 	if workers > n {
 		workers = n
 	}
 	// Replica construction can fail only on an invalid Config, which m
 	// itself already passed; a defensive fallback keeps the scan serial on
 	// whatever replicas did build.
-	replicas := []*Model{m}
-	for len(replicas) < workers {
+	for len(m.replicas) < workers-1 {
 		r, err := m.Clone()
 		if err != nil {
 			break
 		}
+		m.replicas = append(m.replicas, r)
+	}
+	replicas := []*Model{m}
+	for _, r := range m.replicas {
+		if len(replicas) >= workers {
+			break
+		}
+		m.syncReplica(r)
 		replicas = append(replicas, r)
 	}
 	if len(replicas) == 1 {

@@ -61,6 +61,16 @@ type Model struct {
 	// scratch holds the reusable non-tensor buffers of the detection
 	// pipeline (candidate lists, NMS bookkeeping, RoI rectangles).
 	scratch detectScratch
+
+	// scanWorkers caps the goroutines (and replicas) one layout scan may
+	// use; 0 means parallel.Workers(). See SetScanWorkers.
+	scanWorkers int
+	// replicas are cached scan clones, reused across DetectLayout and
+	// DetectLayoutMegatile calls so a long-lived model (a serving worker,
+	// a CLI scanning many windows) does not reconstruct the network — or
+	// regrow per-clone workspaces — on every call. Parameters are synced
+	// from m at the start of each scan; see scanReplicated.
+	replicas []*Model
 }
 
 // NewModel builds and initializes an R-HSD network for the configuration.
@@ -196,15 +206,50 @@ func (m *Model) anchorsFor(fh, fw int) *AnchorSet {
 // policy reason about.
 func (m *Model) WorkspaceFootprint() int { return m.ws.Footprint() }
 
+// TotalWorkspaceFootprint is WorkspaceFootprint summed over the model and
+// its cached scan replicas — the figure a memory dashboard (rhsd-serve
+// /statusz) wants, since every replica retains a full scan footprint.
+func (m *Model) TotalWorkspaceFootprint() int {
+	total := m.WorkspaceFootprint()
+	for _, r := range m.replicas {
+		total += r.TotalWorkspaceFootprint()
+	}
+	return total
+}
+
 // TrimWorkspace releases retained inference scratch until at most
-// maxFloats float32s remain, recycling live buffers first. A model that
-// has served a megatile pass keeps megatile-sized buffers alive for the
-// next pass; callers that drop back to nominal-size Detect calls can trim
-// to a nominal budget and the workspace regrows on demand (see DESIGN.md
-// §10/§11 for the retention policy).
+// maxFloats float32s remain per workspace, recycling live buffers first
+// and cascading to cached scan replicas. A model that has served a
+// megatile pass keeps megatile-sized buffers alive for the next pass;
+// callers that drop back to nominal-size Detect calls — or a serving
+// daemon going idle — can trim to a budget and the workspaces regrow on
+// demand (see DESIGN.md §10/§11 for the retention policy).
 func (m *Model) TrimWorkspace(maxFloats int) {
 	m.ws.Reset()
 	m.ws.Trim(maxFloats)
+	for _, r := range m.replicas {
+		r.TrimWorkspace(maxFloats)
+	}
+}
+
+// SetScanWorkers caps the goroutines — and therefore the cached model
+// replicas — one DetectLayout/DetectLayoutMegatile call may use. 0
+// restores the default, parallel.Workers(). 1 makes scans run serially on
+// m itself with no replicas at all: the configuration a serving pool uses
+// so cross-request parallelism comes from pooled clones rather than
+// nested per-request fan-out. Shrinking the cap releases the now-excess
+// cached replicas.
+func (m *Model) SetScanWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.scanWorkers = n
+	if n > 0 && len(m.replicas) > n-1 {
+		for i := n - 1; i < len(m.replicas); i++ {
+			m.replicas[i] = nil // release for GC
+		}
+		m.replicas = m.replicas[:n-1]
+	}
 }
 
 // inceptionA builds module A of Figure 3: four stride-1 branches
@@ -287,6 +332,17 @@ func (m *Model) Clone() (*Model, error) {
 		copy(dst[i].Grad.Data(), p.Grad.Data())
 	}
 	return r, nil
+}
+
+// syncReplica copies m's current parameter values into a cached scan
+// replica. Only the weights matter for inference; the copy is a tiny
+// fraction of a scan's cost and guarantees a replica built before a Load
+// or a training step still scans with the model's present weights.
+func (m *Model) syncReplica(r *Model) {
+	src, dst := m.Params(), r.Params()
+	for i, p := range src {
+		copy(dst[i].W.Data(), p.W.Data())
+	}
 }
 
 // Save writes all model parameters to a checkpoint file.

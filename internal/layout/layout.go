@@ -210,8 +210,57 @@ func (l *Layout) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load parses the format written by Save.
+// Load parses the format written by Save. It trusts its input: no size
+// limits are applied, and a syntactically valid but degenerate layout
+// (e.g. empty bounds) is returned as-is. Serving paths that read layouts
+// from the network use ParseChecked instead.
 func Load(r io.Reader) (*Layout, error) {
+	return parse(r, Limits{})
+}
+
+// Limits bound what ParseChecked accepts from an untrusted source. The
+// zero value of a field means "use the DefaultLimits value"; Load parses
+// with no limits at all.
+type Limits struct {
+	// MaxRects caps the RECT record count; parsing stops with an error as
+	// soon as the cap is crossed, before the extra records are stored.
+	MaxRects int
+	// MaxDimNM caps the bounds width and height. Scan memory downstream
+	// grows with (dim/region)² tile descriptors, so a daemon must bound
+	// the die size a request may declare.
+	MaxDimNM int
+}
+
+// DefaultLimits are the ParseChecked bounds used when a Limits field is
+// zero: 1M rectangles and ~2 mm of die per axis — generous for a region
+// detection request, far below anything that could exhaust memory.
+func DefaultLimits() Limits {
+	return Limits{MaxRects: 1 << 20, MaxDimNM: 1 << 21}
+}
+
+func (lim Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if lim.MaxRects <= 0 {
+		lim.MaxRects = d.MaxRects
+	}
+	if lim.MaxDimNM <= 0 {
+		lim.MaxDimNM = d.MaxDimNM
+	}
+	return lim
+}
+
+// ParseChecked parses the Save format from an untrusted reader with the
+// given limits (zero fields take DefaultLimits) and validates the result
+// for consumption by the detection stack: bounds must be non-empty and no
+// larger than lim.MaxDimNM per axis, and at most lim.MaxRects shapes are
+// accepted. Violations and syntax errors return descriptive errors;
+// ParseChecked never panics.
+func ParseChecked(r io.Reader, lim Limits) (*Layout, error) {
+	return parse(r, lim.withDefaults())
+}
+
+// parse is the shared scan loop; a zero Limits field disables that check.
+func parse(r io.Reader, lim Limits) (*Layout, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var l *Layout
@@ -225,14 +274,33 @@ func Load(r io.Reader) (*Layout, error) {
 		var kind string
 		var x0, y0, x1, y1 int
 		if _, err := fmt.Sscanf(text, "%s %d %d %d %d", &kind, &x0, &y0, &x1, &y1); err != nil {
+			// A failed read (e.g. a body-size limit) leaves the scanner
+			// holding a partial final line; report the reader's error, not
+			// the syntax error of the truncated fragment.
+			if serr := sc.Err(); serr != nil {
+				return nil, fmt.Errorf("layout: reading input: %w", serr)
+			}
 			return nil, fmt.Errorf("layout: line %d: %w", line, err)
 		}
 		switch kind {
 		case "BOUNDS":
-			l = New(Rect{x0, y0, x1, y1})
+			b := Rect{x0, y0, x1, y1}.Canon()
+			if lim.MaxDimNM > 0 {
+				if b.Empty() {
+					return nil, fmt.Errorf("layout: line %d: empty BOUNDS %v", line, b)
+				}
+				if b.W() > lim.MaxDimNM || b.H() > lim.MaxDimNM {
+					return nil, fmt.Errorf("layout: line %d: BOUNDS %d×%d nm exceed the %d nm limit",
+						line, b.W(), b.H(), lim.MaxDimNM)
+				}
+			}
+			l = New(b)
 		case "RECT":
 			if l == nil {
 				return nil, fmt.Errorf("layout: line %d: RECT before BOUNDS", line)
+			}
+			if lim.MaxRects > 0 && len(l.Rects) >= lim.MaxRects {
+				return nil, fmt.Errorf("layout: line %d: more than %d RECT records", line, lim.MaxRects)
 			}
 			l.Add(Rect{x0, y0, x1, y1})
 		default:
@@ -240,7 +308,7 @@ func Load(r io.Reader) (*Layout, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("layout: reading input: %w", err)
 	}
 	if l == nil {
 		return nil, fmt.Errorf("layout: no BOUNDS record found")

@@ -1,0 +1,73 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCheckedMatchesLoad(t *testing.T) {
+	l := New(R(0, 0, 1000, 800))
+	l.Add(R(10, 10, 200, 60))
+	l.Add(R(300, 100, 350, 700))
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	viaLoad, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaChecked, err := ParseChecked(bytes.NewReader(buf.Bytes()), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaChecked.Bounds != viaLoad.Bounds || len(viaChecked.Rects) != len(viaLoad.Rects) {
+		t.Fatalf("ParseChecked %+v differs from Load %+v", viaChecked, viaLoad)
+	}
+	for i := range viaLoad.Rects {
+		if viaChecked.Rects[i] != viaLoad.Rects[i] {
+			t.Fatalf("rect %d: %v vs %v", i, viaChecked.Rects[i], viaLoad.Rects[i])
+		}
+	}
+}
+
+func TestParseCheckedRejections(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+		lim               Limits
+	}{
+		{"empty input", "", "no BOUNDS", Limits{}},
+		{"garbage", "hello world", "line 1", Limits{}},
+		{"rect before bounds", "RECT 0 0 1 1", "line 1", Limits{}},
+		{"unknown record", "BOUNDS 0 0 9 9\nBLOB 1 2 3 4", "unknown record", Limits{}},
+		{"short record", "BOUNDS 0 0 9", "line 1", Limits{}},
+		{"empty bounds", "BOUNDS 5 5 5 9", "empty BOUNDS", Limits{}},
+		{"oversized bounds", "BOUNDS 0 0 99999 10", "exceed", Limits{MaxDimNM: 1000}},
+		{"too many rects", "BOUNDS 0 0 99 99\nRECT 0 0 1 1\nRECT 1 1 2 2\nRECT 2 2 3 3",
+			"more than 2 RECT", Limits{MaxRects: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseChecked(strings.NewReader(tc.input), tc.lim)
+			if err == nil {
+				t.Fatalf("ParseChecked accepted %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadStillAcceptsDegenerateBounds(t *testing.T) {
+	// The trusted Load path keeps its historical laxity: empty bounds
+	// parse fine (tools construct such layouts mid-pipeline).
+	l, err := Load(strings.NewReader("BOUNDS 0 0 0 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Bounds.Empty() {
+		t.Fatalf("bounds %v", l.Bounds)
+	}
+}

@@ -15,6 +15,20 @@ import (
 
 const checkpointMagic = "RHSDCKPT1"
 
+// Bounds on untrusted header fields. A corrupt or adversarial checkpoint
+// must never drive an allocation or a read loop with attacker-chosen
+// sizes: every header value is validated against these limits — and
+// against the model's own parameter shapes — before any memory
+// proportional to it is touched. The limits are far above anything a real
+// model writes (max rank in the repo is 4, the largest parameter is ~1M
+// elements) but small enough that even the worst accepted header costs
+// only kilobytes before the shape cross-check rejects it.
+const (
+	maxCheckpointRank   = 16      // dimensions per parameter shape
+	maxCheckpointVolume = 1 << 28 // elements per parameter (1 GiB of float32)
+	maxCheckpointString = 1 << 20 // bytes per parameter name
+)
+
 // SaveParams writes all parameters to w.
 func SaveParams(w io.Writer, params []*Param) error {
 	bw := bufio.NewWriter(w)
@@ -47,7 +61,13 @@ func SaveParams(w io.Writer, params []*Param) error {
 }
 
 // LoadParams reads parameters from r into params, matching by position and
-// validating name and shape.
+// validating name and shape. The stream is untrusted: every header field
+// is bounded and cross-checked against the model before anything is
+// allocated or read in proportion to it, so a corrupt, truncated or
+// adversarial checkpoint yields a descriptive error rather than a panic
+// or a multi-gigabyte allocation. On error some parameters may already
+// have been overwritten; callers that need transactional semantics load
+// into a throwaway model first.
 func LoadParams(r io.Reader, params []*Param) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(checkpointMagic))
@@ -59,45 +79,68 @@ func LoadParams(r io.Reader, params []*Param) error {
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return err
+		return fmt.Errorf("nn: reading checkpoint param count: %w", err)
 	}
-	if int(count) != len(params) {
+	if uint64(count) != uint64(len(params)) {
 		return fmt.Errorf("nn: checkpoint has %d params, model has %d", count, len(params))
 	}
-	for _, p := range params {
+	for pi, p := range params {
 		name, err := readString(br)
 		if err != nil {
-			return err
+			return fmt.Errorf("nn: reading name of checkpoint param %d: %w", pi, err)
 		}
 		if name != p.Name {
 			return fmt.Errorf("nn: checkpoint param %q does not match model param %q", name, p.Name)
 		}
 		var rank uint32
 		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
-			return err
+			return fmt.Errorf("nn: reading rank of checkpoint param %q: %w", name, err)
+		}
+		if rank > maxCheckpointRank {
+			return fmt.Errorf("nn: checkpoint param %q rank %d exceeds limit %d", name, rank, maxCheckpointRank)
 		}
 		shape := make([]int, rank)
-		vol := 1
+		vol := int64(1)
 		for i := range shape {
 			var d uint32
 			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
-				return err
+				return fmt.Errorf("nn: reading shape of checkpoint param %q: %w", name, err)
+			}
+			if d == 0 || d > maxCheckpointVolume {
+				return fmt.Errorf("nn: checkpoint param %q dimension %d out of range [1, %d]", name, d, maxCheckpointVolume)
 			}
 			shape[i] = int(d)
-			vol *= int(d)
-		}
-		if vol != p.W.Size() {
-			return fmt.Errorf("nn: checkpoint param %q shape %v incompatible with model shape %v",
-				name, shape, p.W.Shape())
-		}
-		buf := p.W.Data()
-		for i := range buf {
-			var bits uint32
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return err
+			// int64 accumulation with a per-step cap: the product can never
+			// overflow, since each factor is ≤ 2²⁸ and the running product is
+			// rejected the moment it crosses the cap.
+			if vol *= int64(d); vol > maxCheckpointVolume {
+				return fmt.Errorf("nn: checkpoint param %q volume exceeds limit %d elements", name, maxCheckpointVolume)
 			}
-			buf[i] = math.Float32frombits(bits)
 		}
+		want := p.W.Shape()
+		if len(shape) != len(want) {
+			return fmt.Errorf("nn: checkpoint param %q shape %v incompatible with model shape %v",
+				name, shape, want)
+		}
+		for i, d := range shape {
+			if d != want[i] {
+				return fmt.Errorf("nn: checkpoint param %q shape %v incompatible with model shape %v",
+					name, shape, want)
+			}
+		}
+		// The volume now equals the model's own parameter size, so this read
+		// is bounded by memory the model already owns.
+		buf := p.W.Data()
+		raw := make([]byte, 4*len(buf))
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return fmt.Errorf("nn: reading %d values of checkpoint param %q: %w", len(buf), name, err)
+		}
+		for i := range buf {
+			buf[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("nn: trailing data after last checkpoint param")
 	}
 	return nil
 }
@@ -138,7 +181,7 @@ func readString(r io.Reader) (string, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
+	if n > maxCheckpointString {
 		return "", fmt.Errorf("nn: unreasonable string length %d in checkpoint", n)
 	}
 	buf := make([]byte, n)

@@ -1,0 +1,28 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadParams drives LoadParams with arbitrary bytes. The property is
+// purely defensive: no input may panic, allocate beyond the fixed model
+// size, or loop forever — every outcome is either a successful load or a
+// descriptive error. Seeds cover the valid stream and the corruption
+// classes of the table test so the fuzzer starts at the format's edges.
+func FuzzLoadParams(f *testing.F) {
+	var valid bytes.Buffer
+	if err := SaveParams(&valid, ckptParams()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("RHSDCKPT1"))
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(put32(valid.Bytes(), 9, 0xffffffff))  // count
+	f.Add(put32(valid.Bytes(), 13, 0xffffffff)) // name length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params := freshLike(ckptParams())
+		_ = LoadParams(bytes.NewReader(data), params) // must not panic
+	})
+}

@@ -18,6 +18,7 @@
 package parallel
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,13 +30,45 @@ import (
 // and resolves lazily to the environment/NumCPU default.
 var workerCount int32
 
+// maxEnvWorkers caps RHSD_WORKERS: beyond ~1k goroutines per kernel the
+// scheduler overhead dwarfs any conceivable speedup, and a fat-fingered
+// value (e.g. a memory size pasted into the wrong variable) should not
+// spawn millions of goroutines.
+const maxEnvWorkers = 1024
+
+// envWarnOnce gates the misconfiguration warning so a daemon calling
+// Workers on every request logs the problem exactly once.
+var envWarnOnce sync.Once
+
+func envWarnf(format string, args ...any) {
+	envWarnOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "parallel: "+format+"\n", args...)
+	})
+}
+
+// defaultWorkers resolves the worker count from RHSD_WORKERS, validating
+// rather than silently ignoring bad values: non-numeric or non-positive
+// settings fall back to NumCPU and oversized ones clamp to maxEnvWorkers,
+// each with a once-per-process warning on stderr — a misconfigured
+// deployment should not quietly run serial.
 func defaultWorkers() int {
-	if s := os.Getenv("RHSD_WORKERS"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
-			return n
-		}
+	s := os.Getenv("RHSD_WORKERS")
+	if s == "" {
+		return runtime.NumCPU()
 	}
-	return runtime.NumCPU()
+	n, err := strconv.Atoi(s)
+	switch {
+	case err != nil:
+		envWarnf("RHSD_WORKERS=%q is not an integer; using NumCPU=%d", s, runtime.NumCPU())
+		return runtime.NumCPU()
+	case n < 1:
+		envWarnf("RHSD_WORKERS=%d is not positive; using NumCPU=%d", n, runtime.NumCPU())
+		return runtime.NumCPU()
+	case n > maxEnvWorkers:
+		envWarnf("RHSD_WORKERS=%d exceeds the cap; clamping to %d", n, maxEnvWorkers)
+		return maxEnvWorkers
+	}
+	return n
 }
 
 // Workers returns the number of goroutines For may use concurrently.

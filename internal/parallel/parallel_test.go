@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -145,6 +146,31 @@ func TestGrainFor(t *testing.T) {
 	for _, c := range cases {
 		if got := GrainFor(c.perItem, c.minWork); got != c.want {
 			t.Errorf("GrainFor(%d, %d) = %d, want %d", c.perItem, c.minWork, got, c.want)
+		}
+	}
+}
+
+func TestEnvWorkersValidation(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	cpu := runtime.NumCPU()
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"7", 7},
+		{"abc", cpu},     // non-numeric → NumCPU
+		{"-3", cpu},      // negative → NumCPU
+		{"0", cpu},       // zero → NumCPU
+		{"1e6", cpu},     // not an Atoi integer → NumCPU
+		{"999999", maxEnvWorkers}, // oversized → clamp
+		{"", cpu},
+	}
+	for _, c := range cases {
+		t.Setenv("RHSD_WORKERS", c.env)
+		SetWorkers(0) // re-resolve the default from the environment
+		if got := Workers(); got != c.want {
+			t.Errorf("RHSD_WORKERS=%q: Workers() = %d, want %d", c.env, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,498 @@
+// Package serve implements the R-HSD detection daemon behind rhsd-serve:
+// a pool of model clones fronted by an HTTP API.
+//
+//	POST /detect   layout text (BOUNDS/RECT) in, JSON detections out
+//	GET  /healthz  liveness (503 while draining)
+//	GET  /statusz  pool, queue, workspace and request counters as JSON
+//
+// Design (DESIGN.md §12): every request is one unit of work handled by
+// one pooled model clone whose scan concurrency is capped so the total
+// goroutine budget stays at parallel.Workers() regardless of pool size —
+// cross-request parallelism replaces the CLI's nested per-scan fan-out.
+// Admission is a bounded queue that sheds load with 429 instead of
+// buffering unboundedly; each request carries a deadline (a detection
+// that outlives it answers 504 while the worker finishes in the
+// background and rejoins the pool, since kernels are not cancellable
+// mid-pass); shutdown stops admissions and drains in-flight work; idle
+// servers trim per-clone workspaces back to their budget. All detection
+// runs behind the guard.Run error boundary, so a panic anywhere in the
+// inference stack becomes a 500 response and the daemon keeps serving.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhsd/internal/guard"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/parallel"
+)
+
+// Config tunes one Server. The zero value of every field selects a
+// production-safe default (see withDefaults); fields with meaningful zero
+// values use explicit sentinels, documented per field.
+type Config struct {
+	// Pool is the number of model clones, i.e. concurrent detections
+	// (0 = parallel.Workers()).
+	Pool int
+	// QueueDepth is how many admitted requests may wait for a model
+	// beyond the Pool already running; anything past Pool+QueueDepth is
+	// shed with 429. Negative = default (2×Pool); 0 = no waiting room.
+	QueueDepth int
+	// Timeout bounds one request's wait-plus-detection time
+	// (0 = 60s; negative = no deadline).
+	Timeout time.Duration
+	// MaxBodyBytes caps the /detect request body (0 = 16 MiB).
+	MaxBodyBytes int64
+	// Limits bound the parsed layout (zero fields = layout.DefaultLimits).
+	Limits layout.Limits
+	// MegatileFactor selects the scan: 0 = auto-size from MegatileMemMiB
+	// per request window, N>0 = fixed N×N regions per pass, negative =
+	// legacy per-tile scan.
+	MegatileFactor int
+	// MegatileMemMiB is the per-clone workspace budget driving the auto
+	// factor (0 = 512).
+	MegatileMemMiB int
+	// ScoreThreshold overrides the model's reporting threshold when
+	// non-negative (an explicit 0 is honored); negative = model default.
+	ScoreThreshold float64
+	// IdleTrim is how long the server must sit idle before per-clone
+	// workspaces are trimmed (0 = 1 min; negative = never trim).
+	IdleTrim time.Duration
+	// TrimFloats is the per-workspace float32 budget left after an idle
+	// trim; 0 releases all retained scratch.
+	TrimFloats int
+	// Logf receives operational logs, including panic stacks recovered at
+	// the error boundary (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = parallel.Workers()
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 2 * c.Pool
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MegatileMemMiB <= 0 {
+		c.MegatileMemMiB = 512
+	}
+	if c.IdleTrim == 0 {
+		c.IdleTrim = time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// worker is one pooled model clone plus its last observed workspace
+// footprint (bytes), stored atomically so /statusz can report memory
+// without touching a model that another goroutine may be driving.
+type worker struct {
+	m         *hsd.Model
+	footprint atomic.Int64
+}
+
+// Server is the detection daemon. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	perScan int // scan-goroutine cap applied to each pooled model
+	pool    chan *worker
+	workers []*worker
+	sem     chan struct{} // admission: Pool+QueueDepth slots
+
+	mu       sync.RWMutex // guards closed vs. inflight.Add
+	closed   bool
+	inflight sync.WaitGroup
+
+	start      time.Time
+	lastActive atomic.Int64 // UnixNano of the last /detect admission
+
+	nRequests, nOK, nClientErr, nServerErr atomic.Int64
+	nShed, nTimeout, nDetections           atomic.Int64
+	latTotalNS, latMaxNS                   atomic.Int64
+
+	stopTrim chan struct{}
+	trimDone chan struct{}
+
+	// testHook, when set, runs inside the detection error boundary before
+	// the scan; tests use it to stall a worker or inject a panic.
+	testHook func()
+}
+
+// New builds a Server around m: the pool's first worker is m itself, the
+// rest are clones, each capped to scan with parallel.Workers()/Pool
+// goroutines (at least 1) so a fully busy pool uses the same compute
+// budget as one CLI scan. m must not be used by the caller afterwards.
+func New(m *hsd.Model, cfg Config) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("serve: nil model")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		perScan: scanWorkersPerModel(cfg.Pool),
+		pool:    make(chan *worker, cfg.Pool),
+		sem:     make(chan struct{}, cfg.Pool+cfg.QueueDepth),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		cm := m
+		if i > 0 {
+			var err error
+			if cm, err = m.Clone(); err != nil {
+				return nil, fmt.Errorf("serve: cloning model %d/%d: %w", i, cfg.Pool, err)
+			}
+		}
+		if cfg.ScoreThreshold >= 0 {
+			cm.Config.ScoreThreshold = cfg.ScoreThreshold
+		}
+		cm.SetScanWorkers(s.perScan)
+		wk := &worker{m: cm}
+		s.workers = append(s.workers, wk)
+		s.pool <- wk
+	}
+	s.lastActive.Store(time.Now().UnixNano())
+	if cfg.IdleTrim > 0 {
+		s.stopTrim = make(chan struct{})
+		s.trimDone = make(chan struct{})
+		go s.trimLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the daemon's three endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/detect", s.handleDetect)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+// Shutdown stops admitting requests (new /detect calls answer 503) and
+// waits for in-flight detections — including any that already answered
+// 504 but still hold a worker — to finish, or for ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already && s.stopTrim != nil {
+		close(s.stopTrim)
+		<-s.trimDone
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// DetectionJSON is one hotspot clip in the /detect response, in layout
+// nanometres relative to the request layout's bounds origin.
+type DetectionJSON struct {
+	CXnm  float64 `json:"cx_nm"`
+	CYnm  float64 `json:"cy_nm"`
+	Wnm   float64 `json:"w_nm"`
+	Hnm   float64 `json:"h_nm"`
+	Score float64 `json:"score"`
+}
+
+// DetectResponse is the /detect success payload.
+type DetectResponse struct {
+	Detections []DetectionJSON `json:"detections"`
+	Count      int             `json:"count"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+}
+
+// ErrorResponse is every non-2xx payload.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Status is the /statusz payload.
+type Status struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Pool           int     `json:"pool"`
+	ScanWorkers    int     `json:"scan_workers_per_model"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	QueueUsed      int     `json:"queue_used"`
+	WorkspaceBytes int64   `json:"workspace_bytes"`
+	Requests       int64   `json:"requests"`
+	OK             int64   `json:"ok"`
+	ClientErrors   int64   `json:"client_errors"`
+	ServerErrors   int64   `json:"server_errors"`
+	Shed           int64   `json:"shed"`
+	Timeouts       int64   `json:"timeouts"`
+	Detections     int64   `json:"detections"`
+	LatencyAvgMS   float64 `json:"latency_avg_ms"`
+	LatencyMaxMS   float64 `json:"latency_max_ms"`
+	Draining       bool    `json:"draining"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection failing mid-response is the client's problem
+}
+
+// fail answers with a JSON error and bumps the right counter.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 500 {
+		s.nServerErr.Add(1)
+	} else if code >= 400 {
+		s.nClientErr.Add(1)
+	}
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var wsBytes int64
+	for _, wk := range s.workers {
+		wsBytes += wk.footprint.Load()
+	}
+	st := Status{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Pool:           len(s.workers),
+		ScanWorkers:    s.perScan,
+		QueueCapacity:  cap(s.sem),
+		QueueUsed:      len(s.sem),
+		WorkspaceBytes: wsBytes,
+		Requests:       s.nRequests.Load(),
+		OK:             s.nOK.Load(),
+		ClientErrors:   s.nClientErr.Load(),
+		ServerErrors:   s.nServerErr.Load(),
+		Shed:           s.nShed.Load(),
+		Timeouts:       s.nTimeout.Load(),
+		Detections:     s.nDetections.Load(),
+	}
+	if n := st.OK; n > 0 {
+		st.LatencyAvgMS = float64(s.latTotalNS.Load()) / float64(n) / 1e6
+	}
+	st.LatencyMaxMS = float64(s.latMaxNS.Load()) / 1e6
+	s.mu.RLock()
+	st.Draining = s.closed
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func scanWorkersPerModel(pool int) int {
+	per := parallel.Workers() / pool
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST a layout to /detect")
+		return
+	}
+	// Admission: refuse while draining, then claim a queue slot without
+	// blocking — a full queue sheds immediately rather than buffering
+	// bodies in memory until the process OOMs.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.RUnlock()
+	defer s.inflight.Done()
+
+	s.nRequests.Add(1)
+	s.lastActive.Store(time.Now().UnixNano())
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.nShed.Add(1)
+		s.fail(w, http.StatusTooManyRequests, "queue full (%d running or waiting)", cap(s.sem))
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	l, err := layout.ParseChecked(body, s.cfg.Limits)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "parsing layout: %v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	var wk *worker
+	select {
+	case wk = <-s.pool:
+	case <-ctx.Done():
+		s.nTimeout.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "no detection worker within the request deadline")
+		return
+	}
+
+	// The kernels are not cancellable mid-pass, so the detection runs in
+	// its own goroutine holding its own in-flight count: on timeout the
+	// handler answers 504 immediately while the worker finishes in the
+	// background and rejoins the pool (and Shutdown still waits for it).
+	start := time.Now()
+	type result struct {
+		dets []hsd.Detection
+		err  error
+	}
+	done := make(chan result, 1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		var dets []hsd.Detection
+		err := guard.Run(func() {
+			if s.testHook != nil {
+				s.testHook()
+			}
+			dets = s.scan(wk.m, l)
+		})
+		wk.footprint.Store(int64(wk.m.TotalWorkspaceFootprint()) * 4)
+		s.pool <- wk
+		done <- result{dets, err}
+	}()
+
+	select {
+	case res := <-done:
+		if res.err != nil {
+			var pe *guard.PanicError
+			if errors.As(res.err, &pe) {
+				s.cfg.Logf("serve: detection panic recovered: %v\n%s", pe.Value, pe.Stack)
+			}
+			s.fail(w, http.StatusInternalServerError, "detection failed: %v", res.err)
+			return
+		}
+		elapsed := time.Since(start)
+		s.nOK.Add(1)
+		s.nDetections.Add(int64(len(res.dets)))
+		s.latTotalNS.Add(elapsed.Nanoseconds())
+		for {
+			old := s.latMaxNS.Load()
+			if elapsed.Nanoseconds() <= old || s.latMaxNS.CompareAndSwap(old, elapsed.Nanoseconds()) {
+				break
+			}
+		}
+		out := DetectResponse{
+			Detections: make([]DetectionJSON, len(res.dets)),
+			Count:      len(res.dets),
+			ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+		}
+		for i, d := range res.dets {
+			out.Detections[i] = DetectionJSON{
+				CXnm: d.Clip.CX(), CYnm: d.Clip.CY(),
+				Wnm: d.Clip.W(), Hnm: d.Clip.H(),
+				Score: d.Score,
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case <-ctx.Done():
+		s.nTimeout.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "detection exceeded the request deadline")
+	}
+}
+
+// scan runs the configured detection over the request layout's bounds.
+// It executes inside the guard boundary; panics become 500s.
+func (s *Server) scan(m *hsd.Model, l *layout.Layout) []hsd.Detection {
+	switch {
+	case s.cfg.MegatileFactor < 0:
+		return m.DetectLayout(l, l.Bounds)
+	case s.cfg.MegatileFactor == 0:
+		f := m.AutoMegatileFactor(l.Bounds, int64(s.cfg.MegatileMemMiB)<<20)
+		return m.DetectLayoutMegatile(l, l.Bounds, f)
+	default:
+		return m.DetectLayoutMegatile(l, l.Bounds, s.cfg.MegatileFactor)
+	}
+}
+
+// trimLoop watches for idle periods and trims per-clone workspaces back
+// to the configured budget so a daemon that served one giant scan does
+// not pin megatile-sized buffers forever.
+func (s *Server) trimLoop() {
+	defer close(s.trimDone)
+	tick := time.NewTicker(s.cfg.IdleTrim)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopTrim:
+			return
+		case <-tick.C:
+			idle := time.Now().UnixNano() - s.lastActive.Load()
+			if idle < s.cfg.IdleTrim.Nanoseconds() {
+				continue
+			}
+			s.trimIdleWorkers()
+		}
+	}
+}
+
+// trimIdleWorkers trims every worker currently parked in the pool. Busy
+// workers are skipped — they are not idle, and they update their own
+// footprint when they finish. Workers are removed from the pool while
+// being trimmed so no request can race the workspace.
+func (s *Server) trimIdleWorkers() {
+	var parked []*worker
+drain:
+	for {
+		select {
+		case wk := <-s.pool:
+			parked = append(parked, wk)
+		default:
+			break drain
+		}
+	}
+	for _, wk := range parked {
+		wk.m.TrimWorkspace(s.cfg.TrimFloats)
+		wk.footprint.Store(int64(wk.m.TotalWorkspaceFootprint()) * 4)
+		s.pool <- wk
+	}
+}
