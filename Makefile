@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify serve-smoke bench bench-smoke bench-parallel bench-alloc bench-scan
+.PHONY: build vet test race race-full verify serve-smoke obs-smoke bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,13 @@ race-full:
 serve-smoke:
 	$(GO) run ./cmd/rhsd-serve -selftest -init-random
 
-verify: build vet test race serve-smoke
+# Observability smoke: the same selftest with pprof mounted, which also
+# asserts the Prometheus exposition on /metrics (request counters,
+# per-stage histograms, pool gauges) against known request counts.
+obs-smoke:
+	$(GO) run ./cmd/rhsd-serve -selftest -init-random -pprof
+
+verify: build vet test race serve-smoke obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -56,3 +62,7 @@ bench-alloc:
 # Per-tile vs megatile full-chip scan comparison; writes BENCH_scan.json.
 bench-scan:
 	$(GO) run ./cmd/rhsd-bench -exp scan
+
+# Telemetry-on vs telemetry-off overhead guard (<1%); writes BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/rhsd-bench -exp obs

@@ -7,6 +7,7 @@
 //	rhsd-bench -exp parallel            # serial vs parallel compute engine
 //	rhsd-bench -exp alloc               # heap-path vs zero-alloc inference
 //	rhsd-bench -exp scan                # per-tile vs megatile full-chip scan
+//	rhsd-bench -exp obs                 # telemetry-on vs telemetry-off overhead
 //	rhsd-bench -exp all -out out/
 //
 // The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
@@ -15,11 +16,13 @@
 // -exp alloc writes the allocation comparison (unblocked vs packed GEMM,
 // training-path vs workspace-backed inference) to BENCH_alloc.json, and
 // -exp scan writes the per-tile vs megatile scan comparison to
-// BENCH_scan.json. All reports embed host metadata (CPU count,
-// GOMAXPROCS, arch).
+// BENCH_scan.json, and -exp obs writes the telemetry overhead guard
+// (instrumented vs uninstrumented Detect, budget <1%) to BENCH_obs.json.
+// All reports embed host metadata (CPU count, GOMAXPROCS, arch).
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
-// whatever experiments ran, for offline hot-path diagnosis.
+// whatever experiments ran, for offline hot-path diagnosis; -trace
+// writes a runtime/trace with per-stage regions for `go tool trace`.
 //
 // All experiments run the FastProfile: a proportionally shrunk
 // configuration that executes in minutes on one CPU core. Absolute
@@ -34,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"rhsd/internal/dataset"
@@ -42,7 +46,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
@@ -52,8 +56,10 @@ func main() {
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for the -exp parallel report")
 	allocOut := flag.String("alloc-out", "BENCH_alloc.json", "output path for the -exp alloc report")
 	scanOut := flag.String("scan-out", "BENCH_scan.json", "output path for the -exp scan report")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the -exp obs report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
 	flag.Parse()
 
 	// 0 means "unset" for -workers, so an explicitly passed bad value is
@@ -82,6 +88,19 @@ func main() {
 	}
 	if *memProfile != "" {
 		defer writeHeapProfile(*memProfile)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
 	}
 
 	p := eval.FastProfile()
@@ -114,7 +133,8 @@ func main() {
 	runPar := *expFlag == "parallel" || *expFlag == "all"
 	runAlloc := *expFlag == "alloc" || *expFlag == "all"
 	runScan := *expFlag == "scan" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan {
+	runObs := *expFlag == "obs" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
 
@@ -135,6 +155,13 @@ func main() {
 	if runScan {
 		progress(fmt.Sprintf("scan bench: %d workers", parallel.Workers()))
 		if err := runScanBench(p, parallel.Workers(), *scanOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runObs {
+		progress(fmt.Sprintf("observability overhead bench: %d workers", parallel.Workers()))
+		if err := runObsBench(p, parallel.Workers(), *obsOut, progress); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/parallel"
+	"rhsd/internal/telemetry"
+)
+
+// obsOverheadBudgetPct is the acceptance budget for the telemetry layer:
+// a fully instrumented Detect (stage histograms, scan counters, pool
+// hooks) must cost less than this much wall time over the telemetry-off
+// baseline.
+const obsOverheadBudgetPct = 1.0
+
+// obsBenchReport is the BENCH_obs.json schema.
+type obsBenchReport struct {
+	Host         hostMeta        `json:"host"`
+	Workers      int             `json:"workers"`
+	Reps         int             `json:"reps"`
+	TelemetryOff allocBenchEntry `json:"telemetry_off"`
+	TelemetryOn  allocBenchEntry `json:"telemetry_on"`
+	OverheadPct  float64         `json:"overhead_pct"`
+	BudgetPct    float64         `json:"budget_pct"`
+	OverheadOK   bool            `json:"overhead_ok"`
+	AllocDelta   int64           `json:"alloc_delta"`
+}
+
+// runObsBench measures the cost of the telemetry layer on the region
+// detection hot path: the same Detect loop as BenchmarkDetectRegion,
+// once with no instruments anywhere and once with a live registry
+// receiving stage histograms, scan counters and pool utilization hooks.
+// Reps are interleaved off/on and the minimum of each side is compared,
+// so thermal drift and background noise cancel instead of biasing one
+// side. The report (BENCH_obs.json) carries overhead_ok so CI can gate
+// on the <1% budget.
+func runObsBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	warnIfSerialHost()
+	cfg := p.HSD
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	regionNM := cfg.RegionNM()
+	l := layout.New(layout.R(0, 0, 2*regionNM, 2*regionNM))
+	for x := 40; x < 2*regionNM-110; x += 150 {
+		l.Add(layout.R(x, 30, x+70, 2*regionNM-30))
+	}
+	region := l.Window(layout.R(0, 0, regionNM, regionNM))
+	raster := hsd.MakeSample(region, nil, cfg).Raster
+	m.Detect(raster) // warm-up sizes the workspace arena and scratch
+
+	const reps = 5
+	detectLoop := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Detect(raster)
+		}
+	}
+	var off, on allocBenchEntry
+	for rep := 0; rep < reps; rep++ {
+		parallel.DetachMetrics()
+		m.SetInstruments(nil)
+		o := measure("detect_telemetry_off", detectLoop)
+
+		reg := telemetry.NewRegistry()
+		parallel.RegisterMetrics(reg)
+		m.SetInstruments(hsd.NewInstruments(reg))
+		i := measure("detect_telemetry_on", detectLoop)
+
+		if rep == 0 || o.NsPerOp < off.NsPerOp {
+			off = o
+		}
+		if rep == 0 || i.NsPerOp < on.NsPerOp {
+			on = i
+		}
+		progress(fmt.Sprintf("obs bench rep %d/%d: off %.2f ms/op, on %.2f ms/op",
+			rep+1, reps, o.NsPerOp/1e6, i.NsPerOp/1e6))
+	}
+	parallel.DetachMetrics()
+	m.SetInstruments(nil)
+
+	report := obsBenchReport{
+		Host:         collectHostMeta(),
+		Workers:      workers,
+		Reps:         reps,
+		TelemetryOff: off,
+		TelemetryOn:  on,
+		BudgetPct:    obsOverheadBudgetPct,
+		AllocDelta:   on.AllocsPerOp - off.AllocsPerOp,
+	}
+	if off.NsPerOp > 0 {
+		report.OverheadPct = (on.NsPerOp/off.NsPerOp - 1) * 100
+	}
+	report.OverheadOK = report.OverheadPct < obsOverheadBudgetPct
+	progress(fmt.Sprintf("obs bench: overhead %+.2f%% (budget %.1f%%), alloc delta %+d/op",
+		report.OverheadPct, obsOverheadBudgetPct, report.AllocDelta))
+	if !report.OverheadOK {
+		progress("obs bench: WARNING — telemetry overhead exceeds the budget")
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

@@ -18,7 +18,11 @@
 // bit-identical for every worker count.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles of the scan
-// for offline hot-path diagnosis.
+// for offline hot-path diagnosis; -trace writes a runtime/trace of the
+// whole run, with every pipeline stage (backbone, enc-dec, inception,
+// CPN, pruning, h-NMS, refinement) annotated as a trace region — open it
+// with `go tool trace` to see where a scan's wall time goes across
+// goroutines.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 
 	"rhsd/internal/eval"
 	"rhsd/internal/hsd"
@@ -46,6 +51,7 @@ func main() {
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
 	flag.Parse()
 
 	// 0 means "unset" for -workers and -megatile, so an explicitly passed
@@ -76,6 +82,19 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			trace.Stop()
 			f.Close()
 		}()
 	}

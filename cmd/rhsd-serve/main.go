@@ -10,6 +10,8 @@
 //	POST /detect   layout text (BOUNDS/RECT format) in, JSON detections out
 //	GET  /healthz  liveness; 503 while draining
 //	GET  /statusz  pool, queue, workspace and request counters as JSON
+//	GET  /metrics  Prometheus text exposition (stage timings, pool, serve)
+//	GET  /debug/pprof/*  profiling handlers, only with -pprof
 //
 // The pool holds -pool model clones (default: one per compute worker),
 // each scanning with its share of the worker budget, so a saturated
@@ -31,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,7 +63,15 @@ func main() {
 	idleTrim := flag.Duration("idle-trim", time.Minute, "trim per-clone workspaces after this much idle time (0 = never)")
 	initRandom := flag.Bool("init-random", false, "serve freshly initialized weights instead of loading -ckpt (smoke tests)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, run one end-to-end request against it, and exit")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("-log-level %q: %w", *logLevel, err))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	// 0 means "unset" for -workers and -megatile, so an explicit bad value
 	// must be caught by inspecting which flags the user actually passed.
@@ -98,6 +110,8 @@ func main() {
 		MegatileMemMiB: *megatileMem,
 		ScoreThreshold: *thresh,
 		IdleTrim:       *idleTrim,
+		EnablePprof:    *pprofFlag,
+		Logger:         logger,
 	}
 	if *timeout == 0 {
 		cfg.Timeout = -1 // Config uses 0 as "default"; the flag's 0 means none
@@ -216,6 +230,36 @@ func runSelftest(c hsd.Config, base string) error {
 	}
 	if st.Requests != 2 || st.OK != 1 || st.ClientErrors != 1 {
 		return fmt.Errorf("statusz: counters %+v after one good and one bad request", st)
+	}
+
+	// The Prometheus exposition must carry every layer of the stack —
+	// serve requests, pool utilization and per-stage model timings — and
+	// agree with the /statusz counters read above.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		return fmt.Errorf("metrics: content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"rhsd_serve_requests_total 2",
+		`rhsd_serve_responses_total{class="2xx"} 1`,
+		`rhsd_serve_responses_total{class="4xx"} 1`,
+		"# TYPE rhsd_detect_stage_seconds histogram",
+		`rhsd_detect_stage_seconds_count{stage="backbone"}`,
+		"rhsd_pool_workers",
+		"rhsd_detect_passes_total",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics: exposition is missing %q", want)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "rhsd-serve: selftest scanned layout, %d detections, pool %d\n", dr.Count, st.Pool)
 	return nil

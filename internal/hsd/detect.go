@@ -101,6 +101,7 @@ func (m *Model) nmsInto(s *detectScratch, clips []ScoredClip) []ScoredClip {
 // proposalsInto/nmsInto call.
 func (m *Model) proposalsInto(s *detectScratch, set *AnchorSet, out *BaseOutput, w, h int) []ScoredClip {
 	c := m.Config
+	sp := m.stageSpan(StagePruning)
 	bounds := geom.Rect{X0: 0, Y0: 0, X1: float64(w), Y1: float64(h)}
 	base := c.FeatureSize() * c.FeatureSize()
 	ratio := (set.FeatH*set.FeatW + base - 1) / base
@@ -115,11 +116,20 @@ func (m *Model) proposalsInto(s *detectScratch, set *AnchorSet, out *BaseOutput,
 		s.cand = append(s.cand, ScoredClip{Clip: box, Score: score})
 	}
 	s.topk = topKInto(s.topk, s.cand, preNMSTopK*ratio)
+	sp.End()
+	sp = m.stageSpan(StageHNMS)
 	kept := m.nmsInto(s, s.topk)
+	sp.End()
+	if ins := m.ins; ins != nil {
+		ins.ProposalsSuppressed.Add(int64(len(s.topk) - len(kept)))
+	}
 	// kept is already in descending score order, so the final TopK is a
 	// prefix — same result as Proposals' trailing TopK call.
 	if pc := c.ProposalCount * ratio; c.ProposalCount > 0 && pc < len(kept) {
 		kept = kept[:pc]
+	}
+	if ins := m.ins; ins != nil {
+		ins.ProposalsKept.Add(int64(len(kept)))
 	}
 	return kept
 }
@@ -148,6 +158,10 @@ func (m *Model) proposalsInto(s *detectScratch, set *AnchorSet, out *BaseOutput,
 func (m *Model) Detect(x *tensor.Tensor) []Detection {
 	c := m.Config
 	s := &m.scratch
+	ins := m.ins
+	if ins != nil {
+		ins.DetectPasses.Inc()
+	}
 	h, w := x.Dim(2), x.Dim(3)
 	out := m.InferBase(x)
 	set := m.anchorsFor(h/FeatureStride, w/FeatureStride)
@@ -159,11 +173,15 @@ func (m *Model) Detect(x *tensor.Tensor) []Detection {
 				dets = append(dets, Detection{Clip: p.Clip, Score: p.Score})
 			}
 		}
+		if ins != nil {
+			ins.Detections.Add(int64(len(dets)))
+		}
 		return dets
 	}
 	if len(props) == 0 {
 		return nil
 	}
+	spRef := m.stageSpan(StageRefine)
 	cur, nxt := s.rois[:0], s.next[:0]
 	for _, p := range props {
 		cur = append(cur, p.Clip)
@@ -212,13 +230,19 @@ func (m *Model) Detect(x *tensor.Tensor) []Detection {
 	// Store the (possibly swapped, possibly grown) buffers back so their
 	// capacity is kept for the next call.
 	s.rois, s.next = cur, nxt
+	spRef.End()
 	if empty {
 		return nil
 	}
+	sp := m.stageSpan(StageHNMS)
 	final := m.nmsInto(s, s.scored)
+	sp.End()
 	dets := make([]Detection, len(final))
 	for i, sc := range final {
 		dets[i] = Detection{Clip: sc.Clip, Score: sc.Score}
+	}
+	if ins != nil {
+		ins.Detections.Add(int64(len(dets)))
 	}
 	return dets
 }
@@ -276,10 +300,16 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 	for _, clips := range perTile {
 		all = append(all, clips...)
 	}
+	sp := m.stageSpan(StageHNMS)
 	merged := m.nms(all)
+	sp.End()
 	out := make([]Detection, len(merged))
 	for i, s := range merged {
 		out[i] = Detection{Clip: s.Clip, Score: s.Score}
+	}
+	if ins := m.ins; ins != nil {
+		ins.TilesScanned.Add(int64(len(tiles)))
+		ins.WorkspaceBytes.Set(int64(m.TotalWorkspaceFootprint()) * 4)
 	}
 	return out
 }

@@ -208,10 +208,16 @@ func (m *Model) DetectLayoutMegatile(l *layout.Layout, window layout.Rect, facto
 	for _, clips := range perTile {
 		all = append(all, clips...)
 	}
+	sp := m.stageSpan(StageHNMS)
 	merged := m.nms(all)
+	sp.End()
 	out := make([]Detection, len(merged))
 	for i, s := range merged {
 		out[i] = Detection{Clip: s.Clip, Score: s.Score}
+	}
+	if ins := m.ins; ins != nil {
+		ins.MegatilesScanned.Add(int64(len(tiles)))
+		ins.WorkspaceBytes.Set(int64(m.TotalWorkspaceFootprint()) * 4)
 	}
 	return out
 }

@@ -19,10 +19,22 @@ type Model struct {
 	// Stem is the first convolution + pool (stride 2); its output doubles
 	// as the fine-scale feature tap for the refinement stage.
 	Stem *nn.Sequential
-	// Trunk continues from the stem to the shared feature map
-	// [N,FeatC,S/8,S/8]: remaining stem convs + pool → (encoder-decoder)
-	// → inception chain A A B A A A A (Figure 3).
-	Trunk *nn.Sequential
+	// The shared extractor continues from the stem in three stages kept
+	// as separate containers so the telemetry layer can time each paper
+	// stage (§3.1 backbone, §3.1.1 encoder-decoder, Figure 3 inception)
+	// on its own histogram. Parameter order — Stem, Backbone, EncDec,
+	// Inception — matches the pre-split single-trunk layout exactly, so
+	// checkpoints remain interchangeable.
+	//
+	// Backbone is the rest of the stem: remaining convs + pool, ending
+	// at the ×4-compressed feature map the encoder-decoder lifts.
+	Backbone *nn.Sequential
+	// EncDec is the joint encoder-decoder (empty when Config.UseEncDec
+	// is off; an empty Sequential is the identity).
+	EncDec *nn.Sequential
+	// Inception is the chain A A B A A A A producing the shared feature
+	// map [N,FeatC,S/8,S/8].
+	Inception *nn.Sequential
 	// FeatC is the extractor output channel count; FineC the tap's.
 	FeatC int
 	FineC int
@@ -62,6 +74,11 @@ type Model struct {
 	// pipeline (candidate lists, NMS bookkeeping, RoI rectangles).
 	scratch detectScratch
 
+	// ins is the model's telemetry bundle (nil = telemetry disabled, the
+	// default). Shared by reference with clones and scan replicas so a
+	// parallel scan aggregates into one set of series; see SetInstruments.
+	ins *Instruments
+
 	// scanWorkers caps the goroutines (and replicas) one layout scan may
 	// use; 0 means parallel.Workers(). See SetScanWorkers.
 	scanWorkers int
@@ -92,7 +109,7 @@ func NewModel(c Config) (*Model, error) {
 		nn.NewMaxPool2D(2, 2),
 	)
 	m.FineC = s[0]
-	ext := nn.NewSequential(
+	m.Backbone = nn.NewSequential(
 		nn.NewConv2D("stem2", s[0], s[1], 3, 1, 1, rng),
 		act(),
 		nn.NewConv2D("stem3", s[1], s[2], 3, 1, 1, rng),
@@ -104,9 +121,10 @@ func NewModel(c Config) (*Model, error) {
 	// features into a higher-dimensional latent space, three symmetric
 	// 3×3 deconvolutions bring them back to the stem width. Spatial size
 	// is preserved; the lift is in channels, per the paper's description.
+	m.EncDec = nn.NewSequential()
 	if c.UseEncDec {
 		e := c.EncChannels
-		ext.Append(
+		m.EncDec.Append(
 			nn.NewConv2D("enc1", s[2], e[0], 3, 1, 1, rng),
 			act(),
 			nn.NewConv2D("enc2", e[0], e[1], 3, 1, 1, rng),
@@ -133,17 +151,17 @@ func NewModel(c Config) (*Model, error) {
 		{"A", "incA1"}, {"A", "incA2"}, {"B", "incB"},
 		{"A", "incA3"}, {"A", "incA4"}, {"A", "incA5"}, {"A", "incA6"},
 	}
+	m.Inception = nn.NewSequential()
 	inCh := s[2]
 	for _, mod := range chain {
 		if mod.kind == "A" {
-			ext.Append(inceptionA(mod.name, inCh, w, rng))
+			m.Inception.Append(inceptionA(mod.name, inCh, w, rng))
 			inCh = 4 * w
 		} else {
-			ext.Append(inceptionB(mod.name, inCh, w, rng))
+			m.Inception.Append(inceptionB(mod.name, inCh, w, rng))
 			inCh = 3 * w
 		}
 	}
-	m.Trunk = ext
 	m.FeatC = inCh
 
 	// --- clip proposal network heads.
@@ -299,7 +317,9 @@ func inceptionB(name string, in, w int, rng *rand.Rand) nn.Layer {
 func (m *Model) Params() []*nn.Param {
 	var ps []*nn.Param
 	ps = append(ps, m.Stem.Params()...)
-	ps = append(ps, m.Trunk.Params()...)
+	ps = append(ps, m.Backbone.Params()...)
+	ps = append(ps, m.EncDec.Params()...)
+	ps = append(ps, m.Inception.Params()...)
 	ps = append(ps, m.RPNTrunk.Params()...)
 	ps = append(ps, m.RPNCls.Params()...)
 	ps = append(ps, m.RPNReg.Params()...)
@@ -331,6 +351,11 @@ func (m *Model) Clone() (*Model, error) {
 		copy(dst[i].W.Data(), p.W.Data())
 		copy(dst[i].Grad.Data(), p.Grad.Data())
 	}
+	// Replicas share the parent's instruments: every counter and
+	// histogram in telemetry is safe for concurrent writers, and a
+	// parallel scan should aggregate into one set of series rather than
+	// fragment per replica.
+	r.ins = m.ins
 	return r, nil
 }
 
@@ -375,7 +400,7 @@ func (m *Model) ForwardBase(x *tensor.Tensor) *BaseOutput {
 			x.Shape(), InputChannels))
 	}
 	fine := m.Stem.Forward(x)
-	feat := m.Trunk.Forward(fine)
+	feat := m.Inception.Forward(m.EncDec.Forward(m.Backbone.Forward(fine)))
 	trunk := m.RPNTrunk.Forward(feat)
 	return &BaseOutput{
 		Feat:     feat,
@@ -404,14 +429,24 @@ func (m *Model) InferBase(x *tensor.Tensor) *BaseOutput {
 			x.Shape(), InputChannels))
 	}
 	m.ws.Reset()
+	sp := m.stageSpan(StageBackbone)
 	fine := m.Stem.Infer(x, m.ws)
-	feat := m.Trunk.Infer(fine, m.ws)
+	feat := m.Backbone.Infer(fine, m.ws)
+	sp.End()
+	sp = m.stageSpan(StageEncDec)
+	feat = m.EncDec.Infer(feat, m.ws)
+	sp.End()
+	sp = m.stageSpan(StageInception)
+	feat = m.Inception.Infer(feat, m.ws)
+	sp.End()
+	sp = m.stageSpan(StageCPN)
 	trunk := m.RPNTrunk.Infer(feat, m.ws)
 	b := &m.scratch.base
 	b.Feat = feat
 	b.FineFeat = fine
 	b.ClsMap = m.RPNCls.Infer(trunk, m.ws)
 	b.RegMap = m.RPNReg.Infer(trunk, m.ws)
+	sp.End()
 	return b
 }
 

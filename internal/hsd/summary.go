@@ -20,7 +20,13 @@ func (m *Model) StageParamCounts() map[string]int {
 	for _, p := range m.Stem.Params() {
 		out["extractor"] += p.W.Size()
 	}
-	for _, p := range m.Trunk.Params() {
+	for _, p := range m.Backbone.Params() {
+		out["extractor"] += p.W.Size()
+	}
+	for _, p := range m.EncDec.Params() {
+		out["extractor"] += p.W.Size()
+	}
+	for _, p := range m.Inception.Params() {
 		out["extractor"] += p.W.Size()
 	}
 	for _, p := range m.RPNTrunk.Params() {

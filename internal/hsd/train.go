@@ -264,7 +264,7 @@ func (t *Trainer) accumulate(s Sample) StepStats {
 	if gFeatRefine != nil {
 		gFeat.Add(gFeatRefine)
 	}
-	gStemOut := m.Trunk.Backward(gFeat)
+	gStemOut := m.Backbone.Backward(m.EncDec.Backward(m.Inception.Backward(gFeat)))
 	if gFineRefine != nil {
 		gStemOut.Add(gFineRefine)
 	}

@@ -7,6 +7,10 @@
 //     region (middle third) of some clip the detector marked as hotspot.
 //   - False alarm: the number of detected clips whose core contains no
 //     ground-truth hotspot.
+//
+// This package scores detector QUALITY offline. Runtime observability —
+// counters, latency histograms and the Prometheus exposition served by
+// the daemon — lives in internal/telemetry. See DESIGN.md §13.
 package metrics
 
 import (

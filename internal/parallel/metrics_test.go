@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"rhsd/internal/telemetry"
+)
+
+// TestPoolMetricsCounting pins the dispatch accounting: serial and
+// parallel runs land in their mode-labelled counters, chunk counts are
+// exact, and the busy gauge returns to zero once every dispatch drains.
+func TestPoolMetricsCounting(t *testing.T) {
+	prev := SetWorkers(4)
+	defer func() {
+		SetWorkers(prev)
+		DetachMetrics()
+	}()
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg)
+	pm := metricsPtr.Load()
+
+	// 16 indices at grain 1 → 16 chunks, parallel dispatch.
+	For(16, 1, func(start, end int) {})
+	if got := pm.runsParallel.Value(); got != 1 {
+		t.Errorf("parallel runs = %d, want 1", got)
+	}
+	if got := pm.chunks.Value(); got != 16 {
+		t.Errorf("chunks = %d, want 16", got)
+	}
+
+	// A range that fits one chunk runs serially and counts one chunk.
+	For(8, 16, func(start, end int) {})
+	if got := pm.runsSerial.Value(); got != 1 {
+		t.Errorf("serial runs = %d, want 1", got)
+	}
+	if got := pm.chunks.Value(); got != 17 {
+		t.Errorf("chunks after serial run = %d, want 17", got)
+	}
+
+	// ForIndexed feeds the same instruments.
+	ForIndexed(16, 1, func(slot, start, end int) {})
+	if got := pm.runsParallel.Value(); got != 2 {
+		t.Errorf("parallel runs after ForIndexed = %d, want 2", got)
+	}
+	if got := pm.busy.Value(); got != 0 {
+		t.Errorf("busy workers = %d after all dispatches drained", got)
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rhsd_pool_workers 4",
+		`rhsd_pool_runs_total{mode="serial"} 1`,
+		`rhsd_pool_runs_total{mode="parallel"} 2`,
+		"rhsd_pool_busy_workers 0",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestDetachMetrics checks detached dispatches stop recording.
+func TestDetachMetrics(t *testing.T) {
+	prev := SetWorkers(4)
+	defer func() {
+		SetWorkers(prev)
+		DetachMetrics()
+	}()
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg)
+	pm := metricsPtr.Load()
+	DetachMetrics()
+	For(16, 1, func(start, end int) {})
+	if got := pm.runsParallel.Value() + pm.runsSerial.Value(); got != 0 {
+		t.Errorf("detached pool recorded %d runs", got)
+	}
+}

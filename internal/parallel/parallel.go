@@ -115,9 +115,11 @@ func For(n, grain int, fn func(start, end int)) {
 		w = chunks
 	}
 	if w <= 1 {
+		noteSerial()
 		fn(0, n)
 		return
 	}
+	pm := noteParallelStart(w, chunks)
 	var next int32
 	run := func() {
 		for {
@@ -143,6 +145,7 @@ func For(n, grain int, fn func(start, end int)) {
 	}
 	run()
 	wg.Wait()
+	noteParallelEnd(pm, w)
 }
 
 // Slots returns the number of worker slots ForIndexed will use for a
@@ -192,9 +195,11 @@ func ForIndexed(n, grain int, fn func(slot, start, end int)) {
 		w = chunks
 	}
 	if w <= 1 {
+		noteSerial()
 		fn(0, 0, n)
 		return
 	}
+	pm := noteParallelStart(w, chunks)
 	var next int32
 	run := func(slot int) {
 		for {
@@ -220,6 +225,7 @@ func ForIndexed(n, grain int, fn func(slot, start, end int)) {
 	}
 	run(0)
 	wg.Wait()
+	noteParallelEnd(pm, w)
 }
 
 // GrainFor sizes a chunk so each one carries at least minWork units when

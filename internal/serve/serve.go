@@ -4,6 +4,8 @@
 //	POST /detect   layout text (BOUNDS/RECT) in, JSON detections out
 //	GET  /healthz  liveness (503 while draining)
 //	GET  /statusz  pool, queue, workspace and request counters as JSON
+//	GET  /metrics  Prometheus text exposition (internal/telemetry)
+//	GET  /debug/pprof/*  profiling handlers, only with Config.EnablePprof
 //
 // Design (DESIGN.md §12): every request is one unit of work handled by
 // one pooled model clone whose scan concurrency is capped so the total
@@ -17,6 +19,14 @@
 // servers trim per-clone workspaces back to their budget. All detection
 // runs behind the guard.Run error boundary, so a panic anywhere in the
 // inference stack becomes a 500 response and the daemon keeps serving.
+//
+// Observability (DESIGN.md §13): every request/response/latency series
+// lives in a telemetry.Registry — the same registry that carries the
+// model's per-stage histograms and the worker pool's utilization gauges —
+// and /statusz is derived from those instruments, so the JSON status and
+// the Prometheus exposition can never disagree. Requests get sequential
+// IDs (echoed in the X-Request-Id response header) that structured logs,
+// including recovered panic reports, carry as an attribute.
 package serve
 
 import (
@@ -24,8 +34,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +46,7 @@ import (
 	"rhsd/internal/hsd"
 	"rhsd/internal/layout"
 	"rhsd/internal/parallel"
+	"rhsd/internal/telemetry"
 )
 
 // Config tunes one Server. The zero value of every field selects a
@@ -70,9 +83,17 @@ type Config struct {
 	// TrimFloats is the per-workspace float32 budget left after an idle
 	// trim; 0 releases all retained scratch.
 	TrimFloats int
-	// Logf receives operational logs, including panic stacks recovered at
-	// the error boundary (nil = log.Printf).
-	Logf func(format string, args ...any)
+	// Registry receives every serve/pool/model instrument and backs
+	// GET /metrics. nil = a fresh private registry (see Server.Registry).
+	// A registry must not be shared between Servers: the second New would
+	// panic on duplicate series.
+	Registry *telemetry.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints on a production port are a foot-gun.
+	EnablePprof bool
+	// Logger receives structured operational logs, including panic
+	// reports recovered at the error boundary (nil = slog.Default()).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -94,10 +115,54 @@ func (c Config) withDefaults() Config {
 	if c.IdleTrim == 0 {
 		c.IdleTrim = time.Minute
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
+}
+
+// serveMetrics is the daemon's instrument bundle, registered once at New.
+// /statusz reads these same instruments, so JSON status and Prometheus
+// exposition always agree.
+type serveMetrics struct {
+	requests   *telemetry.Counter   // every admitted /detect request
+	respOK     *telemetry.Counter   // responses by class
+	respClient *telemetry.Counter
+	respServer *telemetry.Counter
+	shed       *telemetry.Counter   // 429s from a full queue
+	timeouts   *telemetry.Counter   // deadline hit waiting or detecting
+	detections *telemetry.Counter   // hotspots reported across responses
+	inflight   *telemetry.Gauge     // requests between admission and response
+	latency    *telemetry.Histogram // successful /detect wall time
+	queueWait  *telemetry.Histogram // admission-to-worker wait
+}
+
+func newServeMetrics(reg *telemetry.Registry) *serveMetrics {
+	const respHelp = "Responses sent, by status class."
+	return &serveMetrics{
+		requests: reg.NewCounter("rhsd_serve_requests_total",
+			"Detect requests admitted (past the draining check).", ""),
+		respOK:     reg.NewCounter("rhsd_serve_responses_total", respHelp, `class="2xx"`),
+		respClient: reg.NewCounter("rhsd_serve_responses_total", respHelp, `class="4xx"`),
+		respServer: reg.NewCounter("rhsd_serve_responses_total", respHelp, `class="5xx"`),
+		shed: reg.NewCounter("rhsd_serve_shed_total",
+			"Requests shed with 429 because the admission queue was full.", ""),
+		timeouts: reg.NewCounter("rhsd_serve_timeout_total",
+			"Requests that hit their deadline waiting for or running a detection.", ""),
+		detections: reg.NewCounter("rhsd_serve_detections_total",
+			"Hotspot detections reported across all successful responses.", ""),
+		inflight: reg.NewGauge("rhsd_serve_inflight",
+			"Requests currently between admission and response.", ""),
+		latency: reg.NewHistogram("rhsd_serve_request_seconds",
+			"Successful /detect wall time (admission to response) in seconds.", "",
+			telemetry.ExpBuckets(0.001, 2.5, 14)),
+		queueWait: reg.NewHistogram("rhsd_serve_queue_wait_seconds",
+			"Wait from admission until a pooled model became available.", "",
+			telemetry.ExpBuckets(0.0001, 4, 10)),
+	}
 }
 
 // worker is one pooled model clone plus its last observed workspace
@@ -117,16 +182,17 @@ type Server struct {
 	workers []*worker
 	sem     chan struct{} // admission: Pool+QueueDepth slots
 
+	reg *telemetry.Registry
+	met *serveMetrics
+	log *slog.Logger
+
 	mu       sync.RWMutex // guards closed vs. inflight.Add
 	closed   bool
 	inflight sync.WaitGroup
 
 	start      time.Time
 	lastActive atomic.Int64 // UnixNano of the last /detect admission
-
-	nRequests, nOK, nClientErr, nServerErr atomic.Int64
-	nShed, nTimeout, nDetections           atomic.Int64
-	latTotalNS, latMaxNS                   atomic.Int64
+	reqID      atomic.Int64 // sequential request ids for logs + X-Request-Id
 
 	stopTrim chan struct{}
 	trimDone chan struct{}
@@ -140,6 +206,12 @@ type Server struct {
 // rest are clones, each capped to scan with parallel.Workers()/Pool
 // goroutines (at least 1) so a fully busy pool uses the same compute
 // budget as one CLI scan. m must not be used by the caller afterwards.
+//
+// New wires the full observability stack into the registry: serve
+// request/latency series, the worker pool's utilization gauges
+// (parallel.RegisterMetrics) and — unless the model already carries an
+// instrument bundle — per-stage detection histograms via
+// hsd.NewInstruments, shared by every pooled clone.
 func New(m *hsd.Model, cfg Config) (*Server, error) {
 	if m == nil {
 		return nil, errors.New("serve: nil model")
@@ -150,7 +222,14 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 		perScan: scanWorkersPerModel(cfg.Pool),
 		pool:    make(chan *worker, cfg.Pool),
 		sem:     make(chan struct{}, cfg.Pool+cfg.QueueDepth),
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
 		start:   time.Now(),
+	}
+	s.met = newServeMetrics(s.reg)
+	parallel.RegisterMetrics(s.reg)
+	if m.Instruments() == nil {
+		m.SetInstruments(hsd.NewInstruments(s.reg))
 	}
 	for i := 0; i < cfg.Pool; i++ {
 		cm := m
@@ -168,6 +247,12 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 		s.workers = append(s.workers, wk)
 		s.pool <- wk
 	}
+	s.reg.NewGaugeFunc("rhsd_serve_workspace_bytes",
+		"Retained workspace bytes across all pooled model clones.", "",
+		s.workspaceBytes)
+	s.reg.NewGaugeFunc("rhsd_serve_queue_used",
+		"Admission slots currently held (running plus waiting requests).", "",
+		func() int64 { return int64(len(s.sem)) })
 	s.lastActive.Store(time.Now().UnixNano())
 	if cfg.IdleTrim > 0 {
 		s.stopTrim = make(chan struct{})
@@ -177,12 +262,34 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler serving the daemon's three endpoints.
+// Registry returns the server's telemetry registry — the one behind
+// GET /metrics — so embedders can add their own instruments to the same
+// exposition.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// workspaceBytes sums the last observed per-clone workspace footprints.
+func (s *Server) workspaceBytes() int64 {
+	var total int64
+	for _, wk := range s.workers {
+		total += wk.footprint.Load()
+	}
+	return total
+}
+
+// Handler returns the HTTP handler serving the daemon's endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/detect", s.handleDetect)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.Handle("/metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -233,7 +340,8 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// Status is the /statusz payload.
+// Status is the /statusz payload. Every counter is read from the same
+// telemetry instruments that /metrics exposes.
 type Status struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	Pool           int     `json:"pool"`
@@ -261,12 +369,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the connection failing mid-response is the client's problem
 }
 
-// fail answers with a JSON error and bumps the right counter.
+// fail answers with a JSON error and bumps the right response-class
+// counter.
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	if code >= 500 {
-		s.nServerErr.Add(1)
+		s.met.respServer.Inc()
 	} else if code >= 400 {
-		s.nClientErr.Add(1)
+		s.met.respClient.Inc()
 	}
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
@@ -283,29 +392,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	var wsBytes int64
-	for _, wk := range s.workers {
-		wsBytes += wk.footprint.Load()
-	}
+	m := s.met
 	st := Status{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Pool:           len(s.workers),
 		ScanWorkers:    s.perScan,
 		QueueCapacity:  cap(s.sem),
 		QueueUsed:      len(s.sem),
-		WorkspaceBytes: wsBytes,
-		Requests:       s.nRequests.Load(),
-		OK:             s.nOK.Load(),
-		ClientErrors:   s.nClientErr.Load(),
-		ServerErrors:   s.nServerErr.Load(),
-		Shed:           s.nShed.Load(),
-		Timeouts:       s.nTimeout.Load(),
-		Detections:     s.nDetections.Load(),
+		WorkspaceBytes: s.workspaceBytes(),
+		Requests:       m.requests.Value(),
+		OK:             m.respOK.Value(),
+		ClientErrors:   m.respClient.Value(),
+		ServerErrors:   m.respServer.Value(),
+		Shed:           m.shed.Value(),
+		Timeouts:       m.timeouts.Value(),
+		Detections:     m.detections.Value(),
 	}
-	if n := st.OK; n > 0 {
-		st.LatencyAvgMS = float64(s.latTotalNS.Load()) / float64(n) / 1e6
+	if n := m.latency.Count(); n > 0 {
+		st.LatencyAvgMS = m.latency.Sum() / float64(n) * 1e3
 	}
-	st.LatencyMaxMS = float64(s.latMaxNS.Load()) / 1e6
+	st.LatencyMaxMS = m.latency.Max() * 1e3
 	s.mu.RLock()
 	st.Draining = s.closed
 	s.mu.RUnlock()
@@ -338,13 +444,18 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	defer s.inflight.Done()
 
-	s.nRequests.Add(1)
+	id := s.reqID.Add(1)
+	w.Header().Set("X-Request-Id", strconv.FormatInt(id, 10))
+	s.log.Debug("detect request", "request_id", id, "remote", r.RemoteAddr)
+	s.met.requests.Inc()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
 	s.lastActive.Store(time.Now().UnixNano())
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		s.nShed.Add(1)
+		s.met.shed.Inc()
 		s.fail(w, http.StatusTooManyRequests, "queue full (%d running or waiting)", cap(s.sem))
 		return
 	}
@@ -367,11 +478,13 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
+	waitStart := time.Now()
 	var wk *worker
 	select {
 	case wk = <-s.pool:
+		s.met.queueWait.ObserveSince(waitStart)
 	case <-ctx.Done():
-		s.nTimeout.Add(1)
+		s.met.timeouts.Inc()
 		s.fail(w, http.StatusServiceUnavailable, "no detection worker within the request deadline")
 		return
 	}
@@ -406,21 +519,20 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		if res.err != nil {
 			var pe *guard.PanicError
 			if errors.As(res.err, &pe) {
-				s.cfg.Logf("serve: detection panic recovered: %v\n%s", pe.Value, pe.Stack)
+				s.log.Error("detection panic recovered",
+					"request_id", id,
+					"panic", fmt.Sprint(pe.Value),
+					"stack", string(pe.Stack))
 			}
 			s.fail(w, http.StatusInternalServerError, "detection failed: %v", res.err)
 			return
 		}
 		elapsed := time.Since(start)
-		s.nOK.Add(1)
-		s.nDetections.Add(int64(len(res.dets)))
-		s.latTotalNS.Add(elapsed.Nanoseconds())
-		for {
-			old := s.latMaxNS.Load()
-			if elapsed.Nanoseconds() <= old || s.latMaxNS.CompareAndSwap(old, elapsed.Nanoseconds()) {
-				break
-			}
-		}
+		s.log.Debug("detect done", "request_id", id,
+			"detections", len(res.dets), "elapsed_ms", float64(elapsed.Nanoseconds())/1e6)
+		s.met.respOK.Inc()
+		s.met.detections.Add(int64(len(res.dets)))
+		s.met.latency.Observe(elapsed.Seconds())
 		out := DetectResponse{
 			Detections: make([]DetectionJSON, len(res.dets)),
 			Count:      len(res.dets),
@@ -435,7 +547,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	case <-ctx.Done():
-		s.nTimeout.Add(1)
+		s.met.timeouts.Inc()
 		s.fail(w, http.StatusGatewayTimeout, "detection exceeded the request deadline")
 	}
 }

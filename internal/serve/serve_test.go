@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -48,6 +49,25 @@ func testLayout(c hsd.Config) *layout.Layout {
 		l.Add(layout.R(ctr[0]-5*p, ctr[1]-5*p, ctr[0]+6*p, ctr[1]+6*p))
 	}
 	return l
+}
+
+// lockedBuffer is an io.Writer safe for the slog handler to share with
+// test assertions.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func layoutBody(t *testing.T, l *layout.Layout) []byte {
@@ -219,8 +239,8 @@ func TestQueueFullSheds429(t *testing.T) {
 	if code := <-firstDone; code != http.StatusOK {
 		t.Fatalf("stalled request finished with %d", code)
 	}
-	if s.nShed.Load() != 1 {
-		t.Fatalf("shed counter = %d", s.nShed.Load())
+	if s.met.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d", s.met.shed.Value())
 	}
 }
 
@@ -353,15 +373,10 @@ func TestPanicBoundary(t *testing.T) {
 			panic("injected kernel failure")
 		}
 	}
-	var logged bytes.Buffer
-	var logMu sync.Mutex
+	logged := &lockedBuffer{}
 	s, err := New(testModel(t), Config{
 		Pool: 1, QueueDepth: 2, MegatileFactor: 1, ScoreThreshold: -1, IdleTrim: -1,
-		Logf: func(format string, args ...any) {
-			logMu.Lock()
-			fmt.Fprintf(&logged, format+"\n", args...)
-			logMu.Unlock()
-		},
+		Logger: slog.New(slog.NewTextHandler(logged, nil)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -384,11 +399,12 @@ func TestPanicBoundary(t *testing.T) {
 	if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, "injected kernel failure") {
 		t.Fatalf("500 body %q does not carry the panic", data)
 	}
-	logMu.Lock()
-	hasStack := strings.Contains(logged.String(), "injected kernel failure")
-	logMu.Unlock()
-	if !hasStack {
+	logText := logged.String()
+	if !strings.Contains(logText, "injected kernel failure") {
 		t.Fatal("panic stack was not logged")
+	}
+	if !strings.Contains(logText, "request_id=1") {
+		t.Fatalf("panic report %q does not carry the request id", logText)
 	}
 
 	resp, data = postLayout(t, ts.URL, body)
@@ -398,8 +414,8 @@ func TestPanicBoundary(t *testing.T) {
 	if out := decodeDetect(t, data); out.Count != len(out.Detections) {
 		t.Fatalf("inconsistent response %+v", out)
 	}
-	if s.nServerErr.Load() != 1 {
-		t.Fatalf("server error counter = %d", s.nServerErr.Load())
+	if s.met.respServer.Value() != 1 {
+		t.Fatalf("server error counter = %d", s.met.respServer.Value())
 	}
 }
 
@@ -437,6 +453,95 @@ func TestStatuszCounters(t *testing.T) {
 	}
 	if st.ScanWorkers < 1 {
 		t.Fatalf("scan workers %d", st.ScanWorkers)
+	}
+}
+
+// TestMetricsEndpoint pins the /metrics surface: exposition content
+// type, the presence of every serve/pool/model family, and agreement
+// between the Prometheus counters and the /statusz JSON derived from the
+// same instruments.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, QueueDepth: 4, MegatileFactor: 1}, nil)
+	body := layoutBody(t, testLayout(testConfig()))
+	for i := 0; i < 2; i++ {
+		if resp, data := postLayout(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+	postLayout(t, ts.URL, []byte("garbage")) // one 4xx
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE rhsd_serve_requests_total counter",
+		"rhsd_serve_requests_total 3",
+		`rhsd_serve_responses_total{class="2xx"} 2`,
+		`rhsd_serve_responses_total{class="4xx"} 1`,
+		"# TYPE rhsd_serve_request_seconds histogram",
+		"rhsd_serve_request_seconds_count 2",
+		"rhsd_serve_queue_wait_seconds_count 2",
+		"rhsd_serve_workspace_bytes",
+		"# TYPE rhsd_pool_workers gauge",
+		"rhsd_pool_runs_total",
+		`rhsd_detect_stage_seconds_bucket{stage="backbone"`,
+		"rhsd_detect_passes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// /statusz is derived from the same instruments; the two views must
+	// agree on every shared counter.
+	resp, err = http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("statusz %q: %v", data, err)
+	}
+	if st.Requests != 3 || st.OK != 2 || st.ClientErrors != 1 {
+		t.Fatalf("statusz disagrees with /metrics: %+v", st)
+	}
+	if st.LatencyMaxMS <= 0 {
+		t.Fatalf("histogram-derived max latency %v", st.LatencyMaxMS)
+	}
+
+	// pprof stays off unless asked for.
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without EnablePprof: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, EnablePprof: true}, nil)
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline with EnablePprof: %d", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency/size histogram. Buckets are chosen
+// at construction; Observe is a handful of atomic operations with no
+// allocation and no locks, so it is safe on the inference hot path.
+//
+// Beyond the standard Prometheus histogram series (cumulative buckets,
+// _sum, _count), a Histogram tracks the maximum observed value with a
+// compare-and-swap loop — the lossless replacement for the ad-hoc
+// read-modify-write max counters the serving daemon used to keep, and
+// the number /statusz reports as latency_max_ms.
+type Histogram struct {
+	labels string
+	upper  []float64 // bucket upper bounds, strictly increasing
+	le     []string  // preformatted le label values, including "+Inf"
+
+	counts  []atomic.Int64 // per-bucket (non-cumulative), len(upper)+1
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the maximum observation
+}
+
+func newHistogram(labels string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("telemetry: histogram buckets must be strictly increasing")
+		}
+	}
+	h := &Histogram{
+		labels: labels,
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+	h.le = make([]string, len(buckets)+1)
+	for i, ub := range h.upper {
+		h.le[i] = strconv.FormatFloat(ub, 'g', -1, 64)
+	}
+	h.le[len(buckets)] = "+Inf"
+	return h
+}
+
+// Observe records one value: the first bucket with v <= upper bound
+// (Prometheus le is inclusive), count, sum, and the CAS max.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, s) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds — the
+// unit every *_seconds histogram in this repo uses.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the maximum observed value, or 0 before any observation.
+// Observations are expected to be non-negative (durations, sizes); a
+// negative observation smaller than every later one is not reported.
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// BucketCount returns the non-cumulative count of bucket i, where
+// i == len(bounds) addresses the +Inf overflow bucket. Test hook.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+func (h *Histogram) labelsKey() string { return h.labels }
+
+// expose renders the cumulative bucket series, sum and count.
+func (h *Histogram) expose(buf []byte, name string) []byte {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket{"...)
+		if h.labels != "" {
+			buf = append(buf, h.labels...)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `le="`...)
+		buf = append(buf, h.le[i]...)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = appendSample(buf, name, "_sum", h.labels, h.Sum())
+	buf = appendSample(buf, name, "_count", h.labels, float64(h.Count()))
+	return buf
+}

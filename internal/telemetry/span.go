@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/trace"
+	"time"
+)
+
+// Span times one pipeline stage. It is a value type so starting and
+// ending a span allocates nothing; the cost when both telemetry and
+// execution tracing are disabled is two branches.
+//
+// A Span does double duty as a runtime/trace annotation: when the
+// process is tracing (rhsd-detect/rhsd-bench -trace), every span opens a
+// trace.Region of the same name, so the stage breakdown that feeds the
+// Prometheus histograms is visible on the exact same boundaries in
+// `go tool trace`.
+type Span struct {
+	h      *Histogram
+	start  time.Time
+	region *trace.Region
+}
+
+// StartSpan begins a span recording into h (nil h records nothing) and,
+// if execution tracing is active, opens a trace region named name. name
+// should be a constant so tracing stays allocation-free when disabled.
+func StartSpan(h *Histogram, name string) Span {
+	var s Span
+	if trace.IsEnabled() {
+		s.region = trace.StartRegion(context.Background(), name)
+	}
+	if h != nil {
+		s.h = h
+		s.start = time.Now()
+	}
+	return s
+}
+
+// End completes the span: the elapsed seconds are observed into the
+// histogram and the trace region (if any) is closed. End on a zero Span
+// is a no-op, so callers can time optional stages unconditionally.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.start).Seconds())
+	}
+	if s.region != nil {
+		s.region.End()
+	}
+}

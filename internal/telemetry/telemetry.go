@@ -1,0 +1,301 @@
+// Package telemetry is the repo's runtime observability core: atomic
+// counters, gauges and fixed-bucket histograms collected in a Registry
+// that exposes the Prometheus text format (WriteTo / Handler), plus
+// lightweight Span timers that double as runtime/trace regions.
+//
+// Not to be confused with internal/metrics, which implements the
+// *paper's evaluation protocol* (accuracy / false-alarm counting for
+// Table 1). telemetry is about operating the detector — where a forward
+// pass spends its time, how loaded the worker pool is, what a serving
+// daemon is doing — not about scoring it against ground truth.
+//
+// Design constraints, in priority order:
+//
+//   - Zero-allocation hot path. Counter.Add, Gauge.Set and
+//     Histogram.Observe are single atomic operations on preallocated
+//     state; Span is a value type. Instruments are created once at
+//     model/server build time, never per observation, so the
+//     zero-allocation inference path in internal/hsd keeps its
+//     AllocsPerRun guarantee with telemetry enabled.
+//   - No dependencies. The package uses only the standard library, and
+//     nothing heavier than net/http (for the scrape handler).
+//   - Exact counting. Every observation lands in exactly one bucket and
+//     bumps count and sum exactly once, so after writers quiesce the
+//     exposition reflects every observation (the concurrent hammer test
+//     pins this under -race). A scrape racing live writers may see a
+//     histogram whose count, sum and buckets are from slightly different
+//     instants; each individual value is still exact.
+//
+// Metric identity is name plus a preformatted label string (e.g.
+// `stage="backbone"`). Series registered under the same family name
+// share one HELP/TYPE header and must agree on kind; duplicate
+// name+labels panics at registration time — instruments are built at
+// startup, so a collision is a programming error, not a runtime
+// condition.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative n is a programming error; it is not checked on
+// the hot path, but the exposition will violate Prometheus counter
+// semantics.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 metric that may go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind tags a family with its Prometheus TYPE.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// series is one exposable time series (a metric with a fixed label set).
+type series interface {
+	// labelsKey returns the preformatted label string identifying the
+	// series within its family ("" for unlabelled).
+	labelsKey() string
+	// expose appends the series' exposition lines for family name.
+	expose(buf []byte, name string) []byte
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []series
+}
+
+// Registry holds registered metrics and renders them in the Prometheus
+// text exposition format. Registration (the New* methods) locks;
+// observation never does. The zero Registry is not usable — create with
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds s under name, creating the family on first use and
+// enforcing kind agreement and name+labels uniqueness.
+func (r *Registry) register(name, help string, k kind, s series) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, f.kind, k))
+	}
+	for _, existing := range f.series {
+		if existing.labelsKey() == s.labelsKey() {
+			panic(fmt.Sprintf("telemetry: duplicate metric %s{%s}", name, s.labelsKey()))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// validName checks the Prometheus metric-name charset.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// counterSeries / gaugeSeries wrap the value types with their identity.
+type counterSeries struct {
+	c      *Counter
+	labels string
+}
+
+func (s *counterSeries) labelsKey() string { return s.labels }
+func (s *counterSeries) expose(buf []byte, name string) []byte {
+	buf = appendSample(buf, name, "", s.labels, float64(s.c.Value()))
+	return buf
+}
+
+type gaugeSeries struct {
+	g      *Gauge
+	labels string
+}
+
+func (s *gaugeSeries) labelsKey() string { return s.labels }
+func (s *gaugeSeries) expose(buf []byte, name string) []byte {
+	buf = appendSample(buf, name, "", s.labels, float64(s.g.Value()))
+	return buf
+}
+
+// gaugeFuncSeries reads its value at scrape time. fn must be safe to
+// call from the scrape goroutine (typically it reads atomics).
+type gaugeFuncSeries struct {
+	fn     func() int64
+	labels string
+}
+
+func (s *gaugeFuncSeries) labelsKey() string { return s.labels }
+func (s *gaugeFuncSeries) expose(buf []byte, name string) []byte {
+	buf = appendSample(buf, name, "", s.labels, float64(s.fn()))
+	return buf
+}
+
+// NewCounter registers and returns a counter. labels is a preformatted
+// Prometheus label body (`stage="backbone"`) or "" for none.
+func (r *Registry) NewCounter(name, help, labels string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &counterSeries{c: c, labels: labels})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help, labels string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &gaugeSeries{g: g, labels: labels})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn runs on the scrape goroutine and must be race-free against
+// the rest of the process (read atomics, not mutable structures).
+func (r *Registry) NewGaugeFunc(name, help, labels string, fn func() int64) {
+	r.register(name, help, kindGauge, &gaugeFuncSeries{fn: fn, labels: labels})
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds (strictly increasing; a final +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help, labels string, buckets []float64) *Histogram {
+	h := newHistogram(labels, buckets)
+	r.register(name, help, kindHistogram, h)
+	return h
+}
+
+// WriteTo renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order; series within a family in registration order too, so output is
+// deterministic for a fixed registration sequence.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var buf []byte
+	for _, f := range fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.help...)
+		buf = append(buf, '\n')
+		buf = append(buf, "# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, string(f.kind)...)
+		buf = append(buf, '\n')
+		for _, s := range f.series {
+			buf = s.expose(buf, f.name)
+		}
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}
+
+// appendSample appends one `name[suffix]{labels[,extra]} value` line.
+func appendSample(buf []byte, name, suffix, labels string, v float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if labels != "" {
+		buf = append(buf, '{')
+		buf = append(buf, labels...)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = appendFloat(buf, v)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendFloat renders v the way Prometheus clients conventionally do:
+// shortest round-trip representation, integers without an exponent.
+func appendFloat(buf []byte, v float64) []byte {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// ExpBuckets returns n strictly increasing bucket bounds starting at
+// start and multiplying by factor — the standard way to cover several
+// orders of magnitude of latency with a fixed bucket count.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact Prometheus text output for a
+// registry covering every metric kind, label shapes, float formatting
+// and the cumulative histogram encoding. The format is a wire contract
+// (scrapers parse it), so this is a byte-for-byte comparison.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("rhsd_requests_total", "Total requests.", "")
+	cs := r.NewCounter("rhsd_responses_total", "Responses by class.", `class="ok"`)
+	ce := r.NewCounter("rhsd_responses_total", "Responses by class.", `class="error"`)
+	g := r.NewGauge("rhsd_pool_busy_workers", "Workers currently running.", "")
+	r.NewGaugeFunc("rhsd_workspace_bytes", "Retained workspace bytes.", "", func() int64 { return 4096 })
+	h := r.NewHistogram("rhsd_request_seconds", "Request latency.", `stage="detect"`, []float64{0.25, 0.5, 1})
+
+	c.Add(41)
+	c.Inc()
+	cs.Add(3)
+	ce.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.1)  // le 0.25
+	h.Observe(0.25) // le 0.25: bounds are inclusive
+	h.Observe(0.75) // le 1
+	h.Observe(2)    // +Inf
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rhsd_requests_total Total requests.
+# TYPE rhsd_requests_total counter
+rhsd_requests_total 42
+# HELP rhsd_responses_total Responses by class.
+# TYPE rhsd_responses_total counter
+rhsd_responses_total{class="ok"} 3
+rhsd_responses_total{class="error"} 1
+# HELP rhsd_pool_busy_workers Workers currently running.
+# TYPE rhsd_pool_busy_workers gauge
+rhsd_pool_busy_workers 5
+# HELP rhsd_workspace_bytes Retained workspace bytes.
+# TYPE rhsd_workspace_bytes gauge
+rhsd_workspace_bytes 4096
+# HELP rhsd_request_seconds Request latency.
+# TYPE rhsd_request_seconds histogram
+rhsd_request_seconds_bucket{stage="detect",le="0.25"} 2
+rhsd_request_seconds_bucket{stage="detect",le="0.5"} 2
+rhsd_request_seconds_bucket{stage="detect",le="1"} 3
+rhsd_request_seconds_bucket{stage="detect",le="+Inf"} 4
+rhsd_request_seconds_sum{stage="detect"} 3.1
+rhsd_request_seconds_count{stage="detect"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound bucket
+// assignment at and around every boundary.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	cases := []struct {
+		v      float64
+		bucket int // index into counts; len(bounds) = +Inf
+	}{
+		{0, 0},
+		{0.0009999, 0},
+		{0.001, 0}, // le is inclusive
+		{0.0010001, 1},
+		{0.01, 1},
+		{0.05, 2},
+		{0.1, 2},
+		{0.2, 3},
+		{1, 3},
+		{1.0000001, 4},
+		{math.Inf(1), 4},
+	}
+	for _, tc := range cases {
+		h := newHistogram("", bounds)
+		h.Observe(tc.v)
+		for i := 0; i <= len(bounds); i++ {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if got := h.BucketCount(i); got != want {
+				t.Errorf("Observe(%v): bucket %d count %d, want %d", tc.v, i, got, want)
+			}
+		}
+		if h.Count() != 1 {
+			t.Errorf("Observe(%v): count %d", tc.v, h.Count())
+		}
+	}
+}
+
+// TestConcurrentExactness hammers one counter, gauge and histogram from
+// many goroutines and asserts exact totals afterwards: N writers × M
+// observations must produce exactly N×M counts, an exact sum, and bucket
+// counts that add up — under -race this also proves the implementation
+// is lock- and data-race-free.
+func TestConcurrentExactness(t *testing.T) {
+	const writers = 8
+	const perWriter = 5000
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "", "")
+	g := r.NewGauge("g", "", "")
+	h := r.NewHistogram("h_seconds", "", "", []float64{1, 2, 3})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				// Cycle through every bucket including +Inf; values are
+				// 0.5, 1.5, 2.5, 3.5 so sums stay exact in float64.
+				h.Observe(float64(i%4) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = writers * perWriter
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	var bucketSum int64
+	for i := 0; i <= 3; i++ {
+		if got := h.BucketCount(i); got != total/4 {
+			t.Errorf("bucket %d = %d, want %d", i, got, total/4)
+		}
+		bucketSum += h.BucketCount(i)
+	}
+	if bucketSum != total {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	// Each group of 4 observations sums to 0.5+1.5+2.5+3.5 = 8.
+	if want := float64(total) / 4 * 8; h.Sum() != want {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Max() != 3.5 {
+		t.Errorf("max = %v, want 3.5", h.Max())
+	}
+}
+
+// TestHistogramMaxCAS exercises the monotone max under concurrent
+// writers pushing interleaved ascending/descending sequences: the final
+// max must be the global maximum regardless of interleaving.
+func TestHistogramMaxCAS(t *testing.T) {
+	h := newHistogram("", []float64{1e9})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if w%2 == 0 {
+					h.Observe(float64(i))
+				} else {
+					h.Observe(float64(2000 - i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Max() != 2000 {
+		t.Errorf("max = %v, want 2000", h.Max())
+	}
+}
+
+// TestHotPathAllocs pins the zero-allocation contract of the observation
+// hot path — the property that lets the hsd AllocsPerRun guards stay
+// green with telemetry enabled.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "", "")
+	g := r.NewGauge("g", "", "")
+	h := r.NewHistogram("h_seconds", "", "", ExpBuckets(0.0001, 2.5, 12))
+	start := time.Now()
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(123)
+		h.Observe(0.005)
+		sp := StartSpan(h, "stage")
+		sp.End()
+		h.ObserveSince(start)
+	}); allocs != 0 {
+		t.Errorf("hot path allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+// TestHandler checks the scrape endpoint: content type and body match
+// WriteTo.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.", "").Add(5)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 5\n") {
+		t.Errorf("body %q", rec.Body.String())
+	}
+}
+
+// TestRegistrationPanics pins the programming-error diagnostics:
+// duplicate series, kind conflicts, invalid names and bad buckets all
+// fail loudly at build time rather than corrupting the exposition.
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("a_total", "", `k="v"`)
+	mustPanic("duplicate series", func() { r.NewCounter("a_total", "", `k="v"`) })
+	mustPanic("kind conflict", func() { r.NewGauge("a_total", "", "") })
+	mustPanic("invalid name", func() { r.NewCounter("0bad", "", "") })
+	mustPanic("empty buckets", func() { r.NewHistogram("h", "", "", nil) })
+	mustPanic("unsorted buckets", func() { r.NewHistogram("h2", "", "", []float64{1, 1}) })
+	mustPanic("bad ExpBuckets", func() { ExpBuckets(0, 2, 3) })
+	// Distinct labels under one family is the supported vector form.
+	r.NewCounter("a_total", "", `k="w"`)
+}
+
+// TestExpBuckets sanity-checks the generator histograms are built from.
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(b) != len(want) {
+		t.Fatalf("len %d", len(b))
+	}
+	for i := range b {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
