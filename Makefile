@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify serve-smoke obs-smoke bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs
+.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,16 @@ serve-smoke:
 obs-smoke:
 	$(GO) run ./cmd/rhsd-serve -selftest -init-random -pprof
 
-verify: build vet test race serve-smoke obs-smoke
+# Result-cache smoke: the content-addressed cache unit suite, the layout
+# diff edge cases, the differential cached/incremental/cold scan harness
+# (short mode), and a brief run of the cache-key fuzzer's corpus.
+cache-smoke:
+	$(GO) test -short -count=1 ./internal/scancache
+	$(GO) test -short -count=1 -run 'Diff|Dirty' ./internal/layout
+	$(GO) test -short -count=1 -run 'Cache|Rescan|Diff|Dirty|Adversarial|WeightChange' ./internal/hsd
+	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=30x ./internal/hsd
+
+verify: build vet test race serve-smoke obs-smoke cache-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -66,3 +75,8 @@ bench-scan:
 # Telemetry-on vs telemetry-off overhead guard (<1%); writes BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/rhsd-bench -exp obs
+
+# Cached serving daemon under a 90%-repeat load; writes BENCH_serve.json.
+# On a host with fewer than two CPUs this records {"status": "skipped"}.
+bench-serve:
+	$(GO) run ./cmd/rhsd-bench -exp serve

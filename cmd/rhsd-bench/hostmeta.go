@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -34,4 +35,46 @@ func warnIfSerialHost() {
 			"rhsd-bench: WARNING: GOMAXPROCS=1 — parallel speedups on this host are meaningless; "+
 				"rerun on a multi-core machine before comparing serial vs parallel numbers")
 	}
+}
+
+// serialHostReason returns a non-empty skip reason when the host cannot
+// honestly back a speedup claim: with fewer than two CPUs the "parallel"
+// and "serving throughput" numbers measure scheduler overhead, not the
+// system under test, so -exp parallel and -exp serve refuse to emit them
+// and record a skipped report instead. RHSD_BENCH_ALLOW_SERIAL=1
+// overrides the refusal so the bench machinery itself can be exercised
+// on any machine (the report still embeds num_cpu for the reader).
+func serialHostReason() string {
+	if runtime.NumCPU() >= 2 || os.Getenv("RHSD_BENCH_ALLOW_SERIAL") == "1" {
+		return ""
+	}
+	return fmt.Sprintf("host has %d CPU(s); speedup and serving-throughput claims need at least 2",
+		runtime.NumCPU())
+}
+
+// skippedReport is what a refused experiment writes in place of its
+// usual schema: host context, status "skipped" and the reason, so a
+// downstream consumer sees an explicit record instead of a stale or
+// missing file.
+type skippedReport struct {
+	Host   hostMeta `json:"host"`
+	Status string   `json:"status"`
+	Reason string   `json:"reason"`
+}
+
+func writeSkipped(outPath, reason string, progress func(string)) error {
+	blob, err := json.MarshalIndent(skippedReport{
+		Host:   collectHostMeta(),
+		Status: "skipped",
+		Reason: reason,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("skipped: " + reason)
+	progress("wrote " + outPath + " (status: skipped)")
+	return nil
 }

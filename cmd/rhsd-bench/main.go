@@ -8,6 +8,7 @@
 //	rhsd-bench -exp alloc               # heap-path vs zero-alloc inference
 //	rhsd-bench -exp scan                # per-tile vs megatile full-chip scan
 //	rhsd-bench -exp obs                 # telemetry-on vs telemetry-off overhead
+//	rhsd-bench -exp serve               # cached serving daemon under load
 //	rhsd-bench -exp all -out out/
 //
 // The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
@@ -16,9 +17,15 @@
 // -exp alloc writes the allocation comparison (unblocked vs packed GEMM,
 // training-path vs workspace-backed inference) to BENCH_alloc.json, and
 // -exp scan writes the per-tile vs megatile scan comparison to
-// BENCH_scan.json, and -exp obs writes the telemetry overhead guard
-// (instrumented vs uninstrumented Detect, budget <1%) to BENCH_obs.json.
+// BENCH_scan.json, -exp obs writes the telemetry overhead guard
+// (instrumented vs uninstrumented Detect, budget <1%) to BENCH_obs.json,
+// and -exp serve drives an in-process detection daemon with the megatile
+// result cache enabled (90% repeat ratio, cold/warm latency percentiles,
+// one incremental ?since= rescan) and writes BENCH_serve.json.
 // All reports embed host metadata (CPU count, GOMAXPROCS, arch).
+// On a host with fewer than two CPUs, -exp parallel and -exp serve
+// refuse to emit speedup numbers and record {"status": "skipped"} with
+// the reason instead.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // whatever experiments ran, for offline hot-path diagnosis; -trace
@@ -46,7 +53,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, serve, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
@@ -57,6 +64,7 @@ func main() {
 	allocOut := flag.String("alloc-out", "BENCH_alloc.json", "output path for the -exp alloc report")
 	scanOut := flag.String("scan-out", "BENCH_scan.json", "output path for the -exp scan report")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the -exp obs report")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the -exp serve report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
@@ -134,7 +142,8 @@ func main() {
 	runAlloc := *expFlag == "alloc" || *expFlag == "all"
 	runScan := *expFlag == "scan" || *expFlag == "all"
 	runObs := *expFlag == "obs" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs {
+	runServe := *expFlag == "serve" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs && !runServe {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
 
@@ -162,6 +171,13 @@ func main() {
 	if runObs {
 		progress(fmt.Sprintf("observability overhead bench: %d workers", parallel.Workers()))
 		if err := runObsBench(p, parallel.Workers(), *obsOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runServe {
+		progress(fmt.Sprintf("serving bench: %d workers", parallel.Workers()))
+		if err := runServeBench(p, parallel.Workers(), *serveOut, progress); err != nil {
 			fatal(err)
 		}
 	}

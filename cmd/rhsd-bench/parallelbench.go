@@ -70,6 +70,9 @@ func compare(name string, workers, iters int, f func(), progress func(string)) p
 // seed-random): detection wall-clock depends only on the architecture,
 // not on what the weights converged to.
 func runParallelBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	if reason := serialHostReason(); reason != "" {
+		return writeSkipped(outPath, reason, progress)
+	}
 	warnIfSerialHost()
 	report := parallelBenchReport{
 		Host:    collectHostMeta(),

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/serve"
+)
+
+// serveBenchReport is the BENCH_serve.json schema for a run that was not
+// skipped: a closed-loop load generator drives a real serve.Server over
+// HTTP with a 90% repeat ratio and reports latency percentiles split by
+// cold (first sighting of a layout) vs warm (content already cached),
+// the cache hit rate the daemon observed, and one incremental ?since=
+// rescan of an edited layout.
+type serveBenchReport struct {
+	Host          hostMeta `json:"host"`
+	Status        string   `json:"status"`
+	Pool          int      `json:"pool"`
+	CacheMemMiB   int      `json:"cache_mem_mib"`
+	Requests      int      `json:"requests"`
+	UniqueLayouts int      `json:"unique_layouts"`
+	RepeatRatio   float64  `json:"repeat_ratio"`
+	P50MS         float64  `json:"p50_ms"`
+	P95MS         float64  `json:"p95_ms"`
+	ColdP50MS     float64  `json:"cold_p50_ms"`
+	WarmP50MS     float64  `json:"warm_p50_ms"`
+	CacheHitRate  float64  `json:"cache_hit_rate"`
+	// Incremental* describe one /detect?since= request posting a
+	// one-rect edit of an already-scanned layout.
+	IncrementalMS           float64 `json:"incremental_ms"`
+	IncrementalTilesScanned int     `json:"incremental_tiles_scanned"`
+	IncrementalTilesReused  int     `json:"incremental_tiles_reused"`
+}
+
+// serveBenchLayout builds the i-th distinct benchmark layout: the stripe
+// phase and the blob position both depend on i, so every unique layout
+// rasterizes to different megatile content (no accidental cross-layout
+// cache hits between "cold" requests).
+func serveBenchLayout(c hsd.Config, i int) *layout.Layout {
+	regionNM := c.RegionNM()
+	p := int(c.PitchNM)
+	l := layout.New(layout.R(0, 0, regionNM+regionNM/2, regionNM+regionNM/4))
+	for y := (i%6 + 1) * p; y < l.Bounds.Y1; y += 6 * p {
+		l.Add(layout.R(0, y, l.Bounds.X1, y+p))
+	}
+	bx := regionNM/4 + (i*3*p)%regionNM
+	by := regionNM/4 + (i*5*p)%regionNM
+	l.Add(layout.R(bx-4*p, by-4*p, bx+5*p, by+5*p))
+	return l
+}
+
+// percentileMS is the nearest-rank percentile of sorted latencies, in ms.
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+// runServeBench stands up an in-process detection daemon with the result
+// cache enabled and drives it with a deterministic request mix: one
+// never-seen layout every tenth request, warm repeats otherwise — the
+// shape of a DFM loop re-checking candidate fixes. The detector is
+// untrained (wall-clock depends only on the architecture); megatile
+// factor is pinned to 1 so the tile population is the same on every
+// host.
+func runServeBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	if reason := serialHostReason(); reason != "" {
+		return writeSkipped(outPath, reason, progress)
+	}
+	warnIfSerialHost()
+
+	m, err := hsd.NewModel(p.HSD)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(m, serve.Config{
+		MegatileFactor: 1,
+		CacheMemMiB:    64,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	client := ts.Client()
+	client.Timeout = 2 * time.Minute
+
+	post := func(query string, l *layout.Layout) (serve.DetectResponse, time.Duration, error) {
+		var dr serve.DetectResponse
+		var buf bytes.Buffer
+		if err := l.Save(&buf); err != nil {
+			return dr, 0, err
+		}
+		start := time.Now()
+		resp, err := client.Post(ts.URL+"/detect"+query, "text/plain", &buf)
+		if err != nil {
+			return dr, 0, err
+		}
+		elapsed := time.Since(start)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return dr, 0, fmt.Errorf("detect: status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &dr); err != nil {
+			return dr, 0, fmt.Errorf("detect: decoding %q: %w", body, err)
+		}
+		return dr, elapsed, nil
+	}
+
+	const total, repeatEvery = 60, 10
+	nUnique := total / repeatEvery
+	layouts := make([]*layout.Layout, nUnique)
+	for i := range layouts {
+		layouts[i] = serveBenchLayout(p.HSD, i)
+	}
+
+	var all, cold, warm []time.Duration
+	var lastScanID int64
+	for i := 0; i < total; i++ {
+		idx, novel := i/repeatEvery, i%repeatEvery == 0
+		if !novel {
+			idx = i % (i/repeatEvery + 1) // repeat among layouts already seen
+		}
+		dr, elapsed, err := post("", layouts[idx])
+		if err != nil {
+			return err
+		}
+		if idx == 0 {
+			lastScanID = dr.ScanID
+		}
+		all = append(all, elapsed)
+		if novel {
+			cold = append(cold, elapsed)
+		} else {
+			warm = append(warm, elapsed)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+
+	// One DFM-style edit: nudge the blob of an already-scanned layout and
+	// rescan incrementally against its last scan id.
+	edited := serveBenchLayout(p.HSD, 0)
+	pnm := int(p.HSD.PitchNM)
+	edited.Add(layout.R(2*pnm, 2*pnm, 6*pnm, 6*pnm))
+	incr, incrElapsed, err := post(fmt.Sprintf("?since=%d", lastScanID), edited)
+	if err != nil {
+		return err
+	}
+
+	resp, err := client.Get(ts.URL + "/statusz")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st serve.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("statusz: decoding %q: %w", body, err)
+	}
+
+	report := serveBenchReport{
+		Host:          collectHostMeta(),
+		Status:        "ok",
+		Pool:          st.Pool,
+		CacheMemMiB:   64,
+		Requests:      total,
+		UniqueLayouts: nUnique,
+		RepeatRatio:   1 - float64(nUnique)/float64(total),
+		P50MS:         percentileMS(all, 0.50),
+		P95MS:         percentileMS(all, 0.95),
+		ColdP50MS:     percentileMS(cold, 0.50),
+		WarmP50MS:     percentileMS(warm, 0.50),
+		CacheHitRate:  st.CacheHitRate,
+
+		IncrementalMS:           float64(incrElapsed.Microseconds()) / 1000,
+		IncrementalTilesScanned: incr.TilesScanned,
+		IncrementalTilesReused:  incr.TilesReused,
+	}
+	progress(fmt.Sprintf("serve bench: p50 %.2f ms  p95 %.2f ms  cold p50 %.2f ms  warm p50 %.2f ms  hit rate %.2f",
+		report.P50MS, report.P95MS, report.ColdP50MS, report.WarmP50MS, report.CacheHitRate))
+	progress(fmt.Sprintf("serve bench: incremental rescan %.2f ms, %d scanned / %d reused",
+		report.IncrementalMS, report.IncrementalTilesScanned, report.IncrementalTilesReused))
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

@@ -17,6 +17,13 @@
 // each scanning with its share of the worker budget, so a saturated
 // daemon uses the same compute as one CLI scan. Requests beyond
 // -pool + -queue are shed with 429; each request is bounded by -timeout.
+//
+// All clones share one content-addressed megatile result cache
+// (-cache-mem, 0 disables): a megatile whose rasterized content was
+// scanned before — in any request, at any position — is answered without
+// a forward pass. Each megatile response carries a scan_id; re-posting
+// an edited layout to /detect?since=<scan_id> diffs it against the
+// stored one and re-rasterizes only megatiles a dirty rect touches.
 // The whole detection stack runs behind a panic-recovery boundary: a
 // corrupt request or an internal bug answers a JSON error and the daemon
 // keeps serving. SIGINT/SIGTERM drain in-flight requests before exit.
@@ -36,9 +43,10 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"strings"
 	"os"
 	"os/signal"
+	"reflect"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +67,7 @@ func main() {
 	thresh := flag.Float64("threshold", -1, "override score threshold, 0 allowed (negative = config default)")
 	megatile := flag.Int("megatile", 0, "megatile factor: 0 = auto from -megatile-mem, N = N×N regions per pass, negative = per-tile scan")
 	megatileMem := flag.Int("megatile-mem", 512, "per-clone inference workspace budget in MiB for -megatile 0 (auto)")
+	cacheMem := flag.Int("cache-mem", 64, "content-addressed megatile result cache budget in MiB, shared by the pool (0 = disabled)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	idleTrim := flag.Duration("idle-trim", time.Minute, "trim per-clone workspaces after this much idle time (0 = never)")
 	initRandom := flag.Bool("init-random", false, "serve freshly initialized weights instead of loading -ckpt (smoke tests)")
@@ -85,6 +94,10 @@ func main() {
 			if *megatileMem < 1 {
 				fatal(fmt.Errorf("-megatile-mem must be >= 1 MiB (got %d)", *megatileMem))
 			}
+		case "cache-mem":
+			if *cacheMem < 0 {
+				fatal(fmt.Errorf("-cache-mem must be >= 0 MiB (got %d)", *cacheMem))
+			}
 		}
 	})
 	if *workers > 0 {
@@ -108,6 +121,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MegatileFactor: *megatile,
 		MegatileMemMiB: *megatileMem,
+		CacheMemMiB:    *cacheMem,
 		ScoreThreshold: *thresh,
 		IdleTrim:       *idleTrim,
 		EnablePprof:    *pprofFlag,
@@ -138,7 +152,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "rhsd-serve: listening on %s\n", ln.Addr())
 
 	if *selftest {
-		if err := runSelftest(m.Config, "http://"+ln.Addr().String()); err != nil {
+		if err := runSelftest(m.Config, cfg, "http://"+ln.Addr().String()); err != nil {
 			fmt.Fprintln(os.Stderr, "rhsd-serve: selftest FAILED:", err)
 			os.Exit(1)
 		}
@@ -170,10 +184,16 @@ func shutdown(srv *http.Server, s *serve.Server) {
 	}
 }
 
-// runSelftest exercises the live daemon end to end: health, one detection
-// over a generated layout, and status counters that reflect it.
-func runSelftest(c hsd.Config, base string) error {
+// runSelftest exercises the live daemon end to end: health, a cold
+// detection over a generated layout, a warm repeat that must be
+// bit-identical and (when the cache is on) served from it, an
+// incremental ?since= rescan of the unchanged layout that must reuse
+// every megatile, a malformed request, and status counters plus the
+// Prometheus exposition reflecting all of it.
+func runSelftest(c hsd.Config, cfg serve.Config, base string) error {
 	client := &http.Client{Timeout: 2 * time.Minute}
+	megatiles := cfg.MegatileFactor >= 0
+	cacheOn := megatiles && cfg.CacheMemMiB > 0
 
 	resp, err := client.Get(base + "/healthz")
 	if err != nil {
@@ -185,25 +205,70 @@ func runSelftest(c hsd.Config, base string) error {
 		return fmt.Errorf("healthz: status %d", resp.StatusCode)
 	}
 
-	var buf bytes.Buffer
-	if err := selftestLayout(c).Save(&buf); err != nil {
+	var layoutText bytes.Buffer
+	if err := selftestLayout(c).Save(&layoutText); err != nil {
 		return fmt.Errorf("building layout: %w", err)
 	}
-	resp, err = client.Post(base+"/detect", "text/plain", &buf)
+	detect := func(label, query string) (serve.DetectResponse, error) {
+		var dr serve.DetectResponse
+		resp, err := client.Post(base+"/detect"+query, "text/plain", bytes.NewReader(layoutText.Bytes()))
+		if err != nil {
+			return dr, fmt.Errorf("%s: %w", label, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return dr, fmt.Errorf("%s: status %d: %s", label, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &dr); err != nil {
+			return dr, fmt.Errorf("%s: decoding %q: %w", label, body, err)
+		}
+		if dr.Count != len(dr.Detections) {
+			return dr, fmt.Errorf("%s: count %d but %d detections", label, dr.Count, len(dr.Detections))
+		}
+		return dr, nil
+	}
+
+	cold, err := detect("cold detect", "")
 	if err != nil {
-		return fmt.Errorf("detect: %w", err)
+		return err
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("detect: status %d: %s", resp.StatusCode, body)
+	if megatiles {
+		if cold.ScanID <= 0 {
+			return fmt.Errorf("cold detect: scan_id %d, want > 0 on the megatile path", cold.ScanID)
+		}
+		if cold.TilesScanned < 1 || cold.TilesReused != 0 || cold.Incremental {
+			return fmt.Errorf("cold detect: tiles scanned=%d reused=%d incremental=%v",
+				cold.TilesScanned, cold.TilesReused, cold.Incremental)
+		}
 	}
-	var dr serve.DetectResponse
-	if err := json.Unmarshal(body, &dr); err != nil {
-		return fmt.Errorf("detect: decoding %q: %w", body, err)
+
+	// The warm repeat posts the identical layout: the detections must be
+	// bit-identical, and with the cache on every megatile raster hashes
+	// to an entry the cold scan filled.
+	warm, err := detect("warm detect", "")
+	if err != nil {
+		return err
 	}
-	if dr.Count != len(dr.Detections) {
-		return fmt.Errorf("detect: count %d but %d detections", dr.Count, len(dr.Detections))
+	if !reflect.DeepEqual(warm.Detections, cold.Detections) {
+		return fmt.Errorf("warm detect: detections differ from the cold scan")
+	}
+
+	// Re-posting the unchanged layout with ?since= takes the incremental
+	// path: an empty diff reuses every retained megatile and rasterizes
+	// nothing, and the detections still match.
+	if megatiles {
+		incr, err := detect("incremental detect", fmt.Sprintf("?since=%d", warm.ScanID))
+		if err != nil {
+			return err
+		}
+		if !incr.Incremental || incr.TilesScanned != 0 || incr.TilesReused < 1 {
+			return fmt.Errorf("incremental detect: incremental=%v scanned=%d reused=%d, want an all-reused rescan",
+				incr.Incremental, incr.TilesScanned, incr.TilesReused)
+		}
+		if !reflect.DeepEqual(incr.Detections, cold.Detections) {
+			return fmt.Errorf("incremental detect: detections differ from the cold scan")
+		}
 	}
 
 	// A malformed body must come back as a 4xx JSON error, not kill the
@@ -212,12 +277,16 @@ func runSelftest(c hsd.Config, base string) error {
 	if err != nil {
 		return fmt.Errorf("malformed detect: %w", err)
 	}
-	body, _ = io.ReadAll(resp.Body)
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		return fmt.Errorf("malformed detect: status %d, want 400: %s", resp.StatusCode, body)
 	}
 
+	good := int64(2)
+	if megatiles {
+		good = 3
+	}
 	resp, err = client.Get(base + "/statusz")
 	if err != nil {
 		return fmt.Errorf("statusz: %w", err)
@@ -228,13 +297,22 @@ func runSelftest(c hsd.Config, base string) error {
 	if err := json.Unmarshal(body, &st); err != nil {
 		return fmt.Errorf("statusz: decoding %q: %w", body, err)
 	}
-	if st.Requests != 2 || st.OK != 1 || st.ClientErrors != 1 {
-		return fmt.Errorf("statusz: counters %+v after one good and one bad request", st)
+	if st.Requests != good+1 || st.OK != good || st.ClientErrors != 1 {
+		return fmt.Errorf("statusz: counters %+v after %d good and one bad request", st, good)
+	}
+	if cacheOn {
+		if !st.CacheEnabled {
+			return fmt.Errorf("statusz: cache_enabled false with -cache-mem %d", cfg.CacheMemMiB)
+		}
+		if st.CacheHits < 1 || st.CacheMisses < 1 || st.CacheHitRate <= 0 {
+			return fmt.Errorf("statusz: cache hits=%d misses=%d hit_rate=%g after a warm repeat",
+				st.CacheHits, st.CacheMisses, st.CacheHitRate)
+		}
 	}
 
 	// The Prometheus exposition must carry every layer of the stack —
-	// serve requests, pool utilization and per-stage model timings — and
-	// agree with the /statusz counters read above.
+	// serve requests, pool utilization, per-stage model timings and the
+	// result cache — and agree with the /statusz counters read above.
 	resp, err = client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
@@ -248,20 +326,32 @@ func runSelftest(c hsd.Config, base string) error {
 		return fmt.Errorf("metrics: content type %q", ct)
 	}
 	text := string(body)
-	for _, want := range []string{
-		"rhsd_serve_requests_total 2",
-		`rhsd_serve_responses_total{class="2xx"} 1`,
+	wants := []string{
+		fmt.Sprintf("rhsd_serve_requests_total %d", good+1),
+		fmt.Sprintf(`rhsd_serve_responses_total{class="2xx"} %d`, good),
 		`rhsd_serve_responses_total{class="4xx"} 1`,
 		"# TYPE rhsd_detect_stage_seconds histogram",
 		`rhsd_detect_stage_seconds_count{stage="backbone"}`,
 		"rhsd_pool_workers",
 		"rhsd_detect_passes_total",
-	} {
+	}
+	if megatiles {
+		wants = append(wants, `rhsd_scan_tiles_total{kind="megatile_reused"}`)
+	}
+	if cacheOn {
+		wants = append(wants,
+			`rhsd_scancache_lookups_total{outcome="hit"}`,
+			`rhsd_scancache_lookups_total{outcome="miss"}`,
+			"rhsd_scancache_bytes",
+		)
+	}
+	for _, want := range wants {
 		if !strings.Contains(text, want) {
 			return fmt.Errorf("metrics: exposition is missing %q", want)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "rhsd-serve: selftest scanned layout, %d detections, pool %d\n", dr.Count, st.Pool)
+	fmt.Fprintf(os.Stderr, "rhsd-serve: selftest scanned layout, %d detections, pool %d, cache hits %d\n",
+		cold.Count, st.Pool, st.CacheHits)
 	return nil
 }
 

@@ -32,7 +32,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Identical megatile content (repeated cells, re-verified regions)
+	// is served from this cache instead of re-running the forward pass.
+	model.SetScanCache(hsd.NewDetCache(32 << 20))
 
+	var fixedFirst *layout.Layout
 	for i, r := range data.Test {
 		before := len(r.Hotspots)
 		sample := hsd.MakeSample(r.Layout, nil, p.HSD)
@@ -67,9 +71,49 @@ func main() {
 			merged.Add(rc)
 		}
 		after := len(p.Litho.Simulate(merged, merged.Bounds))
+		if i == 0 {
+			fixedFirst = merged
+		}
 
 		fmt.Printf("region %d: %2d hotspots, %2d detections → OPC moved %3d edges → %2d hotspots remain\n",
 			i, before, len(dets), res.MovedEdges, after)
 	}
 	fmt.Println("\n(residual hotspots are detector misses or geometry OPC cannot fix within mask rules)")
+
+	// Re-verifying a whole chip after one local fix should not cost a
+	// whole-chip scan. rhsd-serve does this over HTTP (/detect?since=);
+	// this is the in-process version: scan once, apply the region-0 fix,
+	// diff the two layouts, and rescan — only megatiles a dirty rect
+	// touches are re-rasterized, the rest are reused, and cached,
+	// incremental and cold scans are bit-identical.
+	chipBefore := stitch(data.Test, nil, p.RegionNM)
+	chipAfter := stitch(data.Test, fixedFirst, p.RegionNM)
+	scan := model.ScanLayoutMegatile(chipBefore, chipBefore.Bounds, 1)
+	rescan := model.RescanLayoutMegatile(scan, chipAfter, layout.Diff(chipBefore, chipAfter))
+	fmt.Printf("\nchip scan: %d detections over %d megatiles\n", len(scan.Detections), scan.TilesScanned)
+	fmt.Printf("after the region-0 fix: %d rescanned, %d reused → %d detections\n",
+		rescan.TilesScanned, rescan.TilesReused, len(rescan.Detections))
+
+	// A full sign-off re-check of the fixed chip rasterizes everything
+	// again, but every megatile's content is now cached: no forward pass.
+	model.DetectLayoutMegatile(chipAfter, chipAfter.Bounds, 1)
+	stats := model.ScanCache().Stats()
+	fmt.Printf("sign-off re-check: result cache served %d of %d lookups without a forward pass\n",
+		stats.Hits, stats.Hits+stats.Misses)
+}
+
+// stitch lays the test regions side by side as one chip, optionally
+// substituting the corrected geometry for region 0.
+func stitch(regions []*dataset.Region, replaceFirst *layout.Layout, regionNM int) *layout.Layout {
+	chip := layout.New(layout.R(0, 0, len(regions)*regionNM, regionNM))
+	for i, r := range regions {
+		src := r.Layout
+		if i == 0 && replaceFirst != nil {
+			src = replaceFirst
+		}
+		for _, rc := range src.Rects {
+			chip.Add(layout.R(rc.X0+i*regionNM, rc.Y0, rc.X1+i*regionNM, rc.Y1))
+		}
+	}
+	return chip
 }

@@ -1,0 +1,79 @@
+package hsd
+
+import (
+	"testing"
+
+	"rhsd/internal/tensor"
+)
+
+// rasterFromBytes fills an h×w two-channel raster from fuzz data,
+// cycling through data when it is shorter than the raster. Values are
+// quantized to the [0,1] 1/255 grid like a real metal/space raster.
+func rasterFromBytes(data []byte, h, w int) *tensor.Tensor {
+	x := tensor.New(1, InputChannels, h, w)
+	d := x.Data()
+	for i := range d {
+		b := byte(0)
+		if len(data) > 0 {
+			b = data[i%len(data)]
+		}
+		d[i] = float32(b) / 255
+	}
+	return x
+}
+
+// FuzzCacheKey pins the content-addressing contract of RasterKey:
+// byte-equal raster content (same shape, same floats, same weights
+// version) hashes to the same key, and ANY single-cell flip — metal
+// channel, space channel, halo band or interior — changes it. A
+// canonicalization step that normalized, truncated or subsampled the
+// raster before hashing would fail the flip direction; a key that mixed
+// in tile position would fail the equality direction.
+func FuzzCacheKey(f *testing.F) {
+	f.Add([]byte{0}, uint16(0), false)
+	f.Add([]byte{1, 2, 3, 4, 255, 0, 128}, uint16(9), false)
+	f.Add([]byte("halo bytes are part of the key"), uint16(127), true)
+	f.Fuzz(func(t *testing.T, data []byte, flip uint16, otherVersion bool) {
+		const h, w = 8, 16 // one FeatureStride cell tall, two wide
+		var v1, v2 [32]byte
+		v2[0] = 1
+
+		a := rasterFromBytes(data, h, w)
+		b := rasterFromBytes(data, h, w)
+		keyA := RasterKey(a, v1)
+		if keyB := RasterKey(b, v1); keyB != keyA {
+			t.Fatalf("byte-equal rasters hashed differently: %x vs %x", keyA, keyB)
+		}
+
+		// Key equality must mean byte-equal content: flipping any one
+		// cell changes the key.
+		i := int(flip) % len(b.Data())
+		old := b.Data()[i]
+		b.Data()[i] = old + 0.5
+		if b.Data()[i] == old { // paranoid: +0.5 can't be absorbed in [0,1]
+			t.Skip("flip produced no value change")
+		}
+		if keyFlipped := RasterKey(b, v1); keyFlipped == keyA {
+			t.Fatalf("single-cell flip at %d did not change the key", i)
+		}
+		b.Data()[i] = old
+
+		// Same content under a different weights version is a different
+		// key — a reloaded model must never hit entries its predecessor
+		// filled.
+		version := v1
+		if otherVersion {
+			version = v2
+		}
+		if otherVersion && RasterKey(b, version) == keyA {
+			t.Fatal("weights version not part of the key")
+		}
+
+		// Same bytes reshaped is different content: a degenerate
+		// factor-capped window must not collide with a full-size one.
+		reshaped := rasterFromBytes(data, w, h)
+		if RasterKey(reshaped, v1) == keyA {
+			t.Fatal("shape not part of the key")
+		}
+	})
+}

@@ -89,6 +89,34 @@ func (m *Model) DetectLayoutMegatileChecked(l *layout.Layout, window layout.Rect
 	return dets, nil
 }
 
+// ScanLayoutMegatileChecked is ScanLayoutMegatile behind the error
+// boundary, validated like DetectLayoutMegatileChecked.
+func (m *Model) ScanLayoutMegatileChecked(l *layout.Layout, window layout.Rect, factor int) (res *ScanResult, err error) {
+	if err := validateWindow(l, window); err != nil {
+		return nil, err
+	}
+	if err := guard.Run(func() { res = m.ScanLayoutMegatile(l, window, factor) }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RescanLayoutMegatileChecked is RescanLayoutMegatile behind the error
+// boundary. A prev without retained scan state (nil, or from a
+// detect-only path) is an ErrBadInput error rather than a panic.
+func (m *Model) RescanLayoutMegatileChecked(prev *ScanResult, l *layout.Layout, dirty []layout.Rect) (res *ScanResult, err error) {
+	if prev == nil || prev.perTile == nil {
+		return nil, badInputf("hsd: rescan needs a ScanResult from ScanLayoutMegatile")
+	}
+	if l == nil {
+		return nil, badInputf("hsd: nil layout")
+	}
+	if err := guard.Run(func() { res = m.RescanLayoutMegatile(prev, l, dirty) }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // LoadChecked restores model parameters from a checkpoint like Load, with
 // the additional guarantee that a corrupt file can only produce an error,
 // never a panic — nn.LoadParams validates every untrusted header field,

@@ -138,6 +138,146 @@ func RegionRaster(l *layout.Layout, c Config, px int) *tensor.Tensor {
 	return img
 }
 
+// ScanResult is one megatile scan's output plus the state an incremental
+// rescan needs: the scan geometry and the per-megatile post-ownership
+// detections, each valid for exactly the raster its megatile consumed.
+// Treat a ScanResult as immutable once returned — RescanLayoutMegatile
+// shares clean tiles' slices between the previous and next result.
+type ScanResult struct {
+	// Detections is the merged scan output in nanometre coordinates
+	// relative to the scan window origin (what DetectLayoutMegatile
+	// returns).
+	Detections []Detection
+	// TilesScanned and TilesReused count this scan's megatiles by fate;
+	// a cold scan has TilesReused == 0. Reuse here means the incremental
+	// clean-tile path — cache hits inside scanned tiles are counted by
+	// the cache's own telemetry, not per ScanResult.
+	TilesScanned, TilesReused int
+
+	window  layout.Rect
+	spec    MegatileSpec
+	xs, ys  []int
+	perTile [][]ScoredClip // post-ownership, window-relative nm clips
+	version [32]byte       // weights version the scan ran under
+}
+
+// Window returns the scan window (canonical) this result covers.
+func (r *ScanResult) Window() layout.Rect { return r.window }
+
+// Factor returns the effective (clamped) megatile factor used.
+func (r *ScanResult) Factor() int { return r.spec.Factor }
+
+// megatile identifies one scan work item: its nm origin and grid index.
+type megatile struct{ x, y, ix, iy int }
+
+// tileRect returns the megatile's full raster footprint in chip
+// coordinates. The overlap strips — the halo bands — are inside this
+// rect by construction, so overlap against it is the complete
+// invalidation predicate for incremental rescans: no edit outside the
+// rect can change any byte of the megatile's raster.
+func (t megatile) tileRect(spec MegatileSpec) layout.Rect {
+	return layout.R(t.x, t.y, t.x+spec.RegionNM, t.y+spec.RegionNM)
+}
+
+// megatileGrid lays out the scan geometry for a window: megatile
+// origins, seam ownership boundaries and the row-major work list.
+func megatileGrid(spec MegatileSpec, window layout.Rect) (xs, ys []int, xb, yb []float64, tiles []megatile) {
+	ys = tileOrigins(window.Y0, window.Y1, spec.RegionNM, spec.StrideNM)
+	xs = tileOrigins(window.X0, window.X1, spec.RegionNM, spec.StrideNM)
+	yb = seamBoundaries(ys, spec.RegionNM)
+	xb = seamBoundaries(xs, spec.RegionNM)
+	tiles = make([]megatile, 0, len(ys)*len(xs))
+	for iy, y := range ys {
+		for ix, x := range xs {
+			tiles = append(tiles, megatile{x, y, ix, iy})
+		}
+	}
+	return xs, ys, xb, yb, tiles
+}
+
+// scanOneMegatile rasterizes one megatile, runs the forward pass (through
+// the cache when useCache), applies the halo-ownership filter and returns
+// the surviving clips in window-relative nanometre coordinates.
+func (m *Model) scanOneMegatile(mw *Model, l *layout.Layout, t megatile, spec MegatileSpec,
+	window layout.Rect, xb, yb []float64, version [32]byte, useCache bool) []ScoredClip {
+	c := m.Config
+	sub := l.Window(t.tileRect(spec))
+	raster := RegionRaster(sub, c, spec.PxSize)
+	var clips []ScoredClip
+	slack := ownershipSlackNM(c)
+	for _, d := range m.cachedDetect(mw, raster, version, useCache) {
+		clipNM := d.Clip.Scale(c.PitchNM).Translate(float64(t.x), float64(t.y))
+		// Halo ownership: clips centred past the overlap midpoint (plus
+		// the boundary slack band) are deferred to the neighbouring
+		// megatile, which computes them with at least a halo of real
+		// context on every side; in-band duplicates are collapsed by the
+		// final h-NMS.
+		if !keptBy(xb, clipNM.CX(), t.ix, slack) || !keptBy(yb, clipNM.CY(), t.iy, slack) {
+			continue
+		}
+		clipNM = clipNM.Translate(float64(-window.X0), float64(-window.Y0))
+		clips = append(clips, ScoredClip{Clip: clipNM, Score: d.Score})
+	}
+	return clips
+}
+
+// mergeMegatiles concatenates per-megatile clips in row-major order and
+// applies the cross-megatile h-NMS — the merge is identical whether a
+// tile's clips came from a forward pass, a cache hit or an incremental
+// reuse, which is what makes all three paths bit-identical.
+func (m *Model) mergeMegatiles(perTile [][]ScoredClip) []Detection {
+	var all []ScoredClip
+	for _, clips := range perTile {
+		all = append(all, clips...)
+	}
+	sp := m.stageSpan(StageHNMS)
+	merged := m.nms(all)
+	sp.End()
+	out := make([]Detection, len(merged))
+	for i, s := range merged {
+		out[i] = Detection{Clip: s.Clip, Score: s.Score}
+	}
+	return out
+}
+
+// scanMegatiles is the shared full-scan core behind DetectLayoutMegatile
+// and ScanLayoutMegatile, filling res in place. retain keeps the per-tile
+// state (and always computes the weights version) so the result can seed
+// an incremental rescan; the plain detect path skips both, keeping its
+// steady-state allocation profile.
+func (m *Model) scanMegatiles(res *ScanResult, l *layout.Layout, window layout.Rect, factor int, retain bool) {
+	c := m.Config
+	window = window.Canon()
+	spec := c.Megatile(megatileFactorCap(c, window, factor))
+	xs, ys, xb, yb, tiles := megatileGrid(spec, window)
+
+	var version [32]byte
+	useCache := m.cache != nil
+	if useCache || retain {
+		version = m.WeightsVersion()
+	}
+
+	perTile := make([][]ScoredClip, len(tiles))
+	m.scanReplicated(len(tiles), func(mw *Model, i int) {
+		perTile[i] = m.scanOneMegatile(mw, l, tiles[i], spec, window, xb, yb, version, useCache)
+	})
+
+	res.Detections = m.mergeMegatiles(perTile)
+	res.TilesScanned = len(tiles)
+	res.TilesReused = 0
+	res.window = window
+	res.spec = spec
+	res.version = version
+	if retain {
+		res.xs, res.ys = xs, ys
+		res.perTile = perTile
+	}
+	if ins := m.ins; ins != nil {
+		ins.MegatilesScanned.Add(int64(len(tiles)))
+		ins.WorkspaceBytes.Set(int64(m.TotalWorkspaceFootprint()) * 4)
+	}
+}
+
 // DetectLayoutMegatile scans an arbitrarily large layout window in
 // megatiles of factor×factor regions: each megatile is rasterized once
 // and detected in a single shape-polymorphic forward pass, then
@@ -155,6 +295,11 @@ func RegionRaster(l *layout.Layout, c Config, px int) *tensor.Tensor {
 // row-major order before the final h-NMS, so the output is bit-identical
 // to a serial scan for every worker count.
 //
+// With a cache attached (SetScanCache) each megatile's forward pass is
+// looked up by raster content first; the merge is unchanged, so cached
+// and cold scans are bit-identical (pinned by the differential suite in
+// cache_diff_test.go).
+//
 // factor < 1 requests 1; factors larger than the window needs are clamped
 // (so DetectLayoutMegatile on a sub-region window degrades gracefully to
 // the per-region scan). Interior detections match the per-tile
@@ -162,64 +307,84 @@ func RegionRaster(l *layout.Layout, c Config, px int) *tensor.Tensor {
 // the per-tile grid do not exist inside a megatile at all — the paper's
 // region-over-clip argument applied one level up.
 func (m *Model) DetectLayoutMegatile(l *layout.Layout, window layout.Rect, factor int) []Detection {
-	c := m.Config
-	window = window.Canon()
-	spec := c.Megatile(megatileFactorCap(c, window, factor))
+	var res ScanResult
+	m.scanMegatiles(&res, l, window, factor, false)
+	return res.Detections
+}
 
-	ys := tileOrigins(window.Y0, window.Y1, spec.RegionNM, spec.StrideNM)
-	xs := tileOrigins(window.X0, window.X1, spec.RegionNM, spec.StrideNM)
-	yb := seamBoundaries(ys, spec.RegionNM)
-	xb := seamBoundaries(xs, spec.RegionNM)
-	type tile struct{ x, y, ix, iy int }
-	tiles := make([]tile, 0, len(ys)*len(xs))
-	for iy, y := range ys {
-		for ix, x := range xs {
-			tiles = append(tiles, tile{x, y, ix, iy})
+// ScanLayoutMegatile is DetectLayoutMegatile returning the full scan
+// state: identical detections, plus the per-megatile results and scan
+// geometry an incremental rescan needs. Callers that re-scan evolving
+// layouts (the serving daemon's /detect?since= path, DFM loops) keep the
+// ScanResult and feed it to RescanLayoutMegatile with the next revision's
+// dirty rects.
+func (m *Model) ScanLayoutMegatile(l *layout.Layout, window layout.Rect, factor int) *ScanResult {
+	res := &ScanResult{}
+	m.scanMegatiles(res, l, window, factor, true)
+	return res
+}
+
+// RescanLayoutMegatile re-scans a layout after an edit, reusing every
+// megatile of prev whose raster cannot have changed: a megatile is
+// re-rasterized (and re-detected, through the cache when attached) only
+// when its full raster footprint — halo bands included, see tileRect —
+// overlaps a dirty rect. dirty is the changed-region set from
+// layout.Diff(oldLayout, newLayout); l is the NEW layout. The scan window
+// and factor are prev's.
+//
+// Reused megatiles contribute their retained post-ownership clips to the
+// same row-major merge a cold scan performs, so the result is
+// bit-identical to ScanLayoutMegatile(l, prev.Window(), prev.Factor())
+// whenever dirty covers the actual layout difference (the differential
+// suite pins this; layout.Diff guarantees it by construction). An empty
+// dirty set rasterizes zero megatiles.
+//
+// The weights version is re-hashed on every rescan: if the model was
+// re-trained or re-loaded since prev, nothing is reusable and the call
+// degrades to a full scan. prev must come from ScanLayoutMegatile or
+// RescanLayoutMegatile (detect-only results retain no per-tile state).
+func (m *Model) RescanLayoutMegatile(prev *ScanResult, l *layout.Layout, dirty []layout.Rect) *ScanResult {
+	if prev == nil || prev.perTile == nil {
+		panic("hsd: RescanLayoutMegatile needs a ScanResult from ScanLayoutMegatile")
+	}
+	version := m.WeightsVersion()
+	if version != prev.version {
+		return m.ScanLayoutMegatile(l, prev.window, prev.spec.Factor)
+	}
+	spec, window := prev.spec, prev.window
+	_, _, xb, yb, tiles := megatileGrid(spec, window)
+
+	res := &ScanResult{
+		window:  window,
+		spec:    spec,
+		xs:      prev.xs,
+		ys:      prev.ys,
+		version: version,
+		perTile: make([][]ScoredClip, len(tiles)),
+	}
+	dirtyIdx := make([]int, 0, len(tiles))
+	for i, t := range tiles {
+		if layout.AnyDirty(dirty, t.tileRect(spec)) {
+			dirtyIdx = append(dirtyIdx, i)
+		} else {
+			res.perTile[i] = prev.perTile[i]
 		}
 	}
-
-	scanTile := func(mw *Model, t tile) []ScoredClip {
-		sub := l.Window(layout.R(t.x, t.y, t.x+spec.RegionNM, t.y+spec.RegionNM))
-		raster := RegionRaster(sub, c, spec.PxSize)
-		var clips []ScoredClip
-		slack := ownershipSlackNM(c)
-		for _, d := range mw.Detect(raster) {
-			clipNM := d.Clip.Scale(c.PitchNM).Translate(float64(t.x), float64(t.y))
-			// Halo ownership: clips centred past the overlap midpoint (plus
-			// the boundary slack band) are deferred to the neighbouring
-			// megatile, which computes them with at least a halo of real
-			// context on every side; in-band duplicates are collapsed by the
-			// final h-NMS.
-			if !keptBy(xb, clipNM.CX(), t.ix, slack) || !keptBy(yb, clipNM.CY(), t.iy, slack) {
-				continue
-			}
-			clipNM = clipNM.Translate(float64(-window.X0), float64(-window.Y0))
-			clips = append(clips, ScoredClip{Clip: clipNM, Score: d.Score})
-		}
-		return clips
-	}
-
-	perTile := make([][]ScoredClip, len(tiles))
-	m.scanReplicated(len(tiles), func(mw *Model, i int) {
-		perTile[i] = scanTile(mw, tiles[i])
+	useCache := m.cache != nil
+	m.scanReplicated(len(dirtyIdx), func(mw *Model, j int) {
+		i := dirtyIdx[j]
+		res.perTile[i] = m.scanOneMegatile(mw, l, tiles[i], spec, window, xb, yb, version, useCache)
 	})
 
-	var all []ScoredClip
-	for _, clips := range perTile {
-		all = append(all, clips...)
-	}
-	sp := m.stageSpan(StageHNMS)
-	merged := m.nms(all)
-	sp.End()
-	out := make([]Detection, len(merged))
-	for i, s := range merged {
-		out[i] = Detection{Clip: s.Clip, Score: s.Score}
-	}
+	res.Detections = m.mergeMegatiles(res.perTile)
+	res.TilesScanned = len(dirtyIdx)
+	res.TilesReused = len(tiles) - len(dirtyIdx)
 	if ins := m.ins; ins != nil {
-		ins.MegatilesScanned.Add(int64(len(tiles)))
+		ins.MegatilesScanned.Add(int64(len(dirtyIdx)))
+		ins.MegatilesReused.Add(int64(res.TilesReused))
 		ins.WorkspaceBytes.Set(int64(m.TotalWorkspaceFootprint()) * 4)
 	}
-	return out
+	return res
 }
 
 // AutoMegatileFactor picks the largest megatile factor whose predicted

@@ -79,6 +79,12 @@ type Model struct {
 	// parallel scan aggregates into one set of series; see SetInstruments.
 	ins *Instruments
 
+	// cache is the attached megatile result cache (nil = caching
+	// disabled, the default). Shared by reference like ins — the cache is
+	// concurrency-safe and content-addressed, so clones and replicas can
+	// all consult one instance; see SetScanCache.
+	cache *DetCache
+
 	// scanWorkers caps the goroutines (and replicas) one layout scan may
 	// use; 0 means parallel.Workers(). See SetScanWorkers.
 	scanWorkers int
@@ -351,11 +357,12 @@ func (m *Model) Clone() (*Model, error) {
 		copy(dst[i].W.Data(), p.W.Data())
 		copy(dst[i].Grad.Data(), p.Grad.Data())
 	}
-	// Replicas share the parent's instruments: every counter and
-	// histogram in telemetry is safe for concurrent writers, and a
-	// parallel scan should aggregate into one set of series rather than
-	// fragment per replica.
+	// Replicas share the parent's instruments and scan cache: both are
+	// safe for concurrent writers, and a parallel scan should aggregate
+	// into one set of series — and one content-addressed result set —
+	// rather than fragment per replica.
 	r.ins = m.ins
+	r.cache = m.cache
 	return r, nil
 }
 

@@ -51,9 +51,12 @@ type Instruments struct {
 	// in a per-tile scan, one per megatile in a megatile scan.
 	DetectPasses *telemetry.Counter
 	// TilesScanned / MegatilesScanned count scan work items by kind
-	// (rhsd_scan_tiles_total{kind="tile"|"megatile"}).
+	// (rhsd_scan_tiles_total{kind="tile"|"megatile"}); MegatilesReused
+	// counts megatiles an incremental rescan served from retained results
+	// without re-rasterizing (kind="megatile_reused").
 	TilesScanned     *telemetry.Counter
 	MegatilesScanned *telemetry.Counter
+	MegatilesReused  *telemetry.Counter
 	// ProposalsKept / ProposalsSuppressed count CPN proposals surviving
 	// or removed by pruning + h-NMS
 	// (rhsd_detect_proposals_total{fate="kept"|"suppressed"}).
@@ -80,6 +83,8 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 			"Scan work items by kind.", `kind="tile"`),
 		MegatilesScanned: reg.NewCounter("rhsd_scan_tiles_total",
 			"Scan work items by kind.", `kind="megatile"`),
+		MegatilesReused: reg.NewCounter("rhsd_scan_tiles_total",
+			"Scan work items by kind.", `kind="megatile_reused"`),
 		ProposalsKept: reg.NewCounter("rhsd_detect_proposals_total",
 			"CPN proposals by fate after pruning and h-NMS.", `fate="kept"`),
 		ProposalsSuppressed: reg.NewCounter("rhsd_detect_proposals_total",

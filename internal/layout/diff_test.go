@@ -1,0 +1,115 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+)
+
+func layoutWith(bounds Rect, rects ...Rect) *Layout {
+	l := New(bounds)
+	for _, r := range rects {
+		l.Add(r)
+	}
+	return l
+}
+
+func TestDiffIdenticalLayoutsEmpty(t *testing.T) {
+	b := R(0, 0, 1000, 1000)
+	a := layoutWith(b, R(10, 10, 50, 50), R(100, 200, 300, 240))
+	c := layoutWith(b, R(10, 10, 50, 50), R(100, 200, 300, 240))
+	if d := Diff(a, c); len(d) != 0 {
+		t.Fatalf("identical layouts diff %v, want empty", d)
+	}
+}
+
+func TestDiffOrderIndependent(t *testing.T) {
+	b := R(0, 0, 1000, 1000)
+	a := layoutWith(b, R(10, 10, 50, 50), R(100, 200, 300, 240))
+	c := layoutWith(b, R(100, 200, 300, 240), R(10, 10, 50, 50))
+	if d := Diff(a, c); len(d) != 0 {
+		t.Fatalf("reordered layouts diff %v, want empty", d)
+	}
+}
+
+func TestDiffAddRemoveMove(t *testing.T) {
+	b := R(0, 0, 1000, 1000)
+	base := layoutWith(b, R(10, 10, 50, 50))
+
+	added := layoutWith(b, R(10, 10, 50, 50), R(600, 600, 700, 700))
+	if d := Diff(base, added); !reflect.DeepEqual(d, []Rect{R(600, 600, 700, 700)}) {
+		t.Fatalf("add diff %v", d)
+	}
+	if d := Diff(added, base); !reflect.DeepEqual(d, []Rect{R(600, 600, 700, 700)}) {
+		t.Fatalf("remove diff %v", d)
+	}
+
+	// A moved shape dirties both its old and new footprint.
+	moved := layoutWith(b, R(14, 10, 54, 50))
+	want := []Rect{R(10, 10, 50, 50), R(14, 10, 54, 50)}
+	if d := Diff(base, moved); !reflect.DeepEqual(d, want) {
+		t.Fatalf("move diff %v, want %v", d, want)
+	}
+}
+
+func TestDiffDuplicateMultiplicity(t *testing.T) {
+	b := R(0, 0, 1000, 1000)
+	one := layoutWith(b, R(10, 10, 50, 50))
+	two := layoutWith(b, R(10, 10, 50, 50), R(10, 10, 50, 50))
+	// Union semantics render these identically, but the multiset contract
+	// flags the count change — a false positive that costs one rescan.
+	if d := Diff(one, two); !reflect.DeepEqual(d, []Rect{R(10, 10, 50, 50)}) {
+		t.Fatalf("duplicate-count diff %v", d)
+	}
+}
+
+func TestDiffBoundsChangeDirtiesEverything(t *testing.T) {
+	a := layoutWith(R(0, 0, 1000, 1000), R(10, 10, 50, 50))
+	c := layoutWith(R(0, 0, 1200, 1000), R(10, 10, 50, 50))
+	d := Diff(a, c)
+	if !reflect.DeepEqual(d, []Rect{R(0, 0, 1200, 1000)}) {
+		t.Fatalf("bounds-change diff %v, want whole union", d)
+	}
+}
+
+func TestDiffNilSides(t *testing.T) {
+	if d := Diff(nil, nil); len(d) != 0 {
+		t.Fatalf("Diff(nil,nil) = %v", d)
+	}
+	l := layoutWith(R(0, 0, 100, 100), R(1, 1, 2, 2))
+	if d := Diff(nil, l); !reflect.DeepEqual(d, []Rect{R(0, 0, 100, 100)}) {
+		t.Fatalf("Diff(nil,l) = %v", d)
+	}
+}
+
+func TestDiffCanonicalizesBeforeComparing(t *testing.T) {
+	b := R(0, 0, 1000, 1000)
+	a := layoutWith(b, R(50, 50, 10, 10)) // Add canonicalizes
+	c := layoutWith(b, R(10, 10, 50, 50))
+	if d := Diff(a, c); len(d) != 0 {
+		t.Fatalf("canonically equal rects diff %v", d)
+	}
+}
+
+func TestDiffSortedOutput(t *testing.T) {
+	b := R(0, 0, 1000, 1000)
+	empty := layoutWith(b)
+	full := layoutWith(b, R(500, 500, 600, 600), R(10, 10, 50, 50), R(200, 10, 220, 30))
+	d := Diff(empty, full)
+	want := []Rect{R(10, 10, 50, 50), R(200, 10, 220, 30), R(500, 500, 600, 600)}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("diff order %v, want %v", d, want)
+	}
+}
+
+func TestAnyDirty(t *testing.T) {
+	dirty := []Rect{R(100, 100, 200, 200)}
+	if !AnyDirty(dirty, R(150, 150, 400, 400)) {
+		t.Fatal("overlapping window not flagged dirty")
+	}
+	if AnyDirty(dirty, R(200, 100, 300, 200)) {
+		t.Fatal("edge-touching (non-overlapping) window flagged dirty")
+	}
+	if AnyDirty(nil, R(0, 0, 10, 10)) {
+		t.Fatal("empty dirty set flagged a window")
+	}
+}

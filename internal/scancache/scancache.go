@@ -1,0 +1,293 @@
+// Package scancache is a content-addressed result cache for megatile
+// detection: scan results keyed by what the network actually consumed —
+// the hashed bytes of the rasterized, halo-inclusive megatile window plus
+// the model weight version — so two megatiles with byte-identical rasters
+// under identical weights share one forward pass, wherever they sit on
+// the chip and whichever request they arrived in.
+//
+// The cache is deliberately ignorant of detection types: Cache[V] stores
+// any value type under a Key, with the caller supplying the size and
+// copy policies at construction. internal/hsd instantiates it for
+// []Detection (hsd.NewDetCache); nothing here imports the model stack,
+// so the dependency arrow stays hsd → scancache.
+//
+// Correctness contract (pinned by the differential suite in
+// internal/hsd):
+//
+//   - A hit returns a value that is bit-identical to what the compute
+//     function produced when the entry was filled. Because the key covers
+//     every raster byte (halo bands included) and the weight digest,
+//     a hit can only occur when a cold scan would have produced the
+//     same floats.
+//   - Every lookup returns a defensive copy (via the copy policy), so
+//     concurrent scans can never observe torn or aliased values even if
+//     a caller mutates its result.
+//   - Concurrent misses on one key are single-flighted: one caller
+//     computes, the rest block and receive copies of the same value.
+//
+// Eviction is LRU under a byte budget; an entry larger than the whole
+// budget is returned to the caller but not retained. Telemetry
+// (RegisterMetrics) exposes hits, misses, single-flight waits, evictions
+// and the current byte/entry footprint on the shared registry.
+package scancache
+
+import (
+	"container/list"
+	"sync"
+
+	"rhsd/internal/telemetry"
+)
+
+// KeySize is the Key width in bytes: a full SHA-256 digest. Content
+// addressing must make key collisions strictly harder than any other
+// failure in the system — a truncated or non-cryptographic hash would
+// turn "near-identical layout" (the common case in DFM loops) into a
+// plausible silent-wrong-result source.
+const KeySize = 32
+
+// Key identifies cached content: a cryptographic digest of the exact
+// bytes the scan consumed. Construct with a hash of raster content plus
+// the weight version (see hsd.RasterKey); never from coordinates.
+type Key [KeySize]byte
+
+// Stats is a point-in-time snapshot of the cache counters, read from the
+// same atomics the telemetry instruments expose.
+type Stats struct {
+	// Hits counts lookups answered from a completed entry.
+	Hits int64
+	// Misses counts lookups that ran the compute function.
+	Misses int64
+	// Shared counts lookups that joined another caller's in-flight
+	// compute (single-flight). Hits + Misses + Shared = total lookups.
+	Shared int64
+	// Evictions counts entries dropped to fit the byte budget.
+	Evictions int64
+	// Bytes and Entries describe the currently retained set.
+	Bytes   int64
+	Entries int64
+}
+
+// entry is one retained value plus its LRU bookkeeping.
+type entry[V any] struct {
+	key   Key
+	value V
+	bytes int64
+}
+
+// flight is one in-progress compute that later arrivals wait on. failed
+// marks a compute that panicked out of GetOrCompute: waiters retry
+// rather than consuming a zero value.
+type flight[V any] struct {
+	done   chan struct{}
+	value  V
+	failed bool
+}
+
+// Cache is a content-addressed LRU result cache, safe for concurrent
+// use. Create with New.
+type Cache[V any] struct {
+	maxBytes int64
+	sizeOf   func(V) int64
+	clone    func(V) V
+
+	mu      sync.Mutex
+	entries map[Key]*list.Element // values are *entry[V]
+	lru     *list.List            // front = most recent
+	flights map[Key]*flight[V]
+	bytes   int64
+
+	hits      telemetry.Counter
+	misses    telemetry.Counter
+	shared    telemetry.Counter
+	evictions telemetry.Counter
+}
+
+// New builds a cache bounded to maxBytes of retained values (<= 0 means
+// unbounded). sizeOf reports the retained footprint of one value and
+// clone produces the defensive copy every lookup hands out; both must be
+// non-nil and pure.
+func New[V any](maxBytes int64, sizeOf func(V) int64, clone func(V) V) *Cache[V] {
+	if sizeOf == nil || clone == nil {
+		panic("scancache: New requires sizeOf and clone policies")
+	}
+	return &Cache[V]{
+		maxBytes: maxBytes,
+		sizeOf:   sizeOf,
+		clone:    clone,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		flights:  make(map[Key]*flight[V]),
+	}
+}
+
+// RegisterMetrics exposes the cache counters on reg under the
+// rhsd_scancache_* names documented in DESIGN.md §14. Call at most once
+// per registry (duplicate registration panics, like every instrument).
+func (c *Cache[V]) RegisterMetrics(reg *telemetry.Registry) {
+	const lookupHelp = "Cache lookups by outcome: hit (completed entry), miss (ran the scan), shared (joined an in-flight scan)."
+	reg.NewGaugeFunc("rhsd_scancache_bytes",
+		"Bytes retained by the megatile result cache.", "",
+		func() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.bytes })
+	reg.NewGaugeFunc("rhsd_scancache_entries",
+		"Entries retained by the megatile result cache.", "",
+		func() int64 { c.mu.Lock(); defer c.mu.Unlock(); return int64(c.lru.Len()) })
+	reg.NewCounterFunc("rhsd_scancache_lookups_total", lookupHelp, `outcome="hit"`, c.hits.Value)
+	reg.NewCounterFunc("rhsd_scancache_lookups_total", lookupHelp, `outcome="miss"`, c.misses.Value)
+	reg.NewCounterFunc("rhsd_scancache_lookups_total", lookupHelp, `outcome="shared"`, c.shared.Value)
+	reg.NewCounterFunc("rhsd_scancache_evictions_total",
+		"Entries evicted from the megatile result cache to fit the byte budget.", "",
+		c.evictions.Value)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	bytes, entries := c.bytes, int64(c.lru.Len())
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Shared:    c.shared.Value(),
+		Evictions: c.evictions.Value(),
+		Bytes:     bytes,
+		Entries:   entries,
+	}
+}
+
+// Get returns a copy of the value cached under k, if present, and marks
+// the entry recently used. It never waits on an in-flight compute.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		v := c.clone(el.Value.(*entry[V]).value)
+		c.mu.Unlock()
+		c.hits.Inc()
+		return v, true
+	}
+	c.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// GetOrCompute returns the value for k, running compute on a miss and
+// retaining its result. Concurrent callers that miss on the same key are
+// deduplicated: exactly one runs compute, the rest wait and receive the
+// same value. Every return value — hit, miss or shared — is a defensive
+// copy the caller owns outright. A compute that panics unwinds through
+// GetOrCompute (nothing is cached); waiting callers retry, so one
+// poisoned scan cannot wedge its neighbours.
+func (c *Cache[V]) GetOrCompute(k Key, compute func() V) V {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[k]; ok {
+			c.lru.MoveToFront(el)
+			v := c.clone(el.Value.(*entry[V]).value)
+			c.mu.Unlock()
+			c.hits.Inc()
+			return v
+		}
+		if fl, ok := c.flights[k]; ok {
+			c.mu.Unlock()
+			<-fl.done
+			c.mu.Lock()
+			failed := fl.failed
+			var v V
+			if !failed {
+				v = c.clone(fl.value)
+			}
+			c.mu.Unlock()
+			if failed {
+				continue // the computer panicked; take over the miss
+			}
+			c.shared.Inc()
+			return v
+		}
+		fl := &flight[V]{done: make(chan struct{})}
+		c.flights[k] = fl
+		c.mu.Unlock()
+
+		settled := false
+		defer func() {
+			if !settled { // compute panicked: release waiters, cache nothing
+				c.mu.Lock()
+				fl.failed = true
+				close(fl.done)
+				delete(c.flights, k)
+				c.mu.Unlock()
+			}
+		}()
+		c.misses.Inc()
+		v := compute()
+
+		c.mu.Lock()
+		fl.value = c.clone(v)
+		settled = true
+		close(fl.done)
+		delete(c.flights, k)
+		c.insertLocked(k, fl.value)
+		c.mu.Unlock()
+		return v
+	}
+}
+
+// Put stores a copy of v under k (replacing any existing entry), subject
+// to the byte budget. Scans that computed a result outside GetOrCompute
+// — the incremental rescan's dirty tiles — use it to warm the cache.
+func (c *Cache[V]) Put(k Key, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*entry[V])
+		c.bytes -= e.bytes
+		c.lru.Remove(el)
+		delete(c.entries, k)
+	}
+	c.insertLocked(k, c.clone(v))
+}
+
+// insertLocked retains v under k and evicts LRU entries until the budget
+// holds. Caller holds c.mu. v must already be a cache-private copy.
+func (c *Cache[V]) insertLocked(k Key, v V) {
+	if _, ok := c.entries[k]; ok {
+		// A racing GetOrCompute already filled this key (both flights can
+		// not coexist, but Put can race a flight); keep the existing entry.
+		return
+	}
+	bytes := c.sizeOf(v) + entryOverheadBytes
+	if c.maxBytes > 0 && bytes > c.maxBytes {
+		return // larger than the whole budget: serve it, don't retain it
+	}
+	e := &entry[V]{key: k, value: v, bytes: bytes}
+	c.entries[k] = c.lru.PushFront(e)
+	c.bytes += bytes
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*entry[V])
+		c.lru.Remove(oldest)
+		delete(c.entries, old.key)
+		c.bytes -= old.bytes
+		c.evictions.Inc()
+	}
+}
+
+// entryOverheadBytes approximates the per-entry bookkeeping cost (map
+// slot, list element, entry struct, key) charged against the byte budget
+// so a flood of tiny results cannot blow past it.
+const entryOverheadBytes = 160
+
+// Purge drops every retained entry (in-flight computes are unaffected:
+// their callers still receive values, and the results are re-inserted).
+// Weight changes do not require a Purge for correctness — the weight
+// digest in the key already strands stale entries — but purging returns
+// their memory immediately instead of waiting for LRU pressure.
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*list.Element)
+	c.lru.Init()
+	c.bytes = 0
+}

@@ -1,0 +1,294 @@
+package scancache
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhsd/internal/telemetry"
+)
+
+// intsCache builds the cache instantiation the tests share: []int64
+// values, 8 bytes per element, slice-clone copies.
+func intsCache(maxBytes int64) *Cache[[]int64] {
+	return New(maxBytes,
+		func(v []int64) int64 { return int64(len(v)) * 8 },
+		func(v []int64) []int64 { return append([]int64(nil), v...) })
+}
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestGetOrComputeCachesAndCounts(t *testing.T) {
+	c := intsCache(0)
+	calls := 0
+	compute := func() []int64 { calls++; return []int64{1, 2, 3} }
+
+	v := c.GetOrCompute(key(1), compute)
+	if len(v) != 3 || calls != 1 {
+		t.Fatalf("first lookup: value %v, %d compute calls", v, calls)
+	}
+	v2 := c.GetOrCompute(key(1), compute)
+	if calls != 1 {
+		t.Fatalf("second lookup recomputed (%d calls)", calls)
+	}
+	if &v[0] == &v2[0] {
+		t.Fatal("hit returned an aliased slice, want a defensive copy")
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("Get on an absent key reported a hit")
+	}
+	// Misses counts executed computes only; the absent-key Get above does
+	// not count (see TestGetAbsentDoesNotCountMiss).
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Shared != 0 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestGetAbsentDoesNotCountMiss pins the accounting contract the
+// concurrency hammer in internal/hsd relies on: Misses counts executed
+// computes, and Get on an absent key counts nothing.
+func TestGetAbsentDoesNotCountMiss(t *testing.T) {
+	c := intsCache(0)
+	if _, ok := c.Get(key(9)); ok {
+		t.Fatal("phantom hit")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Shared != 0 {
+		t.Fatalf("absent Get changed counters: %+v", st)
+	}
+}
+
+func TestDefensiveCopyOnMissAndPut(t *testing.T) {
+	c := intsCache(0)
+	v := c.GetOrCompute(key(1), func() []int64 { return []int64{7, 7} })
+	v[0] = 99 // caller mutates its copy
+	got, ok := c.Get(key(1))
+	if !ok || got[0] != 7 {
+		t.Fatalf("cache entry corrupted by caller mutation: %v", got)
+	}
+
+	src := []int64{5}
+	c.Put(key(2), src)
+	src[0] = 42
+	got, ok = c.Get(key(2))
+	if !ok || got[0] != 5 {
+		t.Fatalf("Put retained an aliased slice: %v", got)
+	}
+}
+
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	// Each 8-element entry costs 64 + entryOverheadBytes = 224; budget for
+	// exactly two.
+	c := intsCache(2 * (64 + entryOverheadBytes))
+	mk := func(b byte) []int64 { return []int64{int64(b), 0, 0, 0, 0, 0, 0, 0} }
+	c.Put(key(1), mk(1))
+	c.Put(key(2), mk(2))
+	c.Get(key(1)) // key 1 is now most recent; key 2 is LRU
+	c.Put(key(3), mk(3))
+
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("LRU entry survived an over-budget insert")
+	}
+	for _, k := range []byte{1, 3} {
+		if _, ok := c.Get(key(k)); !ok {
+			t.Fatalf("recently used key %d was evicted", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 2*(64+entryOverheadBytes) {
+		t.Fatalf("retained %d bytes, over budget", st.Bytes)
+	}
+}
+
+func TestOversizedValueServedNotRetained(t *testing.T) {
+	c := intsCache(100) // smaller than any entry incl. overhead
+	v := c.GetOrCompute(key(1), func() []int64 { return []int64{1, 2, 3} })
+	if len(v) != 3 {
+		t.Fatalf("oversized value not served: %v", v)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized value retained: %+v", st)
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	c := intsCache(0)
+	c.Put(key(1), []int64{1})
+	c.Put(key(1), []int64{2, 3})
+	got, ok := c.Get(key(1))
+	if !ok || len(got) != 2 || got[0] != 2 {
+		t.Fatalf("replacement not visible: %v", got)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 16+entryOverheadBytes {
+		t.Fatalf("replacement double-counted: %+v", st)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := intsCache(0)
+	c.Put(key(1), []int64{1})
+	c.Put(key(2), []int64{2})
+	c.Purge()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("purge left %+v", st)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("entry survived Purge")
+	}
+}
+
+// TestSingleFlightDedup pins the dedup contract: N concurrent misses on
+// one key run compute exactly once; one caller counts as the miss and
+// the other N-1 as shared, and every caller gets the same value in its
+// own copy.
+func TestSingleFlightDedup(t *testing.T) {
+	c := intsCache(0)
+	const n = 16
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	results := make([][]int64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			results[i] = c.GetOrCompute(key(1), func() []int64 {
+				computes.Add(1)
+				return []int64{11, 22}
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times for one key", computes.Load())
+	}
+	for i, r := range results {
+		if len(r) != 2 || r[0] != 11 || r[1] != 22 {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+		for j := i + 1; j < n; j++ {
+			if &r[0] == &results[j][0] {
+				t.Fatalf("callers %d and %d share a slice", i, j)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Fatalf("hits %d + shared %d, want %d non-computing lookups",
+			st.Hits, st.Shared, n-1)
+	}
+}
+
+// TestComputePanicReleasesWaiters: a panicking compute must propagate to
+// its caller, cache nothing, and let a waiting caller take over the miss
+// instead of deadlocking or consuming a zero value.
+func TestComputePanicReleasesWaiters(t *testing.T) {
+	c := intsCache(0)
+	inPanic := make(chan struct{})
+	waiterDone := make(chan []int64, 1)
+
+	go func() {
+		defer func() { recover() }()
+		c.GetOrCompute(key(1), func() []int64 {
+			close(inPanic)
+			// Give the waiter time to join the flight before unwinding.
+			for i := 0; i < 1000; i++ {
+				c.Stats()
+			}
+			panic("scan blew up")
+		})
+	}()
+	<-inPanic
+	go func() {
+		waiterDone <- c.GetOrCompute(key(1), func() []int64 { return []int64{5} })
+	}()
+	v := <-waiterDone
+	if len(v) != 1 || v[0] != 5 {
+		t.Fatalf("waiter after panic got %v", v)
+	}
+	if got, ok := c.Get(key(1)); !ok || got[0] != 5 {
+		t.Fatalf("retry result not cached: %v ok=%v", got, ok)
+	}
+}
+
+// TestConcurrentHammerExactCounts drives heavy mixed traffic and then
+// checks the books exactly: every lookup is a hit, a miss or a shared
+// wait, computes equal misses, and the retained set respects the budget.
+func TestConcurrentHammerExactCounts(t *testing.T) {
+	c := intsCache(0)
+	const (
+		goroutines = 8
+		iters      = 300
+		keys       = 17
+	)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := key(byte((g*31 + i) % keys))
+				v := c.GetOrCompute(k, func() []int64 {
+					computes.Add(1)
+					return []int64{int64(k[0])}
+				})
+				if len(v) != 1 || v[0] != int64(k[0]) {
+					t.Errorf("goroutine %d iter %d: got %v for key %d", g, i, v, k[0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != computes.Load() {
+		t.Fatalf("misses %d != computes %d", st.Misses, computes.Load())
+	}
+	if total := st.Hits + st.Misses + st.Shared; total != goroutines*iters {
+		t.Fatalf("hits+misses+shared = %d, want %d lookups", total, goroutines*iters)
+	}
+	if st.Entries != keys {
+		t.Fatalf("retained %d entries, want %d", st.Entries, keys)
+	}
+}
+
+func TestRegisterMetricsExposition(t *testing.T) {
+	c := intsCache(0)
+	reg := telemetry.NewRegistry()
+	c.RegisterMetrics(reg)
+	c.GetOrCompute(key(1), func() []int64 { return []int64{1} })
+	c.GetOrCompute(key(1), func() []int64 { return []int64{1} })
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE rhsd_scancache_lookups_total counter",
+		`rhsd_scancache_lookups_total{outcome="hit"} 1`,
+		`rhsd_scancache_lookups_total{outcome="miss"} 1`,
+		"rhsd_scancache_entries 1",
+		"# TYPE rhsd_scancache_bytes gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -74,6 +74,13 @@ type Config struct {
 	// MegatileMemMiB is the per-clone workspace budget driving the auto
 	// factor (0 = 512).
 	MegatileMemMiB int
+	// CacheMemMiB bounds the content-addressed megatile result cache
+	// shared by every pooled clone (internal/scancache): scans look each
+	// megatile up by its raster content + weights version before running
+	// the forward pass. 0 disables caching. Stale entries after a weight
+	// change need no explicit invalidation — the weights version is part
+	// of every key, so they simply become unreachable and age out by LRU.
+	CacheMemMiB int
 	// ScoreThreshold overrides the model's reporting threshold when
 	// non-negative (an explicit 0 is honored); negative = model default.
 	ScoreThreshold float64
@@ -173,6 +180,57 @@ type worker struct {
 	footprint atomic.Int64
 }
 
+// scanHistoryDepth bounds how many recent scans /detect?since= can
+// reference. DFM loops re-submit against the immediately preceding scan,
+// so a short ring suffices; a since id that has aged out degrades to a
+// cold scan, never an error.
+const scanHistoryDepth = 8
+
+// scanEntry is one retained scan: the layout served and its ScanResult
+// (both immutable once stored), addressable by the scan id echoed in the
+// response.
+type scanEntry struct {
+	id  int64
+	l   *layout.Layout
+	res *hsd.ScanResult
+}
+
+// scanHistory is a small mutex-guarded ring of recent scans.
+type scanHistory struct {
+	mu      sync.Mutex
+	depth   int
+	nextID  int64
+	entries []scanEntry // oldest first
+}
+
+func newScanHistory(depth int) *scanHistory {
+	return &scanHistory{depth: depth}
+}
+
+// add retains (l, res) and returns its scan id (ids start at 1).
+func (h *scanHistory) add(l *layout.Layout, res *hsd.ScanResult) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	h.entries = append(h.entries, scanEntry{id: h.nextID, l: l, res: res})
+	if len(h.entries) > h.depth {
+		h.entries = append(h.entries[:0], h.entries[len(h.entries)-h.depth:]...)
+	}
+	return h.nextID
+}
+
+// get returns the retained scan with the given id, if still present.
+func (h *scanHistory) get(id int64) (scanEntry, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, e := range h.entries {
+		if e.id == id {
+			return e, true
+		}
+	}
+	return scanEntry{}, false
+}
+
 // Server is the detection daemon. Create with New, expose via Handler,
 // stop with Shutdown.
 type Server struct {
@@ -185,6 +243,12 @@ type Server struct {
 	reg *telemetry.Registry
 	met *serveMetrics
 	log *slog.Logger
+
+	// cache is the shared megatile result cache (nil = disabled); hist
+	// retains recent scan results for /detect?since= incremental rescans
+	// (nil when the scan path is per-tile).
+	cache *hsd.DetCache
+	hist  *scanHistory
 
 	mu       sync.RWMutex // guards closed vs. inflight.Add
 	closed   bool
@@ -230,6 +294,17 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 	parallel.RegisterMetrics(s.reg)
 	if m.Instruments() == nil {
 		m.SetInstruments(hsd.NewInstruments(s.reg))
+	}
+	if cfg.CacheMemMiB > 0 {
+		// One cache for the whole pool, attached before cloning so every
+		// worker inherits it: the workers' weights are bit-identical, so
+		// they share keys and one worker's scan warms the others.
+		s.cache = hsd.NewDetCache(int64(cfg.CacheMemMiB) << 20)
+		s.cache.RegisterMetrics(s.reg)
+		m.SetScanCache(s.cache)
+	}
+	if cfg.MegatileFactor >= 0 {
+		s.hist = newScanHistory(scanHistoryDepth)
 	}
 	for i := 0; i < cfg.Pool; i++ {
 		cm := m
@@ -328,11 +403,19 @@ type DetectionJSON struct {
 	Score float64 `json:"score"`
 }
 
-// DetectResponse is the /detect success payload.
+// DetectResponse is the /detect success payload. ScanID names this scan
+// for a follow-up incremental request (POST /detect?since=<scan_id> with
+// the edited layout); it is 0 when the scan path retains no history
+// (per-tile scans). TilesScanned/TilesReused report the megatile fates —
+// an incremental rescan of a lightly-edited layout reuses most tiles.
 type DetectResponse struct {
-	Detections []DetectionJSON `json:"detections"`
-	Count      int             `json:"count"`
-	ElapsedMS  float64         `json:"elapsed_ms"`
+	Detections   []DetectionJSON `json:"detections"`
+	Count        int             `json:"count"`
+	ElapsedMS    float64         `json:"elapsed_ms"`
+	ScanID       int64           `json:"scan_id,omitempty"`
+	TilesScanned int             `json:"tiles_scanned,omitempty"`
+	TilesReused  int             `json:"tiles_reused,omitempty"`
+	Incremental  bool            `json:"incremental,omitempty"`
 }
 
 // ErrorResponse is every non-2xx payload.
@@ -359,6 +442,16 @@ type Status struct {
 	LatencyAvgMS   float64 `json:"latency_avg_ms"`
 	LatencyMaxMS   float64 `json:"latency_max_ms"`
 	Draining       bool    `json:"draining"`
+	// Cache* mirror the rhsd_scancache_* series when the megatile result
+	// cache is enabled; CacheHitRate is hits / (hits + misses + shared).
+	CacheEnabled   bool    `json:"cache_enabled"`
+	CacheHits      int64   `json:"cache_hits,omitempty"`
+	CacheMisses    int64   `json:"cache_misses,omitempty"`
+	CacheShared    int64   `json:"cache_shared,omitempty"`
+	CacheEvictions int64   `json:"cache_evictions,omitempty"`
+	CacheBytes     int64   `json:"cache_bytes,omitempty"`
+	CacheEntries   int64   `json:"cache_entries,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -412,6 +505,19 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		st.LatencyAvgMS = m.latency.Sum() / float64(n) * 1e3
 	}
 	st.LatencyMaxMS = m.latency.Max() * 1e3
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheEnabled = true
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheShared = cs.Shared
+		st.CacheEvictions = cs.Evictions
+		st.CacheBytes = cs.Bytes
+		st.CacheEntries = cs.Entries
+		if total := cs.Hits + cs.Misses + cs.Shared; total > 0 {
+			st.CacheHitRate = float64(cs.Hits) / float64(total)
+		}
+	}
 	s.mu.RLock()
 	st.Draining = s.closed
 	s.mu.RUnlock()
@@ -460,6 +566,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var since int64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v <= 0 {
+			s.fail(w, http.StatusBadRequest, "invalid since=%q: want a positive scan_id from an earlier response", q)
+			return
+		}
+		since = v
+	}
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	l, err := layout.ParseChecked(body, s.cfg.Limits)
 	if err != nil {
@@ -495,23 +611,23 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	// background and rejoins the pool (and Shutdown still waits for it).
 	start := time.Now()
 	type result struct {
-		dets []hsd.Detection
-		err  error
+		out scanOutcome
+		err error
 	}
 	done := make(chan result, 1)
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
-		var dets []hsd.Detection
+		var out scanOutcome
 		err := guard.Run(func() {
 			if s.testHook != nil {
 				s.testHook()
 			}
-			dets = s.scan(wk.m, l)
+			out = s.scan(wk.m, l, since)
 		})
 		wk.footprint.Store(int64(wk.m.TotalWorkspaceFootprint()) * 4)
 		s.pool <- wk
-		done <- result{dets, err}
+		done <- result{out, err}
 	}()
 
 	select {
@@ -528,17 +644,23 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		elapsed := time.Since(start)
+		dets := res.out.dets
 		s.log.Debug("detect done", "request_id", id,
-			"detections", len(res.dets), "elapsed_ms", float64(elapsed.Nanoseconds())/1e6)
+			"detections", len(dets), "incremental", res.out.incremental,
+			"elapsed_ms", float64(elapsed.Nanoseconds())/1e6)
 		s.met.respOK.Inc()
-		s.met.detections.Add(int64(len(res.dets)))
+		s.met.detections.Add(int64(len(dets)))
 		s.met.latency.Observe(elapsed.Seconds())
 		out := DetectResponse{
-			Detections: make([]DetectionJSON, len(res.dets)),
-			Count:      len(res.dets),
-			ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
+			Detections:   make([]DetectionJSON, len(dets)),
+			Count:        len(dets),
+			ElapsedMS:    float64(elapsed.Nanoseconds()) / 1e6,
+			ScanID:       res.out.scanID,
+			TilesScanned: res.out.tilesScanned,
+			TilesReused:  res.out.tilesReused,
+			Incremental:  res.out.incremental,
 		}
-		for i, d := range res.dets {
+		for i, d := range dets {
 			out.Detections[i] = DetectionJSON{
 				CXnm: d.Clip.CX(), CYnm: d.Clip.CY(),
 				Wnm: d.Clip.W(), Hnm: d.Clip.H(),
@@ -552,17 +674,54 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// scanOutcome is one request's detection result plus the scan metadata
+// echoed in the response.
+type scanOutcome struct {
+	dets                      []hsd.Detection
+	scanID                    int64
+	tilesScanned, tilesReused int
+	incremental               bool
+}
+
 // scan runs the configured detection over the request layout's bounds.
 // It executes inside the guard boundary; panics become 500s.
-func (s *Server) scan(m *hsd.Model, l *layout.Layout) []hsd.Detection {
-	switch {
-	case s.cfg.MegatileFactor < 0:
-		return m.DetectLayout(l, l.Bounds)
-	case s.cfg.MegatileFactor == 0:
-		f := m.AutoMegatileFactor(l.Bounds, int64(s.cfg.MegatileMemMiB)<<20)
-		return m.DetectLayoutMegatile(l, l.Bounds, f)
-	default:
-		return m.DetectLayoutMegatile(l, l.Bounds, s.cfg.MegatileFactor)
+//
+// On the megatile path the scan result is retained in the history ring
+// and its id returned, so a follow-up request can POST an edited layout
+// with ?since=<id>: the server diffs the stored layout against the new
+// one (layout.Diff) and re-scans only megatiles whose halo-inclusive
+// raster window a dirty rect touches. A since id that has aged out, or a
+// stored scan whose window or weights no longer match, silently degrades
+// to a cold scan — incremental serving is an optimization, never a
+// correctness dependency (the hsd differential suite pins bit-identity).
+func (s *Server) scan(m *hsd.Model, l *layout.Layout, since int64) scanOutcome {
+	if s.cfg.MegatileFactor < 0 {
+		return scanOutcome{dets: m.DetectLayout(l, l.Bounds)}
+	}
+	var res *hsd.ScanResult
+	incremental := false
+	if since > 0 && s.hist != nil {
+		if prev, ok := s.hist.get(since); ok && prev.res.Window() == l.Bounds.Canon() {
+			res = m.RescanLayoutMegatile(prev.res, l, layout.Diff(prev.l, l))
+			// A weight mismatch inside Rescan degrades to a full scan;
+			// report it as incremental only if any tile was actually reused.
+			incremental = res.TilesReused > 0 || res.TilesScanned == 0
+		}
+	}
+	if res == nil {
+		factor := s.cfg.MegatileFactor
+		if factor == 0 {
+			factor = m.AutoMegatileFactor(l.Bounds, int64(s.cfg.MegatileMemMiB)<<20)
+		}
+		res = m.ScanLayoutMegatile(l, l.Bounds, factor)
+	}
+	id := s.hist.add(l, res)
+	return scanOutcome{
+		dets:         res.Detections,
+		scanID:       id,
+		tilesScanned: res.TilesScanned,
+		tilesReused:  res.TilesReused,
+		incremental:  incremental,
 	}
 }
 

@@ -191,6 +191,21 @@ func (s *gaugeFuncSeries) expose(buf []byte, name string) []byte {
 	return buf
 }
 
+// counterFuncSeries is gaugeFuncSeries with counter TYPE semantics: the
+// value is read at scrape time from fn, which must be monotone
+// non-decreasing (typically an atomic maintained by the instrumented
+// component itself, e.g. scancache's hit counters).
+type counterFuncSeries struct {
+	fn     func() int64
+	labels string
+}
+
+func (s *counterFuncSeries) labelsKey() string { return s.labels }
+func (s *counterFuncSeries) expose(buf []byte, name string) []byte {
+	buf = appendSample(buf, name, "", s.labels, float64(s.fn()))
+	return buf
+}
+
 // NewCounter registers and returns a counter. labels is a preformatted
 // Prometheus label body (`stage="backbone"`) or "" for none.
 func (r *Registry) NewCounter(name, help, labels string) *Counter {
@@ -211,6 +226,15 @@ func (r *Registry) NewGauge(name, help, labels string) *Gauge {
 // the rest of the process (read atomics, not mutable structures).
 func (r *Registry) NewGaugeFunc(name, help, labels string, fn func() int64) {
 	r.register(name, help, kindGauge, &gaugeFuncSeries{fn: fn, labels: labels})
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// scrape time. Use when a component maintains its own atomic counts
+// (they predate, or are shared across, registries) and the exposition
+// should still carry counter TYPE semantics; fn must be monotone
+// non-decreasing and race-free like a NewGaugeFunc callback.
+func (r *Registry) NewCounterFunc(name, help, labels string, fn func() int64) {
+	r.register(name, help, kindCounter, &counterFuncSeries{fn: fn, labels: labels})
 }
 
 // NewHistogram registers and returns a histogram with the given bucket
