@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve
+.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke kernel-matrix bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve bench-simd
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,22 @@ cache-smoke:
 	$(GO) test -short -count=1 -run 'Cache|Rescan|Diff|Dirty|Adversarial|WeightChange' ./internal/hsd
 	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=30x ./internal/hsd
 
-verify: build vet test race serve-smoke obs-smoke cache-smoke
+# GEMM kernel matrix: re-run the numeric parity suites with each
+# registered micro-kernel forced via RHSD_GEMM_KERNEL. A kernel the host
+# cannot run is skipped inside the tests with a logged reason (the
+# TestForcedKernelActive gate records that the request was not honored),
+# so the matrix stays green on narrower machines while documenting what
+# was not exercised. The final -race run hammers the atomic kernel
+# dispatch while Gemm calls are in flight.
+kernel-matrix:
+	for k in go go-fma sse avx2 avx512; do \
+		echo "== RHSD_GEMM_KERNEL=$$k =="; \
+		RHSD_GEMM_KERNEL=$$k $(GO) test -count=1 \
+			-run 'Gemm|Conv|Infer|Kernel' ./internal/tensor ./internal/nn || exit 1; \
+	done
+	$(GO) test -race -count=1 -run 'TestGemmKernelDispatchRace' ./internal/tensor
+
+verify: build vet test race serve-smoke obs-smoke cache-smoke kernel-matrix
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -80,3 +95,9 @@ bench-obs:
 # On a host with fewer than two CPUs this records {"status": "skipped"}.
 bench-serve:
 	$(GO) run ./cmd/rhsd-bench -exp serve
+
+# Per-GEMM-kernel throughput, end-to-end detect delta and fused-im2col
+# comparison; writes BENCH_simd.json. On a host without AVX2+FMA this
+# records {"status": "skipped"} naming the missing feature.
+bench-simd:
+	$(GO) run ./cmd/rhsd-bench -exp simd

@@ -5,24 +5,41 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+
+	"rhsd/internal/cpu"
+	"rhsd/internal/tensor"
 )
 
 // hostMeta records the machine context a benchmark ran under. Every bench
 // JSON embeds it: BENCH_parallel.json captured on a 1-CPU host looks like
-// a parallelisation failure unless the reader can see num_cpu was 1.
+// a parallelisation failure unless the reader can see num_cpu was 1, and
+// a GEMM number captured under the scalar fallback kernel looks like a
+// regression unless the reader can see which micro-kernel was active.
 type hostMeta struct {
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	GOARCH     string `json:"goarch"`
-	GOOS       string `json:"goos"`
+	NumCPU      int      `json:"num_cpu"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	GOARCH      string   `json:"goarch"`
+	GOOS        string   `json:"goos"`
+	CPUFeatures []string `json:"cpu_features"`
+	GemmKernel  string   `json:"gemm_kernel"`
+	GemmKernels []string `json:"gemm_kernels_available"`
 }
 
 func collectHostMeta() hostMeta {
+	var avail []string
+	for _, name := range tensor.GemmKernels() {
+		if tensor.GemmKernelAvailable(name) {
+			avail = append(avail, name)
+		}
+	}
 	return hostMeta{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GOARCH:     runtime.GOARCH,
-		GOOS:       runtime.GOOS,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOARCH:      runtime.GOARCH,
+		GOOS:        runtime.GOOS,
+		CPUFeatures: cpu.X86.FeatureList(),
+		GemmKernel:  tensor.GemmKernel(),
+		GemmKernels: avail,
 	}
 }
 

@@ -9,6 +9,7 @@
 //	rhsd-bench -exp scan                # per-tile vs megatile full-chip scan
 //	rhsd-bench -exp obs                 # telemetry-on vs telemetry-off overhead
 //	rhsd-bench -exp serve               # cached serving daemon under load
+//	rhsd-bench -exp simd                # per-GEMM-kernel throughput comparison
 //	rhsd-bench -exp all -out out/
 //
 // The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
@@ -22,10 +23,14 @@
 // and -exp serve drives an in-process detection daemon with the megatile
 // result cache enabled (90% repeat ratio, cold/warm latency percentiles,
 // one incremental ?since= rescan) and writes BENCH_serve.json.
-// All reports embed host metadata (CPU count, GOMAXPROCS, arch).
+// -exp simd measures every GEMM micro-kernel available on the host
+// (packed throughput at the dominant backbone shape, end-to-end Detect
+// delta, fused vs materialized im2col) and writes BENCH_simd.json.
+// All reports embed host metadata (CPU count, GOMAXPROCS, arch, CPU
+// feature flags, active GEMM kernel).
 // On a host with fewer than two CPUs, -exp parallel and -exp serve
 // refuse to emit speedup numbers and record {"status": "skipped"} with
-// the reason instead.
+// the reason instead; -exp simd does the same on hosts without AVX2.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // whatever experiments ran, for offline hot-path diagnosis; -trace
@@ -50,10 +55,11 @@ import (
 	"rhsd/internal/dataset"
 	"rhsd/internal/eval"
 	"rhsd/internal/parallel"
+	"rhsd/internal/tensor"
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, serve, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, serve, simd, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
@@ -65,6 +71,7 @@ func main() {
 	scanOut := flag.String("scan-out", "BENCH_scan.json", "output path for the -exp scan report")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the -exp obs report")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the -exp serve report")
+	simdOut := flag.String("simd-out", "BENCH_simd.json", "output path for the -exp simd report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
@@ -143,7 +150,8 @@ func main() {
 	runScan := *expFlag == "scan" || *expFlag == "all"
 	runObs := *expFlag == "obs" || *expFlag == "all"
 	runServe := *expFlag == "serve" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs && !runServe {
+	runSimd := *expFlag == "simd" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs && !runServe && !runSimd {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
 
@@ -178,6 +186,13 @@ func main() {
 	if runServe {
 		progress(fmt.Sprintf("serving bench: %d workers", parallel.Workers()))
 		if err := runServeBench(p, parallel.Workers(), *serveOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runSimd {
+		progress(fmt.Sprintf("simd kernel bench: %d workers, active kernel %s", parallel.Workers(), tensor.GemmKernel()))
+		if err := runSimdBench(p, parallel.Workers(), *simdOut, progress); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+// simdKernelEntry is one GEMM micro-kernel's measured throughput at the
+// dominant backbone shape plus its end-to-end detection time.
+type simdKernelEntry struct {
+	Name          string  `json:"name"`
+	Family        string  `json:"family"` // "muladd" or "fma"
+	GemmNsPerOp   float64 `json:"gemm_ns_per_op"`
+	GFlops        float64 `json:"gflops"`
+	SpeedupVsSSE  float64 `json:"speedup_vs_sse"` // 0 when sse unavailable
+	DetectNsPerOp float64 `json:"detect_ns_per_op"`
+	DetectVsSSE   float64 `json:"detect_speedup_vs_sse"`
+	AllocsPerOp   int64   `json:"gemm_allocs_per_op"`
+}
+
+// simdBenchReport is the BENCH_simd.json schema: per-kernel GEMM GF/s at
+// the [64 × 576 × 3136] backbone shape, end-to-end DetectRegion deltas,
+// and the fused-vs-materialized im2col comparison under the widest
+// kernel.
+type simdBenchReport struct {
+	Host      hostMeta          `json:"host"`
+	Workers   int               `json:"workers"`
+	GemmShape [3]int            `json:"gemm_shape"` // m, k, n
+	Kernels   []simdKernelEntry `json:"kernels"`
+
+	ConvMaterialized allocBenchEntry `json:"conv_materialized"`
+	ConvFused        allocBenchEntry `json:"conv_fused"`
+	ConvFusedSpeedup float64         `json:"conv_fused_speedup"`
+}
+
+// simdBenchReps is how many times each timed section is repeated; the
+// fastest repetition is reported. Min-of-N is the standard defence
+// against scheduler and thermal noise for wall-clock kernels — the
+// minimum is the run least perturbed by the rest of the machine.
+const simdBenchReps = 3
+
+// measureMin runs f under the benchmark harness reps times and keeps
+// the repetition with the lowest ns/op.
+func measureMin(name string, reps int, f func(b *testing.B)) allocBenchEntry {
+	best := measure(name, f)
+	for i := 1; i < reps; i++ {
+		if e := measure(name, f); e.NsPerOp < best.NsPerOp {
+			best = e
+		}
+	}
+	return best
+}
+
+// runSimdBench measures every GEMM micro-kernel available on this host —
+// packed-GEMM throughput at the dominant backbone shape and the
+// end-to-end detection delta — plus the fused-im2col win, and writes
+// BENCH_simd.json. On a host without AVX2+FMA the vectorised kernels the
+// experiment exists to measure cannot run, so it records a skipped
+// report naming the missing feature instead of emitting scalar numbers
+// under a misleading filename.
+func runSimdBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	if !tensor.GemmKernelAvailable("avx2") {
+		return writeSkipped(outPath,
+			"host lacks AVX2+FMA (or OS support for YMM state); SIMD kernel comparison not measurable", progress)
+	}
+
+	origKernel := tensor.GemmKernel()
+	defer tensor.SetGemmKernel(origKernel)
+
+	report := simdBenchReport{
+		Host:      collectHostMeta(),
+		Workers:   workers,
+		GemmShape: [3]int{64, 64 * 3 * 3, 56 * 56},
+	}
+
+	// Dominant backbone GEMM: [64, 576] × [576, 3136].
+	gm, gk, gn := report.GemmShape[0], report.GemmShape[1], report.GemmShape[2]
+	ga := make([]float32, gm*gk)
+	gb := make([]float32, gk*gn)
+	gc := make([]float32, gm*gn)
+	for i := range ga {
+		ga[i] = float32(i%17) * 0.25
+	}
+	for i := range gb {
+		gb[i] = float32(i%13) * 0.5
+	}
+	flops := 2 * float64(gm) * float64(gk) * float64(gn)
+
+	// Detection bench fixture, shared by every kernel.
+	cfg := p.HSD
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	regionNM := cfg.RegionNM()
+	l := layout.New(layout.R(0, 0, 2*regionNM, 2*regionNM))
+	for x := 40; x < 2*regionNM-110; x += 150 {
+		l.Add(layout.R(x, 30, x+70, 2*regionNM-30))
+	}
+	region := l.Window(layout.R(0, 0, regionNM, regionNM))
+	raster := hsd.MakeSample(region, nil, cfg).Raster
+
+	var sseGemmNs, sseDetectNs float64
+	for _, name := range tensor.GemmKernels() {
+		if !tensor.GemmKernelAvailable(name) {
+			progress(fmt.Sprintf("simd bench: kernel %s unsupported on this host; skipping", name))
+			continue
+		}
+		if _, err := tensor.SetGemmKernel(name); err != nil {
+			return err
+		}
+		gemm := measureMin("gemm_"+name, simdBenchReps, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(false, false, gm, gn, gk, 1, ga, gb, 0, gc)
+			}
+		})
+		m.Detect(raster) // warm-up under this kernel sizes arenas
+		det := measureMin("detect_"+name, simdBenchReps, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Detect(raster)
+			}
+		})
+		e := simdKernelEntry{
+			Name:          name,
+			Family:        tensor.GemmKernelFamily(name),
+			GemmNsPerOp:   gemm.NsPerOp,
+			GFlops:        flops / gemm.NsPerOp,
+			DetectNsPerOp: det.NsPerOp,
+			AllocsPerOp:   gemm.AllocsPerOp,
+		}
+		if name == "sse" {
+			sseGemmNs, sseDetectNs = gemm.NsPerOp, det.NsPerOp
+		}
+		report.Kernels = append(report.Kernels, e)
+		progress(fmt.Sprintf("simd bench %-7s %7.2f GF/s  detect %6.2f ms/op  (%d allocs/op)",
+			name, e.GFlops, det.NsPerOp/1e6, gemm.AllocsPerOp))
+	}
+	if sseGemmNs > 0 {
+		for i := range report.Kernels {
+			report.Kernels[i].SpeedupVsSSE = sseGemmNs / report.Kernels[i].GemmNsPerOp
+			report.Kernels[i].DetectVsSSE = sseDetectNs / report.Kernels[i].DetectNsPerOp
+		}
+	}
+
+	// Fused-vs-materialized im2col under the widest kernel: one 3×3
+	// convolution over a 64×56×56 feature map with bias+ReLU epilogue.
+	if _, err := tensor.SetGemmKernel(origKernel); err != nil {
+		return err
+	}
+	cx := tensor.New(1, 64, 56, 56)
+	cw := tensor.New(64, 64, 3, 3)
+	cbias := tensor.New(64)
+	for i, d := 0, cx.Data(); i < len(d); i++ {
+		d[i] = float32(i%11) * 0.1
+	}
+	for i, d := 0, cw.Data(); i < len(d); i++ {
+		d[i] = float32(i%7) * 0.2
+	}
+	copts := tensor.ConvOpts{Kernel: 3, Stride: 1, Padding: 1}
+	ep := tensor.Epilogue{Bias: cbias, Act: true}
+	ws := tensor.NewWorkspace()
+
+	prevFused := tensor.SetConvFusedIm2col(false)
+	report.ConvMaterialized = measureMin("conv2d_materialized", simdBenchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws.Reset()
+			tensor.Conv2DInfer(ws, cx, cw, copts, ep)
+		}
+	})
+	tensor.SetConvFusedIm2col(true)
+	wsFused := tensor.NewWorkspace() // fresh arena: never allocates the col class
+	report.ConvFused = measureMin("conv2d_fused", simdBenchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wsFused.Reset()
+			tensor.Conv2DInfer(wsFused, cx, cw, copts, ep)
+		}
+	})
+	tensor.SetConvFusedIm2col(prevFused)
+	if report.ConvFused.NsPerOp > 0 {
+		report.ConvFusedSpeedup = report.ConvMaterialized.NsPerOp / report.ConvFused.NsPerOp
+	}
+	progress(fmt.Sprintf("simd bench conv im2col: materialized %6.2f ms/op → fused %6.2f ms/op (%.2fx)",
+		report.ConvMaterialized.NsPerOp/1e6, report.ConvFused.NsPerOp/1e6, report.ConvFusedSpeedup))
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

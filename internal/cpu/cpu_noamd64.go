@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package cpu
+
+// Non-x86 architectures report no x86 features; kernel dispatch falls
+// back to the portable implementations. (GOAMD64 floors are meaningless
+// here, so init is a no-op.)
+func init() {}

@@ -1,0 +1,58 @@
+package cpu
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestFeatureImplications checks internal consistency of the detected
+// flags: the wider sets imply the narrower ones on any real machine
+// (and on amd64, SSE2 is an architectural baseline).
+func TestFeatureImplications(t *testing.T) {
+	f := X86
+	if runtime.GOARCH == "amd64" && !f.SSE2 {
+		t.Fatalf("amd64 host without SSE2: %+v", f)
+	}
+	if f.AVX2 && !f.AVX {
+		t.Errorf("AVX2 without AVX: %+v", f)
+	}
+	if f.AVX512F && !f.AVX2 {
+		// Every shipped AVX-512 part implements AVX2; a violation here
+		// means the XCR0/CPUID plumbing disagrees with itself.
+		t.Errorf("AVX512F without AVX2: %+v", f)
+	}
+	if f.HasAVX512() && !f.HasAVX2FMA() {
+		t.Errorf("HasAVX512 but not HasAVX2FMA: %+v", f)
+	}
+	t.Logf("detected: %v", f.FeatureList())
+}
+
+// TestFeatureListStable pins the tag set: sorted, no duplicates, and
+// consistent with the boolean flags.
+func TestFeatureListStable(t *testing.T) {
+	tags := X86.FeatureList()
+	seen := map[string]bool{}
+	for i, tag := range tags {
+		if seen[tag] {
+			t.Fatalf("duplicate tag %q in %v", tag, tags)
+		}
+		seen[tag] = true
+		if i > 0 && tags[i-1] > tag {
+			t.Fatalf("tags not sorted: %v", tags)
+		}
+	}
+	if seen["avx2"] != X86.AVX2 || seen["fma"] != X86.FMA || seen["avx512f"] != X86.AVX512F {
+		t.Fatalf("tag set %v inconsistent with flags %+v", tags, X86)
+	}
+}
+
+// TestGoamd64Floor checks the build-level floor raises flags
+// monotonically and never lowers one already set.
+func TestGoamd64Floor(t *testing.T) {
+	var f X86Features
+	f.AVX512F = true
+	goamd64Floor(&f)
+	if !f.AVX512F {
+		t.Fatal("goamd64Floor cleared a detected flag")
+	}
+}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/tensor"
+)
+
+// TestInferMatchesForwardAcrossKernels re-proves the Infer ≡ Forward
+// contract under every GEMM micro-kernel available on this host, at a
+// scale where the packed path (and hence the SIMD kernels) actually
+// engages. Forward and Infer both route through the same active kernel,
+// so each forced kernel must keep them bit-identical; across kernels of
+// one rounding family the network output must itself be bit-stable.
+func TestInferMatchesForwardAcrossKernels(t *testing.T) {
+	origKernel := tensor.GemmKernel()
+	defer tensor.SetGemmKernel(origKernel)
+
+	rng := rand.New(rand.NewSource(17))
+	net := NewSequential(
+		NewConv2D("c1", 3, 16, 3, 1, 1, rng),
+		NewLeakyReLU(0.05),
+		NewConv2D("c2", 16, 32, 3, 1, 1, rng), // 32·784·144 ≈ 3.6M flops: packed path
+		NewLeakyReLU(0.05),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense("fc", 32*14*14, 5, rng),
+	)
+	x := tensor.New(1, 3, 28, 28)
+	for i := range x.Data() {
+		x.Data()[i] = float32(rng.NormFloat64())
+	}
+
+	perFamily := map[string][]float32{}
+	owner := map[string]string{}
+	tested := 0
+	for _, name := range tensor.GemmKernels() {
+		if !tensor.GemmKernelAvailable(name) {
+			t.Logf("kernel %s unsupported on this CPU; skipping", name)
+			continue
+		}
+		if _, err := tensor.SetGemmKernel(name); err != nil {
+			t.Fatalf("SetGemmKernel(%q): %v", name, err)
+		}
+		tested++
+
+		want := net.Forward(x)
+		ws := tensor.NewWorkspace()
+		got := net.Infer(x, ws)
+		assertSameTensor(t, "infer under kernel "+name, want, got)
+
+		fam := tensor.GemmKernelFamily(name)
+		out := append([]float32(nil), got.Data()...)
+		if prevOut, ok := perFamily[fam]; ok {
+			for i := range out {
+				if math.Float32bits(out[i]) != math.Float32bits(prevOut[i]) {
+					t.Fatalf("family %q: kernels %s and %s disagree at output %d: %v vs %v",
+						fam, name, owner[fam], i, out[i], prevOut[i])
+				}
+			}
+		} else {
+			perFamily[fam] = out
+			owner[fam] = name
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no GEMM kernels available")
+	}
+}

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rhsd/internal/parallel"
 )
@@ -173,6 +174,22 @@ func Conv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tensor
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	kk := c * o.Kernel * o.Kernel
 	out := ws.Tensor(n, oc, oh, ow)
+	if convFusedEligible(oc, oh*ow, kk) {
+		// Fused path: B panels are packed straight from the image inside
+		// the packed GEMM (bSource.packIm2col), so the lowered column
+		// matrix is never materialized — one full write+read of
+		// kk·oh·ow floats per item is skipped, and the workspace never
+		// even allocates that size class.
+		if n == 1 || parallel.Workers() == 1 {
+			conv2dInferItemsFused(x.data, wgt.data, out.data, c, h, w, oc, kk, o, 0, n)
+		} else {
+			parallel.For(n, 1, func(n0, n1 int) {
+				conv2dInferItemsFused(x.data, wgt.data, out.data, c, h, w, oc, kk, o, n0, n1)
+			})
+		}
+		epilogueSweep(out, ep)
+		return out
+	}
 	// One cols buffer for the whole batch, sliced per item: workspace
 	// calls must stay outside the parallel region.
 	colsAll := ws.Get(n * kk * oh * ow)
@@ -185,6 +202,40 @@ func Conv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tensor
 	}
 	epilogueSweep(out, ep)
 	return out
+}
+
+// convFusedEnabled gates the fused im2col→packB path; on by default,
+// SetConvFusedIm2col turns it off for benchmark baselines and triage.
+var convFusedEnabled atomic.Bool
+
+func init() { convFusedEnabled.Store(true) }
+
+// SetConvFusedIm2col enables or disables fusing im2col into the packed
+// GEMM's B packer for inference convolutions, returning the previous
+// setting. Both paths are bit-identical (TestConvInferFusedMatches
+// Materialized); the toggle exists so the memory-traffic win stays
+// measurable (`rhsd-bench -exp simd`) and as an operational chicken bit.
+func SetConvFusedIm2col(on bool) (prev bool) {
+	return convFusedEnabled.Swap(on)
+}
+
+// convFusedEligible mirrors Gemm's packed-path cutoff: below it the
+// product runs the unblocked row kernel, which needs the materialized
+// column matrix. The condition depends only on the problem shape, so
+// fused and materialized dispatch stay bit-identical per shape.
+func convFusedEligible(m, n, k int) bool {
+	return convFusedEnabled.Load() && m*n*k >= gemmPackedMinFlops
+}
+
+// conv2dInferItemsFused multiplies batch items [n0, n1) with B panels
+// packed directly from each image.
+func conv2dInferItemsFused(xd, wd, od []float32, c, h, w, oc, kk int, o ConvOpts, n0, n1 int) {
+	oh, ow := o.OutDim(h), o.OutDim(w)
+	for i := n0; i < n1; i++ {
+		bs := im2colB(xd[i*c*h*w:(i+1)*c*h*w], c, h, w, o)
+		dst := od[i*oc*oh*ow : (i+1)*oc*oh*ow]
+		gemmPackedWith(gemmActive.Load(), false, oc, oh*ow, kk, 1, wd, bs, 0, dst)
+	}
 }
 
 // conv2dInferItems lowers and multiplies batch items [n0, n1).

@@ -1,22 +1,84 @@
 package tensor
 
-// gemmMicro4x8 dispatches to the SSE micro-kernel. MULPS/ADDPS round each
-// lane exactly like the scalar mul-then-add of gemmMicro4x8Go (no FMA
-// contraction), so the asm and portable kernels are bit-identical and the
-// cross-worker determinism contract is unaffected by the architecture.
-func gemmMicro4x8(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
+import "rhsd/internal/cpu"
+
+// amd64 micro-kernel registrations. SSE2 is architectural baseline;
+// AVX2/AVX-512 are gated on runtime CPUID + OS state (internal/cpu).
+//
+// Geometry notes:
+//   - sse 4×8: the historic kernel — two 4-lane XMM vectors per row,
+//     MULPS/ADDPS (muladd family).
+//   - avx2 6×16: 12 YMM accumulators (6 rows × two 8-lane vectors),
+//     2 B loads + 1 broadcast = 15 of 16 registers, VFMADD231PS.
+//   - avx512 8×32: 16 ZMM accumulators (8 rows × two 16-lane vectors),
+//     using Z16–Z18 for loads/broadcast (EVEX gives 32 registers).
+//
+// KC is identical across kernels so the two rounding families stay
+// internally bit-stable (see gemm_kernel.go).
+var archKernels = []*gemmKernel{
+	{name: "sse", kind: microSSE4x8, ref: microGo4x8, mr: 4, nr: 8, kc: 256, nc: 128},
+	{name: "avx2", kind: microAVX2x6x16, ref: microGoFMA, mr: 6, nr: 16, kc: 256, nc: 128, fma: true},
+	{name: "avx512", kind: microAVX512x8x32, ref: microGoFMA, mr: 8, nr: 32, kc: 256, nc: 128, fma: true},
+}
+
+// archPreferred orders the default selection widest-first.
+var archPreferred = []string{"avx512", "avx2", "sse"}
+
+func archKernelUsable(kr *gemmKernel) bool {
+	switch kr.kind {
+	case microAVX2x6x16:
+		return cpu.X86.HasAVX2FMA()
+	case microAVX512x8x32:
+		return cpu.X86.HasAVX512()
+	default:
+		return true
+	}
+}
+
+// gemmMicroRun executes one micro-kernel invocation:
+// acc[r*nr+s] = Σ_p pa[p*mr+r]·pb[p*nr+s] over kc packed steps,
+// overwriting (not accumulating into) the mr×nr tile prefix of acc.
+// Dispatch is a static switch (see microKind) so the accumulator never
+// escapes to the heap.
+func gemmMicroRun(kind microKind, mr, nr, kc int, pa, pb []float32, acc *[gemmMaxTile]float32) {
 	if kc <= 0 {
-		for i := range acc {
-			acc[i] = 0
+		tile := acc[:mr*nr]
+		for i := range tile {
+			tile[i] = 0
 		}
 		return
 	}
-	_ = pa[kc*gemmMR-1]
-	_ = pb[kc*gemmNR-1]
-	gemmMicro4x8SSE(kc, &pa[0], &pb[0], acc)
+	switch kind {
+	case microGo4x8:
+		gemmMicro4x8Go(kc, pa, pb, acc)
+	case microGoFMA:
+		gemmMicroGoFMARef(mr, nr, kc, pa, pb, acc)
+	case microSSE4x8:
+		_ = pa[kc*4-1]
+		_ = pb[kc*8-1]
+		gemmMicro4x8SSE(kc, &pa[0], &pb[0], acc)
+	case microAVX2x6x16:
+		_ = pa[kc*6-1]
+		_ = pb[kc*16-1]
+		gemmMicroAVX2(kc, &pa[0], &pb[0], acc)
+	case microAVX512x8x32:
+		_ = pa[kc*8-1]
+		_ = pb[kc*32-1]
+		gemmMicroAVX512(kc, &pa[0], &pb[0], acc)
+	default:
+		panic("tensor: unknown micro-kernel kind")
+	}
 }
 
-// gemmMicro4x8SSE is implemented in gemm_micro_amd64.s.
+// Assembly micro-kernels (gemm_micro_amd64.s). Each overwrites the
+// leading mr×nr floats of acc; MULPS/ADDPS for SSE (muladd family),
+// VFMADD231PS for AVX2/AVX-512 (fma family).
 //
 //go:noescape
-func gemmMicro4x8SSE(kc int, pa, pb *float32, acc *[gemmMR * gemmNR]float32)
+func gemmMicro4x8SSE(kc int, pa, pb *float32, acc *[gemmMaxTile]float32)
+
+//go:noescape
+func gemmMicroAVX2(kc int, pa, pb *float32, acc *[gemmMaxTile]float32)
+
+//go:noescape
+func gemmMicroAVX512(kc int, pa, pb *float32, acc *[gemmMaxTile]float32)

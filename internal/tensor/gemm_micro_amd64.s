@@ -80,3 +80,174 @@ loop:
 	MOVUPS X6, 96(DX)
 	MOVUPS X7, 112(DX)
 	RET
+
+// AVX2+FMA micro-kernel: a 6×16 register tile accumulated over kc packed
+// steps.
+//
+//   acc[r*16+s] = Σ_p pa[p*6+r] · pb[p*16+s]
+//
+// The 6×16 tile lives in Y0–Y11 (two 8-lane vectors per row). Each step
+// loads one 16-wide B slice (Y12, Y13), broadcasts the 6 A values in
+// turn (Y14) and issues VFMADD231PS — one rounding per step, exactly the
+// semantics of the math.FMA Go reference (gemmMicroGoFMARef).
+//
+// func gemmMicroAVX2(kc int, pa, pb *float32, acc *[256]float32)
+TEXT ·gemmMicroAVX2(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+avx2loop:
+	VMOVUPS (DI), Y12        // b0..b7
+	VMOVUPS 32(DI), Y13      // b8..b15
+
+	VBROADCASTSS (SI), Y14   // a0
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+
+	VBROADCASTSS 4(SI), Y14  // a1
+	VFMADD231PS  Y12, Y14, Y2
+	VFMADD231PS  Y13, Y14, Y3
+
+	VBROADCASTSS 8(SI), Y14  // a2
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+
+	VBROADCASTSS 12(SI), Y14 // a3
+	VFMADD231PS  Y12, Y14, Y6
+	VFMADD231PS  Y13, Y14, Y7
+
+	VBROADCASTSS 16(SI), Y14 // a4
+	VFMADD231PS  Y12, Y14, Y8
+	VFMADD231PS  Y13, Y14, Y9
+
+	VBROADCASTSS 20(SI), Y14 // a5
+	VFMADD231PS  Y12, Y14, Y10
+	VFMADD231PS  Y13, Y14, Y11
+
+	ADDQ $24, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  avx2loop
+
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VMOVUPS Y8, 256(DX)
+	VMOVUPS Y9, 288(DX)
+	VMOVUPS Y10, 320(DX)
+	VMOVUPS Y11, 352(DX)
+	VZEROUPPER
+	RET
+
+// AVX-512F micro-kernel: an 8×32 register tile accumulated over kc
+// packed steps.
+//
+//   acc[r*32+s] = Σ_p pa[p*8+r] · pb[p*32+s]
+//
+// The 8×32 tile lives in Z0–Z15 (two 16-lane vectors per row); Z16/Z17
+// hold the current 32-wide B slice and Z18 the broadcast A value. Same
+// FMA rounding family as the AVX2 kernel and the math.FMA reference.
+//
+// func gemmMicroAVX512(kc int, pa, pb *float32, acc *[256]float32)
+TEXT ·gemmMicroAVX512(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	VPXORQ Z8, Z8, Z8
+	VPXORQ Z9, Z9, Z9
+	VPXORQ Z10, Z10, Z10
+	VPXORQ Z11, Z11, Z11
+	VPXORQ Z12, Z12, Z12
+	VPXORQ Z13, Z13, Z13
+	VPXORQ Z14, Z14, Z14
+	VPXORQ Z15, Z15, Z15
+
+avx512loop:
+	VMOVUPS (DI), Z16        // b0..b15
+	VMOVUPS 64(DI), Z17      // b16..b31
+
+	VBROADCASTSS (SI), Z18   // a0
+	VFMADD231PS  Z16, Z18, Z0
+	VFMADD231PS  Z17, Z18, Z1
+
+	VBROADCASTSS 4(SI), Z18  // a1
+	VFMADD231PS  Z16, Z18, Z2
+	VFMADD231PS  Z17, Z18, Z3
+
+	VBROADCASTSS 8(SI), Z18  // a2
+	VFMADD231PS  Z16, Z18, Z4
+	VFMADD231PS  Z17, Z18, Z5
+
+	VBROADCASTSS 12(SI), Z18 // a3
+	VFMADD231PS  Z16, Z18, Z6
+	VFMADD231PS  Z17, Z18, Z7
+
+	VBROADCASTSS 16(SI), Z18 // a4
+	VFMADD231PS  Z16, Z18, Z8
+	VFMADD231PS  Z17, Z18, Z9
+
+	VBROADCASTSS 20(SI), Z18 // a5
+	VFMADD231PS  Z16, Z18, Z10
+	VFMADD231PS  Z17, Z18, Z11
+
+	VBROADCASTSS 24(SI), Z18 // a6
+	VFMADD231PS  Z16, Z18, Z12
+	VFMADD231PS  Z17, Z18, Z13
+
+	VBROADCASTSS 28(SI), Z18 // a7
+	VFMADD231PS  Z16, Z18, Z14
+	VFMADD231PS  Z17, Z18, Z15
+
+	ADDQ $32, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  avx512loop
+
+	VMOVUPS Z0, (DX)
+	VMOVUPS Z1, 64(DX)
+	VMOVUPS Z2, 128(DX)
+	VMOVUPS Z3, 192(DX)
+	VMOVUPS Z4, 256(DX)
+	VMOVUPS Z5, 320(DX)
+	VMOVUPS Z6, 384(DX)
+	VMOVUPS Z7, 448(DX)
+	VMOVUPS Z8, 512(DX)
+	VMOVUPS Z9, 576(DX)
+	VMOVUPS Z10, 640(DX)
+	VMOVUPS Z11, 704(DX)
+	VMOVUPS Z12, 768(DX)
+	VMOVUPS Z13, 832(DX)
+	VMOVUPS Z14, 896(DX)
+	VMOVUPS Z15, 960(DX)
+	VZEROUPPER
+	RET

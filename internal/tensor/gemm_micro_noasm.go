@@ -2,8 +2,38 @@
 
 package tensor
 
-// gemmMicro4x8 falls back to the portable kernel on architectures without
-// an assembly implementation.
-func gemmMicro4x8(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
-	gemmMicro4x8Go(kc, pa, pb, acc)
+// No assembly kernels off amd64: only the portable implementations are
+// registered and the historic "go" kernel stays the default, so results
+// on these architectures are unchanged.
+var archKernels []*gemmKernel
+
+var archPreferred []string
+
+func archKernelUsable(kr *gemmKernel) bool {
+	switch kr.kind {
+	case microGo4x8, microGoFMA:
+		return true
+	default:
+		return false
+	}
+}
+
+// gemmMicroRun executes one micro-kernel invocation (see the amd64
+// variant for the contract).
+func gemmMicroRun(kind microKind, mr, nr, kc int, pa, pb []float32, acc *[gemmMaxTile]float32) {
+	if kc <= 0 {
+		tile := acc[:mr*nr]
+		for i := range tile {
+			tile[i] = 0
+		}
+		return
+	}
+	switch kind {
+	case microGo4x8:
+		gemmMicro4x8Go(kc, pa, pb, acc)
+	case microGoFMA:
+		gemmMicroGoFMARef(mr, nr, kc, pa, pb, acc)
+	default:
+		panic("tensor: unknown micro-kernel kind")
+	}
 }

@@ -8,7 +8,9 @@ import (
 
 // Packed cache-blocked GEMM (BLIS-style). op(A) and op(B) are repacked
 // into contiguous panels sized for cache residency and swept by a
-// register-blocked 4×8 micro-kernel:
+// register-blocked micro-kernel whose geometry (MR×NR register tile,
+// KC/NC cache blocking) comes from the runtime-selected kernel
+// (gemm_kernel.go):
 //
 //   - A is packed once, alpha folded in, as MR-wide row panels grouped by
 //     KC-deep k-blocks. The whole packed A is reused by every column
@@ -17,20 +19,19 @@ import (
 //     over the worker pool and each concurrent worker packs B panels for
 //     its current block into a private per-slot buffer (no locking,
 //     parallel.ForIndexed provides the slot id).
-//   - For each (k-block, column block) the micro-kernel accumulates a
-//     4×8 register tile over the packed panels and adds it into C.
+//   - For each (k-block, column block) the micro-kernel accumulates an
+//     MR×NR register tile over the packed panels and adds it into C.
 //
-// Determinism: the block geometry (MR/NR/KC/NC) is fixed and the k-blocks
+// B panels are produced by a bSource, which is either a dense matrix
+// (plain Gemm) or a virtual im2col lowering of an image (the fused
+// inference-conv path, conv_infer.go) — the panel values are identical
+// either way, so fusing changes memory traffic, never results.
+//
+// Determinism: the block geometry is fixed per kernel and the k-blocks
 // of one output element are always accumulated in ascending order by the
 // single worker that owns the element's column block, so the result is
 // bit-identical for every worker count. Only the grouping of the k-sum
 // differs from the unblocked kernel, so the two agree to rounding.
-const (
-	gemmMR = 4   // micro-kernel rows (register tile height)
-	gemmNR = 8   // micro-kernel cols (register tile width)
-	gemmKC = 256 // k-block depth: one A panel (KC·MR) ≈ 4 KB, L1-resident
-	gemmNC = 128 // column-block width: one packed B block (KC·NC) = 128 KB
-)
 
 // packBufPool recycles pack buffers across Gemm calls so steady-state
 // inference performs no heap allocations. Buffers are binned by
@@ -91,15 +92,201 @@ func sizeClass(n int) int {
 	return class
 }
 
+// bSource describes where B panels come from. It is passed by value
+// everywhere (including into the parallel closure) so the serial path
+// never heap-allocates: capturing its address would force the whole
+// struct onto the heap on every call (escape analysis is
+// path-insensitive, see DESIGN §10).
+type bSource struct {
+	im2col bool
+	trans  bool      // dense only: B stored n×k instead of k×n
+	data   []float32 // dense matrix, or [c,h,w] image planes for im2col
+	k, n   int       // op(B) dimensions
+	// im2col fields: op(B)[row, j] = image[ch, oy·stride+ky-pad,
+	// ox·stride+kx-pad] with row = (ch·K+ky)·K+kx and j = oy·ow+ox,
+	// zero outside the image — exactly the matrix im2colInto
+	// materializes, produced panel-by-panel on the fly instead.
+	c, h, w, ow int
+	o           ConvOpts
+}
+
+func denseB(trans bool, k, n int, b []float32) bSource {
+	return bSource{trans: trans, data: b, k: k, n: n}
+}
+
+func im2colB(x []float32, c, h, w int, o ConvOpts) bSource {
+	return bSource{
+		im2col: true,
+		data:   x,
+		k:      c * o.Kernel * o.Kernel,
+		n:      o.OutDim(h) * o.OutDim(w),
+		c:      c, h: h, w: w, ow: o.OutDim(w),
+		o: o,
+	}
+}
+
+// pack lays the (pc..pc+kc, jc..jc+nc) block of op(B) out as
+// [nPanels][KC·NR] panels: within a panel, element (p, s) holds
+// op(B)[pc+p, j0+s]. Columns beyond the block pad with zeros.
+func (bs bSource) pack(kr *gemmKernel, pb []float32, jc, nc, pc, kc int) {
+	if bs.im2col {
+		bs.packIm2col(kr, pb, jc, nc, pc, kc)
+		return
+	}
+	nr, kcStride := kr.nr, kr.kc
+	k, n, b := bs.k, bs.n, bs.data
+	nPanels := (nc + nr - 1) / nr
+	for np := 0; np < nPanels; np++ {
+		dst := pb[np*kcStride*nr:]
+		j0 := jc + np*nr
+		if j0+nr <= jc+nc {
+			if bs.trans {
+				for p := 0; p < kc; p++ {
+					d := dst[p*nr : p*nr+nr]
+					for s := range d {
+						d[s] = b[(j0+s)*k+pc+p]
+					}
+				}
+			} else {
+				for p := 0; p < kc; p++ {
+					brow := b[(pc+p)*n+j0:]
+					copy(dst[p*nr:p*nr+nr], brow[:nr])
+				}
+			}
+			continue
+		}
+		for p := 0; p < kc; p++ {
+			for s := 0; s < nr; s++ {
+				j := j0 + s
+				var v float32
+				if j < jc+nc {
+					if bs.trans {
+						v = b[j*k+pc+p]
+					} else {
+						v = b[(pc+p)*n+j]
+					}
+				}
+				dst[p*nr+s] = v
+			}
+		}
+	}
+}
+
+// packIm2col packs B panels straight from the image, skipping the
+// materialized column matrix entirely: each element is computed from the
+// (channel, ky, kx) row decomposition and the (oy, ox) output pixel the
+// column index names. Values — including the zero padding of
+// out-of-image taps and of columns beyond the block — are identical to
+// running packB over im2colInto's output, which is what keeps the fused
+// and materialized conv paths bit-identical.
+func (bs bSource) packIm2col(kr *gemmKernel, pb []float32, jc, nc, pc, kc int) {
+	nr, kcStride := kr.nr, kr.kc
+	o := bs.o
+	kern, stride := o.Kernel, o.Stride
+	h, w, ow := bs.h, bs.w, bs.ow
+	x := bs.data
+	nPanels := (nc + nr - 1) / nr
+	for np := 0; np < nPanels; np++ {
+		dst := pb[np*kcStride*nr:]
+		j0 := jc + np*nr
+		cols := jc + nc - j0
+		if cols > nr {
+			cols = nr
+		}
+		// Decompose the panel's starting row and column once, then walk
+		// both incrementally — no div/mod in the element loops.
+		ch := pc / (kern * kern)
+		rem := pc - ch*kern*kern
+		ky := rem / kern
+		kx := rem - ky*kern
+		oy0 := j0 / ow
+		ox0 := j0 - oy0*ow
+		for p := 0; p < kc; p++ {
+			d := dst[p*nr : p*nr+nr]
+			base := ch * h * w
+			dy := ky - o.Padding
+			dx := kx - o.Padding
+			oy, ox := oy0, ox0
+			// Walk the panel row in output-row segments: within one
+			// segment sy is fixed, so padding resolves to zero-fills and
+			// — at stride 1, the dominant conv geometry — the interior is
+			// one contiguous copy from the image row, the same memmove
+			// fast path the dense packer and im2colChans enjoy.
+			for s := 0; s < cols; {
+				seg := ow - ox
+				if seg > cols-s {
+					seg = cols - s
+				}
+				sy := oy*stride + dy
+				switch {
+				case sy < 0 || sy >= h:
+					for e := 0; e < seg; e++ {
+						d[s+e] = 0
+					}
+				case stride == 1:
+					srow := x[base+sy*w : base+sy*w+w]
+					sx := ox + dx
+					e := 0
+					for ; e < seg && sx < 0; e++ {
+						d[s+e] = 0
+						sx++
+					}
+					if run := min(seg-e, w-sx); run > 0 {
+						copy(d[s+e:s+e+run], srow[sx:sx+run])
+						e += run
+					}
+					for ; e < seg; e++ {
+						d[s+e] = 0
+					}
+				default:
+					srow := x[base+sy*w : base+sy*w+w]
+					for e := 0; e < seg; e++ {
+						sx := (ox+e)*stride + dx
+						if sx >= 0 && sx < w {
+							d[s+e] = srow[sx]
+						} else {
+							d[s+e] = 0
+						}
+					}
+				}
+				s += seg
+				ox = 0
+				oy++
+			}
+			for s := cols; s < nr; s++ {
+				d[s] = 0
+			}
+			kx++
+			if kx == kern {
+				kx = 0
+				ky++
+				if ky == kern {
+					ky = 0
+					ch++
+				}
+			}
+		}
+	}
+}
+
 func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
-	mPanels := (m + gemmMR - 1) / gemmMR
-	kBlocks := (k + gemmKC - 1) / gemmKC
-	nBlocks := (n + gemmNC - 1) / gemmNC
+	gemmPackedWith(gemmActive.Load(), transA, m, n, k, alpha, a, denseB(transB, k, n, b), beta, c)
+}
 
-	pa := packBufGet(kBlocks * mPanels * gemmKC * gemmMR)
-	packA(transA, m, k, alpha, a, pa)
+// gemmPackedWith runs the packed sweep with an explicit kernel and B
+// source; the parity suites use it to pin asm kernels against their
+// portable reference twins on identical geometry.
+func gemmPackedWith(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a []float32, bs bSource, beta float32, c []float32) {
+	mPanels := (m + kr.mr - 1) / kr.mr
+	kBlocks := (k + kr.kc - 1) / kr.kc
+	nBlocks := (n + kr.nc - 1) / kr.nc
 
-	const pbStride = gemmKC * gemmNC
+	pa := packBufGet(kBlocks * mPanels * kr.kc * kr.mr)
+	packA(kr, transA, m, k, alpha, a, pa)
+
+	// One pack buffer per worker slot; nc is a multiple of nr for every
+	// registered kernel, so kc·nc floats hold a block's panels exactly.
+	pbStride := kr.kc * kr.nc
 	slots := parallel.Slots(nBlocks, 1)
 	pbAll := packBufGet(slots * pbStride)
 
@@ -108,11 +295,11 @@ func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 		// creating a closure (which Go heap-allocates unconditionally
 		// because it may flow to a goroutine) — this keeps single-worker
 		// inference allocation-free.
-		gemmPackedBlocks(transB, m, n, k, beta, b, c, pa, pbAll, kBlocks, mPanels, 0, nBlocks)
+		gemmPackedBlocks(kr, bs, m, n, k, beta, c, pa, pbAll, kBlocks, mPanels, 0, nBlocks)
 	} else {
 		parallel.ForIndexed(nBlocks, 1, func(slot, b0, b1 int) {
 			pb := pbAll[slot*pbStride : (slot+1)*pbStride]
-			gemmPackedBlocks(transB, m, n, k, beta, b, c, pa, pb, kBlocks, mPanels, b0, b1)
+			gemmPackedBlocks(kr, bs, m, n, k, beta, c, pa, pb, kBlocks, mPanels, b0, b1)
 		})
 	}
 
@@ -122,38 +309,39 @@ func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 
 // gemmPackedBlocks sweeps column blocks [b0, b1) using the private pack
 // buffer pb for B panels.
-func gemmPackedBlocks(transB bool, m, n, k int, beta float32, b, c, pa, pb []float32, kBlocks, mPanels, b0, b1 int) {
+func gemmPackedBlocks(kr *gemmKernel, bs bSource, m, n, k int, beta float32, c, pa, pb []float32, kBlocks, mPanels, b0, b1 int) {
+	mr, nr := kr.mr, kr.nr
 	for blk := b0; blk < b1; blk++ {
-		jc := blk * gemmNC
+		jc := blk * kr.nc
 		nc := n - jc
-		if nc > gemmNC {
-			nc = gemmNC
+		if nc > kr.nc {
+			nc = kr.nc
 		}
-		nPanels := (nc + gemmNR - 1) / gemmNR
+		nPanels := (nc + nr - 1) / nr
 		for kb := 0; kb < kBlocks; kb++ {
-			pc := kb * gemmKC
+			pc := kb * kr.kc
 			kc := k - pc
-			if kc > gemmKC {
-				kc = gemmKC
+			if kc > kr.kc {
+				kc = kr.kc
 			}
-			packB(transB, k, n, jc, nc, pc, kc, b, pb)
+			bs.pack(kr, pb, jc, nc, pc, kc)
 			first := kb == 0
 			for mp := 0; mp < mPanels; mp++ {
-				paPanel := pa[(kb*mPanels+mp)*gemmKC*gemmMR:]
-				i0 := mp * gemmMR
+				paPanel := pa[(kb*mPanels+mp)*kr.kc*mr:]
+				i0 := mp * mr
 				mi := m - i0
-				if mi > gemmMR {
-					mi = gemmMR
+				if mi > mr {
+					mi = mr
 				}
 				for np := 0; np < nPanels; np++ {
-					j0 := jc + np*gemmNR
-					nj := n - j0
-					if nj > gemmNR {
-						nj = gemmNR
+					j0 := jc + np*nr
+					nj := jc + nc - j0
+					if nj > nr {
+						nj = nr
 					}
-					var acc [gemmMR * gemmNR]float32
-					gemmMicro4x8(kc, paPanel, pb[np*gemmKC*gemmNR:], &acc)
-					storeTile(c, n, i0, j0, mi, nj, &acc, first, beta)
+					var acc [gemmMaxTile]float32
+					gemmMicroRun(kr.kind, mr, nr, kc, paPanel, pb[np*kr.kc*nr:], &acc)
+					storeTile(c, n, i0, j0, mi, nj, nr, &acc, first, beta)
 				}
 			}
 		}
@@ -163,44 +351,39 @@ func gemmPackedBlocks(transB bool, m, n, k int, beta float32, b, c, pa, pb []flo
 // packA lays op(A) out as [kBlocks][mPanels][KC·MR] panels with alpha
 // folded in: within a panel, element (p, r) holds alpha·op(A)[i0+r, pc+p].
 // Rows beyond m pad with zeros so the micro-kernel needs no row tail.
-func packA(transA bool, m, k int, alpha float32, a []float32, pa []float32) {
-	mPanels := (m + gemmMR - 1) / gemmMR
-	for kb, pc := 0, 0; pc < k; kb, pc = kb+1, pc+gemmKC {
+func packA(kr *gemmKernel, transA bool, m, k int, alpha float32, a []float32, pa []float32) {
+	mr, kcMax := kr.mr, kr.kc
+	mPanels := (m + mr - 1) / mr
+	for kb, pc := 0, 0; pc < k; kb, pc = kb+1, pc+kcMax {
 		kc := k - pc
-		if kc > gemmKC {
-			kc = gemmKC
+		if kc > kcMax {
+			kc = kcMax
 		}
 		for mp := 0; mp < mPanels; mp++ {
-			dst := pa[(kb*mPanels+mp)*gemmKC*gemmMR:]
-			i0 := mp * gemmMR
-			if i0+gemmMR <= m {
-				// Full panel: no row bounds checks in the copy loop.
+			dst := pa[(kb*mPanels+mp)*kcMax*mr:]
+			i0 := mp * mr
+			if i0+mr <= m {
+				// Full panel: no row bounds checks in the copy loops.
 				if transA {
 					for p := 0; p < kc; p++ {
-						arow := a[(pc+p)*m+i0:]
-						d := dst[p*gemmMR:]
-						d[0] = alpha * arow[0]
-						d[1] = alpha * arow[1]
-						d[2] = alpha * arow[2]
-						d[3] = alpha * arow[3]
+						arow := a[(pc+p)*m+i0 : (pc+p)*m+i0+mr]
+						d := dst[p*mr : p*mr+mr]
+						for r, v := range arow {
+							d[r] = alpha * v
+						}
 					}
 				} else {
-					a0 := a[i0*k:]
-					a1 := a[(i0+1)*k:]
-					a2 := a[(i0+2)*k:]
-					a3 := a[(i0+3)*k:]
-					for p := 0; p < kc; p++ {
-						d := dst[p*gemmMR:]
-						d[0] = alpha * a0[pc+p]
-						d[1] = alpha * a1[pc+p]
-						d[2] = alpha * a2[pc+p]
-						d[3] = alpha * a3[pc+p]
+					for r := 0; r < mr; r++ {
+						src := a[(i0+r)*k+pc : (i0+r)*k+pc+kc]
+						for p, v := range src {
+							dst[p*mr+r] = alpha * v
+						}
 					}
 				}
 				continue
 			}
 			for p := 0; p < kc; p++ {
-				for r := 0; r < gemmMR; r++ {
+				for r := 0; r < mr; r++ {
 					i := i0 + r
 					var v float32
 					if i < m {
@@ -210,71 +393,55 @@ func packA(transA bool, m, k int, alpha float32, a []float32, pa []float32) {
 							v = a[i*k+pc+p]
 						}
 					}
-					dst[p*gemmMR+r] = alpha * v
+					dst[p*mr+r] = alpha * v
 				}
 			}
 		}
 	}
 }
 
-// packB lays the (pc..pc+kc, jc..jc+nc) block of op(B) out as
-// [nPanels][KC·NR] panels: within a panel, element (p, s) holds
-// op(B)[pc+p, j0+s]. Columns beyond the matrix pad with zeros.
-func packB(transB bool, k, n, jc, nc, pc, kc int, b []float32, pb []float32) {
-	nPanels := (nc + gemmNR - 1) / gemmNR
-	for np := 0; np < nPanels; np++ {
-		dst := pb[np*gemmKC*gemmNR:]
-		j0 := jc + np*gemmNR
-		if j0+gemmNR <= jc+nc {
-			if transB {
-				for p := 0; p < kc; p++ {
-					d := dst[p*gemmNR:]
-					for s := 0; s < gemmNR; s++ {
-						d[s] = b[(j0+s)*k+pc+p]
-					}
-				}
-			} else {
-				for p := 0; p < kc; p++ {
-					brow := b[(pc+p)*n+j0:]
-					copy(dst[p*gemmNR:p*gemmNR+gemmNR], brow[:gemmNR])
-				}
+// storeTile adds the mi×nj valid region of an MR×NR accumulator tile
+// (row stride nr) into C at (i0, j0). On the first k-block the
+// destination is beta-scaled first, matching the beta-then-accumulate
+// semantics of the unblocked kernel.
+func storeTile(c []float32, n, i0, j0, mi, nj, nr int, acc *[gemmMaxTile]float32, first bool, beta float32) {
+	for r := 0; r < mi; r++ {
+		crow := c[(i0+r)*n+j0 : (i0+r)*n+j0+nj]
+		arow := acc[r*nr : r*nr+nj]
+		switch {
+		case first && beta == 0:
+			for s := range crow {
+				crow[s] = arow[s]
 			}
-			continue
-		}
-		for p := 0; p < kc; p++ {
-			for s := 0; s < gemmNR; s++ {
-				j := j0 + s
-				var v float32
-				if j < jc+nc {
-					if transB {
-						v = b[j*k+pc+p]
-					} else {
-						v = b[(pc+p)*n+j]
-					}
-				}
-				dst[p*gemmNR+s] = v
+		case first && beta != 1:
+			for s := range crow {
+				crow[s] = beta*crow[s] + arow[s]
+			}
+		default:
+			for s := range crow {
+				crow[s] += arow[s]
 			}
 		}
 	}
 }
 
 // gemmMicro4x8Go accumulates a 4×8 tile over kc packed steps:
-// acc[r*8+s] = Σ_p pa[p*4+r]·pb[p*8+s]. It is the portable reference for
-// the per-arch gemmMicro4x8; the SSE implementation uses MULPS/ADDPS,
-// whose per-lane rounding is identical to scalar mul-then-add, so both
-// produce bit-identical results (pinned by TestGemmMicroKernelParity).
-func gemmMicro4x8Go(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
+// acc[r*8+s] = Σ_p pa[p*4+r]·pb[p*8+s]. It is the portable muladd-family
+// kernel and the bit-reference for the SSE implementation, whose
+// MULPS/ADDPS per-lane rounding is identical to scalar mul-then-add
+// (pinned by TestGemmMicroKernelParity).
+func gemmMicro4x8Go(kc int, pa, pb []float32, acc *[gemmMaxTile]float32) {
 	var (
 		c00, c01, c02, c03, c04, c05, c06, c07 float32
 		c10, c11, c12, c13, c14, c15, c16, c17 float32
 		c20, c21, c22, c23, c24, c25, c26, c27 float32
 		c30, c31, c32, c33, c34, c35, c36, c37 float32
 	)
-	pa = pa[:kc*gemmMR]
-	pb = pb[:kc*gemmNR]
+	pa = pa[:kc*4]
+	pb = pb[:kc*8]
 	for p := 0; p < kc; p++ {
-		pav := pa[p*gemmMR : p*gemmMR+gemmMR]
-		pbv := pb[p*gemmNR : p*gemmNR+gemmNR]
+		pav := pa[p*4 : p*4+4]
+		pbv := pb[p*8 : p*8+8]
 		a0, a1, a2, a3 := pav[0], pav[1], pav[2], pav[3]
 		b0, b1, b2, b3 := pbv[0], pbv[1], pbv[2], pbv[3]
 		b4, b5, b6, b7 := pbv[4], pbv[5], pbv[6], pbv[7]
@@ -315,28 +482,4 @@ func gemmMicro4x8Go(kc int, pa, pb []float32, acc *[gemmMR * gemmNR]float32) {
 	acc[8], acc[9], acc[10], acc[11], acc[12], acc[13], acc[14], acc[15] = c10, c11, c12, c13, c14, c15, c16, c17
 	acc[16], acc[17], acc[18], acc[19], acc[20], acc[21], acc[22], acc[23] = c20, c21, c22, c23, c24, c25, c26, c27
 	acc[24], acc[25], acc[26], acc[27], acc[28], acc[29], acc[30], acc[31] = c30, c31, c32, c33, c34, c35, c36, c37
-}
-
-// storeTile adds the mi×nj valid region of a 4×8 accumulator tile into C
-// at (i0, j0). On the first k-block the destination is beta-scaled first,
-// matching the beta-then-accumulate semantics of the unblocked kernel.
-func storeTile(c []float32, n, i0, j0, mi, nj int, acc *[gemmMR * gemmNR]float32, first bool, beta float32) {
-	for r := 0; r < mi; r++ {
-		crow := c[(i0+r)*n+j0 : (i0+r)*n+j0+nj]
-		arow := acc[r*gemmNR : r*gemmNR+nj]
-		switch {
-		case first && beta == 0:
-			for s := range crow {
-				crow[s] = arow[s]
-			}
-		case first && beta != 1:
-			for s := range crow {
-				crow[s] = beta*crow[s] + arow[s]
-			}
-		default:
-			for s := range crow {
-				crow[s] += arow[s]
-			}
-		}
-	}
 }

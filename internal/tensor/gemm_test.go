@@ -72,25 +72,33 @@ func TestGemmZeroTimesNaNPropagates(t *testing.T) {
 	}
 }
 
-// TestGemmMicroKernelParity checks that the architecture-specific
-// micro-kernel (SSE on amd64) is bit-identical to the portable Go
+// TestGemmMicroKernelParity checks that every registered
+// architecture-specific micro-kernel is bit-identical to its portable Go
 // reference for every depth, including the kc == 0 zero-fill case.
+// Unsupported kernels are skipped with a logged reason.
 func TestGemmMicroKernelParity(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for _, kc := range []int{0, 1, 2, 3, 7, 64, 256} {
-		pa := randSlice(rng, max(1, kc*gemmMR))
-		pb := randSlice(rng, max(1, kc*gemmNR))
-		var want, got [gemmMR * gemmNR]float32
-		for i := range got {
-			got[i] = 999 // ensure the kernel overwrites, not accumulates
-			want[i] = 999
+	for _, name := range GemmKernels() {
+		kr := lookupGemmKernel(name)
+		if !archKernelUsable(kr) {
+			t.Logf("kernel %s unsupported on this CPU; skipping", name)
+			continue
 		}
-		gemmMicro4x8Go(kc, pa, pb, &want)
-		gemmMicro4x8(kc, pa, pb, &got)
-		for i := range want {
-			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
-				t.Fatalf("kc=%d: acc[%d] = %x (asm) vs %x (go)", kc, i,
-					math.Float32bits(got[i]), math.Float32bits(want[i]))
+		for _, kc := range []int{0, 1, 2, 3, 7, 64, 255, 256} {
+			pa := randSlice(rng, max(1, kc*kr.mr))
+			pb := randSlice(rng, max(1, kc*kr.nr))
+			var want, got [gemmMaxTile]float32
+			for i := range got {
+				got[i] = 999 // ensure the kernel overwrites, not accumulates
+				want[i] = 999
+			}
+			gemmMicroRun(kr.ref, kr.mr, kr.nr, kc, pa, pb, &want)
+			gemmMicroRun(kr.kind, kr.mr, kr.nr, kc, pa, pb, &got)
+			for i := 0; i < kr.mr*kr.nr; i++ {
+				if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+					t.Fatalf("%s kc=%d: acc[%d] = %x (impl) vs %x (ref)", name, kc, i,
+						math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
 			}
 		}
 	}

@@ -92,7 +92,7 @@ func TestWorkspaceViewLengthCheck(t *testing.T) {
 
 func TestWorkspaceTrim(t *testing.T) {
 	ws := NewWorkspace()
-	small := ws.Get(100)    // 128-float class
+	small := ws.Get(100)     // 128-float class
 	large := ws.Get(1 << 20) // 1Mi-float class
 	_ = large
 	ws.Reset()
