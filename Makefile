@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke kernel-matrix bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve bench-simd
+.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke kernel-matrix bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve bench-simd bench-quant
 
 build:
 	$(GO) build ./...
@@ -48,21 +48,27 @@ cache-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=30x ./internal/hsd
 
 # GEMM kernel matrix: re-run the numeric parity suites with each
-# registered micro-kernel forced via RHSD_GEMM_KERNEL. A kernel the host
-# cannot run is skipped inside the tests with a logged reason (the
-# TestForcedKernelActive gate records that the request was not honored),
-# so the matrix stays green on narrower machines while documenting what
-# was not exercised. The final -race run hammers the atomic kernel
-# dispatch while Gemm calls are in flight.
+# registered micro-kernel forced via RHSD_GEMM_KERNEL, then the int8
+# parity suites with each quantized kernel forced via RHSD_QGEMM_KERNEL.
+# A kernel the host cannot run is skipped inside the tests with a logged
+# reason (the TestForcedKernelActive gates record that the request was
+# not honored), so the matrix stays green on narrower machines while
+# documenting what was not exercised. The final -race run hammers the
+# atomic kernel dispatch while Gemm calls are in flight.
 kernel-matrix:
 	for k in go go-fma sse avx2 avx512; do \
 		echo "== RHSD_GEMM_KERNEL=$$k =="; \
 		RHSD_GEMM_KERNEL=$$k $(GO) test -count=1 \
 			-run 'Gemm|Conv|Infer|Kernel' ./internal/tensor ./internal/nn || exit 1; \
 	done
+	for q in qgo qavx2 qvnni; do \
+		echo "== RHSD_QGEMM_KERNEL=$$q =="; \
+		RHSD_QGEMM_KERNEL=$$q $(GO) test -count=1 \
+			-run 'QGemm|Quant|QConv' ./internal/tensor ./internal/nn || exit 1; \
+	done
 	$(GO) test -race -count=1 -run 'TestGemmKernelDispatchRace' ./internal/tensor
 
-verify: build vet test race serve-smoke obs-smoke cache-smoke kernel-matrix
+verify: build vet test race serve-smoke obs-smoke cache-smoke kernel-matrix bench-quant
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -101,3 +107,11 @@ bench-serve:
 # records {"status": "skipped"} naming the missing feature.
 bench-simd:
 	$(GO) run ./cmd/rhsd-bench -exp simd
+
+# Int8 vs fp32 kernel throughput (min-of-3), end-to-end detection under a
+# calibrated int8 trunk, steady-state allocations and the fp32-vs-int8
+# accuracy-delta gate at smoke scale; writes BENCH_quant.json. On a host
+# without AVX-512-VNNI (or AVX2) this records {"status": "skipped"}
+# naming the missing feature.
+bench-quant:
+	$(GO) run ./cmd/rhsd-bench -exp quant

@@ -16,30 +16,39 @@ import (
 // a GEMM number captured under the scalar fallback kernel looks like a
 // regression unless the reader can see which micro-kernel was active.
 type hostMeta struct {
-	NumCPU      int      `json:"num_cpu"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
-	GOARCH      string   `json:"goarch"`
-	GOOS        string   `json:"goos"`
-	CPUFeatures []string `json:"cpu_features"`
-	GemmKernel  string   `json:"gemm_kernel"`
-	GemmKernels []string `json:"gemm_kernels_available"`
+	NumCPU       int      `json:"num_cpu"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	GOARCH       string   `json:"goarch"`
+	GOOS         string   `json:"goos"`
+	CPUFeatures  []string `json:"cpu_features"`
+	GemmKernel   string   `json:"gemm_kernel"`
+	GemmKernels  []string `json:"gemm_kernels_available"`
+	QGemmKernel  string   `json:"qgemm_kernel"`
+	QGemmKernels []string `json:"qgemm_kernels_available"`
 }
 
 func collectHostMeta() hostMeta {
-	var avail []string
+	var avail, qavail []string
 	for _, name := range tensor.GemmKernels() {
 		if tensor.GemmKernelAvailable(name) {
 			avail = append(avail, name)
 		}
 	}
+	for _, name := range tensor.QGemmKernels() {
+		if tensor.QGemmKernelAvailable(name) {
+			qavail = append(qavail, name)
+		}
+	}
 	return hostMeta{
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		GOARCH:      runtime.GOARCH,
-		GOOS:        runtime.GOOS,
-		CPUFeatures: cpu.X86.FeatureList(),
-		GemmKernel:  tensor.GemmKernel(),
-		GemmKernels: avail,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GOARCH:       runtime.GOARCH,
+		GOOS:         runtime.GOOS,
+		CPUFeatures:  cpu.X86.FeatureList(),
+		GemmKernel:   tensor.GemmKernel(),
+		GemmKernels:  avail,
+		QGemmKernel:  tensor.QGemmKernel(),
+		QGemmKernels: qavail,
 	}
 }
 

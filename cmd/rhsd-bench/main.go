@@ -10,6 +10,7 @@
 //	rhsd-bench -exp obs                 # telemetry-on vs telemetry-off overhead
 //	rhsd-bench -exp serve               # cached serving daemon under load
 //	rhsd-bench -exp simd                # per-GEMM-kernel throughput comparison
+//	rhsd-bench -exp quant               # int8 vs fp32 kernels + accuracy gate
 //	rhsd-bench -exp all -out out/
 //
 // The -workers flag (default: RHSD_WORKERS or NumCPU) sizes the worker
@@ -26,11 +27,16 @@
 // -exp simd measures every GEMM micro-kernel available on the host
 // (packed throughput at the dominant backbone shape, end-to-end Detect
 // delta, fused vs materialized im2col) and writes BENCH_simd.json.
+// -exp quant measures every int8 GEMM kernel against the float32 avx512
+// baseline (packed throughput, end-to-end detection under a calibrated
+// int8 trunk, steady-state allocations) plus the fp32-vs-int8
+// accuracy-delta gate, and writes BENCH_quant.json.
 // All reports embed host metadata (CPU count, GOMAXPROCS, arch, CPU
-// feature flags, active GEMM kernel).
+// feature flags, active GEMM and int8-GEMM kernels).
 // On a host with fewer than two CPUs, -exp parallel and -exp serve
 // refuse to emit speedup numbers and record {"status": "skipped"} with
-// the reason instead; -exp simd does the same on hosts without AVX2.
+// the reason instead; -exp simd does the same on hosts without AVX2,
+// and -exp quant on hosts without AVX-512-VNNI.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // whatever experiments ran, for offline hot-path diagnosis; -trace
@@ -59,7 +65,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, serve, simd, all")
+	expFlag := flag.String("exp", "table1", "experiment to run: table1, table1-ext, figure9, figure10, roc, ablation-ext, parallel, alloc, scan, obs, serve, simd, quant, all")
 	outFlag := flag.String("out", "out", "output directory for figure panels and CSVs")
 	trainSteps := flag.Int("steps", 0, "override R-HSD training steps (0 = profile default)")
 	nTrain := flag.Int("train-regions", 0, "override training regions per case (0 = profile default)")
@@ -72,6 +78,7 @@ func main() {
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the -exp obs report")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output path for the -exp serve report")
 	simdOut := flag.String("simd-out", "BENCH_simd.json", "output path for the -exp simd report")
+	quantOut := flag.String("quant-out", "BENCH_quant.json", "output path for the -exp quant report")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
@@ -151,7 +158,8 @@ func main() {
 	runObs := *expFlag == "obs" || *expFlag == "all"
 	runServe := *expFlag == "serve" || *expFlag == "all"
 	runSimd := *expFlag == "simd" || *expFlag == "all"
-	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs && !runServe && !runSimd {
+	runQuant := *expFlag == "quant" || *expFlag == "all"
+	if !runTable1 && !runFig9 && !runFig10 && !runROC && !runExtAbl && !runExtTable && !runPar && !runAlloc && !runScan && !runObs && !runServe && !runSimd && !runQuant {
 		fatal(fmt.Errorf("unknown experiment %q", *expFlag))
 	}
 
@@ -193,6 +201,13 @@ func main() {
 	if runSimd {
 		progress(fmt.Sprintf("simd kernel bench: %d workers, active kernel %s", parallel.Workers(), tensor.GemmKernel()))
 		if err := runSimdBench(p, parallel.Workers(), *simdOut, progress); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runQuant {
+		progress(fmt.Sprintf("quant kernel bench: %d workers, active int8 kernel %s", parallel.Workers(), tensor.QGemmKernel()))
+		if err := runQuantBench(p, parallel.Workers(), *quantOut, progress); err != nil {
 			fatal(err)
 		}
 	}

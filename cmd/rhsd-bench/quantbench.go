@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"rhsd/internal/eval"
+	"rhsd/internal/hsd"
+	"rhsd/internal/layout"
+	"rhsd/internal/tensor"
+)
+
+// quantKernelEntry is one int8 GEMM micro-kernel's measured throughput at
+// the dominant backbone shape, its speedup over the float32 avx512
+// baseline, and the end-to-end int8 detection time under that kernel.
+type quantKernelEntry struct {
+	Name            string  `json:"name"`
+	Family          string  `json:"family"` // "exact" or "sat16"
+	GemmNsPerOp     float64 `json:"gemm_ns_per_op"`
+	GOps            float64 `json:"gops"`             // int8 MAC throughput, G mul-adds/s
+	SpeedupVsFP32   float64 `json:"speedup_vs_fp32"`  // fp32 avx512 GEMM ns / int8 GEMM ns
+	DetectNsPerOp   float64 `json:"detect_ns_per_op"` // end-to-end int8 Detect
+	DetectVsFP32    float64 `json:"detect_speedup_vs_fp32"`
+	DetectAllocs    int64   `json:"detect_allocs_per_op"`
+	GemmAllocsPerOp int64   `json:"gemm_allocs_per_op"`
+}
+
+// quantGateEntry summarizes the accuracy-delta gate run embedded in the
+// report: the fp32-vs-int8 Table-1 deltas scored against the shipping
+// budget, so BENCH_quant.json carries its own accuracy evidence next to
+// the throughput numbers.
+type quantGateEntry struct {
+	Profile            string   `json:"profile"` // evaluation scale the gate ran at
+	CalibrationRasters int      `json:"calibration_rasters"`
+	RecallFP32         float64  `json:"recall_fp32"`
+	RecallInt8         float64  `json:"recall_int8"`
+	RecallDropPts      float64  `json:"recall_drop_pts"`
+	FADelta            int      `json:"fa_delta"`
+	Pass               bool     `json:"pass"`
+	Reasons            []string `json:"reasons,omitempty"`
+}
+
+// quantBenchReport is the BENCH_quant.json schema: per-int8-kernel GEMM
+// throughput at [64 × 576 × 3136] against the float32 avx512 baseline,
+// end-to-end fp32-vs-int8 detection, steady-state allocation counts and
+// the accuracy-gate deltas. Host metadata records which quant kernel was
+// active and which were available, so the file is self-describing.
+type quantBenchReport struct {
+	Host      hostMeta `json:"host"`
+	Workers   int      `json:"workers"`
+	GemmShape [3]int   `json:"gemm_shape"` // m, k, n
+
+	FP32Kernel      string  `json:"fp32_kernel"` // baseline GEMM kernel
+	FP32GemmNsPerOp float64 `json:"fp32_gemm_ns_per_op"`
+	FP32GFlops      float64 `json:"fp32_gflops"`
+	FP32DetectNs    float64 `json:"fp32_detect_ns_per_op"`
+
+	Kernels []quantKernelEntry `json:"kernels"`
+	Gate    quantGateEntry     `json:"gate"`
+}
+
+// runQuantBench measures every int8 GEMM kernel available on this host
+// against the best float32 kernel — packed throughput at the dominant
+// backbone shape, end-to-end detection under a calibrated int8 trunk —
+// runs the accuracy-delta gate at smoke scale, and writes
+// BENCH_quant.json. The headline ≥2× int8-vs-fp32 claim needs VNNI's
+// VPDPBUSD; a host without AVX-512-VNNI records a skipped report naming
+// the missing feature instead of emitting numbers that cannot support
+// the claim.
+func runQuantBench(p eval.Profile, workers int, outPath string, progress func(string)) error {
+	if !tensor.QGemmKernelAvailable("qavx2") {
+		return writeSkipped(outPath,
+			"host lacks AVX2 (or OS support for YMM state); vectorised int8 kernels not measurable", progress)
+	}
+	if !tensor.QGemmKernelAvailable("qvnni") {
+		return writeSkipped(outPath,
+			"host lacks AVX-512-VNNI (VPDPBUSD); the int8-vs-fp32 speedup claim is not measurable", progress)
+	}
+
+	origQ := tensor.QGemmKernel()
+	defer tensor.SetQGemmKernel(origQ)
+	origF := tensor.GemmKernel()
+	defer tensor.SetGemmKernel(origF)
+
+	report := quantBenchReport{
+		Host:      collectHostMeta(),
+		Workers:   workers,
+		GemmShape: [3]int{64, 64 * 3 * 3, 56 * 56},
+	}
+	gm, gk, gn := report.GemmShape[0], report.GemmShape[1], report.GemmShape[2]
+	ops := float64(gm) * float64(gk) * float64(gn) // mul-adds; ×2 for flops
+
+	// Float32 baseline: the widest fp32 kernel the host runs (avx512 on
+	// VNNI hosts — VNNI implies AVX-512F).
+	fp32Kernel := "avx512"
+	if !tensor.GemmKernelAvailable(fp32Kernel) {
+		fp32Kernel = origF
+	}
+	if _, err := tensor.SetGemmKernel(fp32Kernel); err != nil {
+		return err
+	}
+	report.FP32Kernel = fp32Kernel
+	fa := make([]float32, gm*gk)
+	fb := make([]float32, gk*gn)
+	fc := make([]float32, gm*gn)
+	for i := range fa {
+		fa[i] = float32(i%17) * 0.25
+	}
+	for i := range fb {
+		fb[i] = float32(i%13) * 0.5
+	}
+	fgemm := measureMin("gemm_fp32_"+fp32Kernel, simdBenchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.Gemm(false, false, gm, gn, gk, 1, fa, fb, 0, fc)
+		}
+	})
+	report.FP32GemmNsPerOp = fgemm.NsPerOp
+	report.FP32GFlops = 2 * ops / fgemm.NsPerOp
+	progress(fmt.Sprintf("quant bench fp32 %-7s %7.2f GF/s", fp32Kernel, report.FP32GFlops))
+
+	// Quantized operands for the same shape: int8 weights, uint8
+	// activations, per-row dequantization constants — the exact call the
+	// quantized conv path makes per megatile GEMM.
+	aq := make([]int8, gm*gk)
+	bq := make([]uint8, gk*gn)
+	cq := make([]float32, gm*gn)
+	for i := range aq {
+		aq[i] = int8(i%17 - 8)
+	}
+	for i := range bq {
+		bq[i] = uint8(i % 251)
+	}
+	deq := make([]float32, gm)
+	corr := make([]int32, gm)
+	for r := 0; r < gm; r++ {
+		deq[r] = 0.01
+		var s int32
+		for _, v := range aq[r*gk : r*gk+gk] {
+			s += int32(v)
+		}
+		corr[r] = 128 * s
+	}
+
+	// End-to-end detection fixture: the fp32 baseline first, then each
+	// int8 kernel on a trunk calibrated over oracle-labeled synthetic
+	// regions.
+	cfg := p.HSD
+	m, err := hsd.NewModel(cfg)
+	if err != nil {
+		return err
+	}
+	regionNM := cfg.RegionNM()
+	l := layout.New(layout.R(0, 0, 2*regionNM, 2*regionNM))
+	for x := 40; x < 2*regionNM-110; x += 150 {
+		l.Add(layout.R(x, 30, x+70, 2*regionNM-30))
+	}
+	region := l.Window(layout.R(0, 0, regionNM, regionNM))
+	raster := hsd.MakeSample(region, nil, cfg).Raster
+
+	m.Detect(raster) // warm-up sizes fp32 arenas
+	fdet := measureMin("detect_fp32", simdBenchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Detect(raster)
+		}
+	})
+	report.FP32DetectNs = fdet.NsPerOp
+	progress(fmt.Sprintf("quant bench fp32 detect %6.2f ms/op", fdet.NsPerOp/1e6))
+
+	cal := eval.SyntheticCalibration(cfg, 4)
+	if err := m.CalibrateInt8(cal); err != nil {
+		return err
+	}
+	if err := m.SetPrecision(hsd.PrecisionInt8); err != nil {
+		return err
+	}
+	for _, name := range tensor.QGemmKernels() {
+		if !tensor.QGemmKernelAvailable(name) {
+			progress(fmt.Sprintf("quant bench: kernel %s unsupported on this host; skipping", name))
+			continue
+		}
+		if _, err := tensor.SetQGemmKernel(name); err != nil {
+			return err
+		}
+		gemm := measureMin("qgemm_"+name, simdBenchReps, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.QGemmInt8(gm, gn, gk, aq, bq, deq, corr, cq)
+			}
+		})
+		m.Detect(raster) // warm-up under this kernel sizes int8 arenas
+		det := measureMin("detect_int8_"+name, simdBenchReps, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Detect(raster)
+			}
+		})
+		e := quantKernelEntry{
+			Name:            name,
+			Family:          tensor.QGemmKernelFamily(name),
+			GemmNsPerOp:     gemm.NsPerOp,
+			GOps:            ops / gemm.NsPerOp,
+			SpeedupVsFP32:   fgemm.NsPerOp / gemm.NsPerOp,
+			DetectNsPerOp:   det.NsPerOp,
+			DetectVsFP32:    fdet.NsPerOp / det.NsPerOp,
+			DetectAllocs:    det.AllocsPerOp,
+			GemmAllocsPerOp: gemm.AllocsPerOp,
+		}
+		report.Kernels = append(report.Kernels, e)
+		progress(fmt.Sprintf("quant bench %-6s %7.2f Gmac/s (%.2fx fp32)  detect %6.2f ms/op (%.2fx, %d allocs/op)",
+			name, e.GOps, e.SpeedupVsFP32, det.NsPerOp/1e6, e.DetectVsFP32, det.AllocsPerOp))
+	}
+	if err := m.SetPrecision(hsd.PrecisionFP32); err != nil {
+		return err
+	}
+	if _, err := tensor.SetQGemmKernel(origQ); err != nil {
+		return err
+	}
+
+	// Accuracy-delta gate at smoke scale: train once, run the Table-1
+	// protocol under both precisions, score against the shipping budget.
+	// Smoke scale keeps `make bench-quant` minutes-free; the same gate
+	// runs at any profile through eval.RunQuantGate. A gate FAIL is
+	// recorded in the report, not turned into a bench error — the bench's
+	// job is to measure honestly, the eval suite's job is to enforce.
+	gp := eval.SmokeProfile()
+	gdata := eval.LoadData(gp)
+	progress("quant bench: accuracy gate (smoke scale)")
+	gres, err := eval.RunQuantGate(gp, gdata, eval.DefaultQuantGateBudget(), progress)
+	if err != nil {
+		return err
+	}
+	report.Gate = quantGateEntry{
+		Profile:            "smoke",
+		CalibrationRasters: gres.CalibrationRasters,
+		RecallFP32:         gres.FP32.Accuracy() * 100,
+		RecallInt8:         gres.Int8.Accuracy() * 100,
+		RecallDropPts:      gres.RecallDropPts,
+		FADelta:            gres.FADelta,
+		Pass:               gres.Pass,
+		Reasons:            gres.Reasons,
+	}
+	progress("quant bench gate: " + map[bool]string{true: "PASS", false: "FAIL"}[gres.Pass] +
+		fmt.Sprintf(" (recall drop %+.2f pts, FA delta %+d, %d calibration rasters)",
+			gres.RecallDropPts, gres.FADelta, gres.CalibrationRasters))
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	progress("wrote " + outPath)
+	return nil
+}

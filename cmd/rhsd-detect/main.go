@@ -49,6 +49,7 @@ func main() {
 	megatile := flag.Int("megatile", 0, "megatile factor: 0 = auto from -megatile-mem, N = N×N regions per pass, negative = per-tile scan")
 	megatileMem := flag.Int("megatile-mem", 512, "inference workspace budget in MiB for -megatile 0 (auto)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
+	precision := flag.String("precision", "fp32", "trunk numeric path: fp32, or int8 (calibrated at startup on synthetic oracle-labeled layouts)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
@@ -133,6 +134,16 @@ func main() {
 		fatal(err)
 	}
 	if err := m.LoadChecked(*ckpt); err != nil {
+		fatal(err)
+	}
+	if *precision == hsd.PrecisionInt8 {
+		cal := eval.SyntheticCalibration(m.Config, 4)
+		if err := m.CalibrateInt8(cal); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rhsd-detect: int8 trunk calibrated on %d synthetic regions\n", len(cal))
+	}
+	if err := m.SetPrecision(*precision); err != nil {
 		fatal(err)
 	}
 

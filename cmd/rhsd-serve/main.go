@@ -69,6 +69,7 @@ func main() {
 	megatileMem := flag.Int("megatile-mem", 512, "per-clone inference workspace budget in MiB for -megatile 0 (auto)")
 	cacheMem := flag.Int("cache-mem", 64, "content-addressed megatile result cache budget in MiB, shared by the pool (0 = disabled)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
+	precision := flag.String("precision", "fp32", "pool-wide trunk numeric path: fp32 or int8; per-request override via /detect?precision=")
 	idleTrim := flag.Duration("idle-trim", time.Minute, "trim per-clone workspaces after this much idle time (0 = never)")
 	initRandom := flag.Bool("init-random", false, "serve freshly initialized weights instead of loading -ckpt (smoke tests)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, run one end-to-end request against it, and exit")
@@ -126,6 +127,11 @@ func main() {
 		IdleTrim:       *idleTrim,
 		EnablePprof:    *pprofFlag,
 		Logger:         logger,
+		Precision:      *precision,
+		// Always arm the int8 path (a few synthetic oracle-labeled
+		// forward passes at startup) so /detect?precision=int8 works
+		// whatever the pool default is.
+		Calibration: eval.SyntheticCalibration(m.Config, 4),
 	}
 	if *timeout == 0 {
 		cfg.Timeout = -1 // Config uses 0 as "default"; the flag's 0 means none
@@ -271,6 +277,19 @@ func runSelftest(c hsd.Config, cfg serve.Config, base string) error {
 		}
 	}
 
+	// The int8 override must run (the server always arms the quantized
+	// trunk at startup) and echo the precision it used.
+	i8, err := detect("int8 detect", "?precision=int8")
+	if err != nil {
+		return err
+	}
+	if i8.Precision != hsd.PrecisionInt8 {
+		return fmt.Errorf("int8 detect: response precision %q, want %q", i8.Precision, hsd.PrecisionInt8)
+	}
+	if cold.Precision != hsd.PrecisionFP32 {
+		return fmt.Errorf("cold detect: response precision %q, want %q", cold.Precision, hsd.PrecisionFP32)
+	}
+
 	// A malformed body must come back as a 4xx JSON error, not kill the
 	// daemon — the serving boundary's core promise.
 	resp, err = client.Post(base+"/detect", "text/plain", bytes.NewReader([]byte("RECT with no bounds")))
@@ -283,9 +302,9 @@ func runSelftest(c hsd.Config, cfg serve.Config, base string) error {
 		return fmt.Errorf("malformed detect: status %d, want 400: %s", resp.StatusCode, body)
 	}
 
-	good := int64(2)
+	good := int64(3)
 	if megatiles {
-		good = 3
+		good = 4
 	}
 	resp, err = client.Get(base + "/statusz")
 	if err != nil {
@@ -299,6 +318,9 @@ func runSelftest(c hsd.Config, cfg serve.Config, base string) error {
 	}
 	if st.Requests != good+1 || st.OK != good || st.ClientErrors != 1 {
 		return fmt.Errorf("statusz: counters %+v after %d good and one bad request", st, good)
+	}
+	if !st.Int8Armed || st.Precision != hsd.PrecisionFP32 {
+		return fmt.Errorf("statusz: precision %q int8_armed %v, want fp32 and armed", st.Precision, st.Int8Armed)
 	}
 	if cacheOn {
 		if !st.CacheEnabled {

@@ -26,6 +26,14 @@ type X86Features struct {
 	FMA     bool // VFMADD* (implies AVX usable)
 	AVX2    bool
 	AVX512F bool // foundation; CPU flag + XCR0 opmask/ZMM state
+	// AVX512VNNI is the 512-bit VPDPBUSD dot-product extension the int8
+	// GEMM kernels use; gated on the same ZMM OS state as AVX512F.
+	AVX512VNNI bool
+	// AVXVNNI is the 256-bit VEX encoding of the VNNI dot products
+	// (CPUID.7.1:EAX), gated on YMM OS state only. Probed for hostmeta
+	// completeness; the current int8 AVX2 kernel uses VPMADDUBSW, which
+	// predates it.
+	AVXVNNI bool
 }
 
 // X86 holds the detected features of the running machine. On non-amd64
@@ -40,6 +48,11 @@ func (f X86Features) HasAVX2FMA() bool { return f.AVX2 && f.FMA }
 // kernels mix VFMADD231PS forms and a machine advertising AVX512F
 // without FMA would be a CPUID lie worth failing safe on.
 func (f X86Features) HasAVX512() bool { return f.AVX512F && f.FMA }
+
+// HasAVX512VNNI reports whether the 512-bit VPDPBUSD int8 dot-product
+// kernel is safe. AVX512F is required alongside the VNNI bit: the kernel
+// uses EVEX moves and zeroing that belong to the foundation set.
+func (f X86Features) HasAVX512VNNI() bool { return f.AVX512VNNI && f.AVX512F }
 
 // FeatureList renders the detected features as sorted lowercase tags
 // (e.g. ["avx2" "fma" "sse2"]), the format embedded in benchmark
@@ -57,6 +70,8 @@ func (f X86Features) FeatureList() []string {
 	add(f.FMA, "fma")
 	add(f.AVX2, "avx2")
 	add(f.AVX512F, "avx512f")
+	add(f.AVX512VNNI, "avx512vnni")
+	add(f.AVXVNNI, "avxvnni")
 	sort.Strings(tags)
 	return tags
 }

@@ -22,6 +22,10 @@ const (
 	// CPUID.7.0:EBX
 	cpuidAVX2    = 1 << 5
 	cpuidAVX512F = 1 << 16
+	// CPUID.7.0:ECX
+	cpuidAVX512VNNI = 1 << 11
+	// CPUID.7.1:EAX
+	cpuidAVXVNNI = 1 << 4
 	// XCR0 state bits
 	xcr0SSE    = 1 << 1
 	xcr0AVX    = 1 << 2
@@ -53,9 +57,15 @@ func init() {
 	X86.AVX = osAVX && ecx1&cpuidAVX != 0
 	X86.FMA = osAVX && ecx1&cpuidFMA != 0
 	if maxLeaf >= 7 {
-		_, ebx7, _, _ := cpuid(7, 0)
+		// EAX of leaf 7 subleaf 0 reports the highest supported subleaf.
+		maxSub, ebx7, ecx7, _ := cpuid(7, 0)
 		X86.AVX2 = osAVX && ebx7&cpuidAVX2 != 0
 		X86.AVX512F = osAVX512 && ebx7&cpuidAVX512F != 0
+		X86.AVX512VNNI = osAVX512 && ecx7&cpuidAVX512VNNI != 0
+		if maxSub >= 1 {
+			eax71, _, _, _ := cpuid(7, 1)
+			X86.AVXVNNI = osAVX && eax71&cpuidAVXVNNI != 0
+		}
 	}
 	goamd64Floor(&X86)
 }

@@ -24,6 +24,17 @@ func TestFeatureImplications(t *testing.T) {
 	if f.HasAVX512() && !f.HasAVX2FMA() {
 		t.Errorf("HasAVX512 but not HasAVX2FMA: %+v", f)
 	}
+	if f.AVX512VNNI && !f.AVX512F {
+		// VNNI is an extension of the AVX-512 foundation; both flags sit
+		// behind the same ZMM OS-state gate, so they must agree.
+		t.Errorf("AVX512VNNI without AVX512F: %+v", f)
+	}
+	if f.AVXVNNI && !f.AVX {
+		t.Errorf("AVXVNNI without AVX: %+v", f)
+	}
+	if f.HasAVX512VNNI() != (f.AVX512VNNI && f.AVX512F) {
+		t.Errorf("HasAVX512VNNI inconsistent with flags: %+v", f)
+	}
 	t.Logf("detected: %v", f.FeatureList())
 }
 
@@ -43,6 +54,9 @@ func TestFeatureListStable(t *testing.T) {
 	}
 	if seen["avx2"] != X86.AVX2 || seen["fma"] != X86.FMA || seen["avx512f"] != X86.AVX512F {
 		t.Fatalf("tag set %v inconsistent with flags %+v", tags, X86)
+	}
+	if seen["avx512vnni"] != X86.AVX512VNNI || seen["avxvnni"] != X86.AVXVNNI {
+		t.Fatalf("VNNI tags in %v inconsistent with flags %+v", tags, X86)
 	}
 }
 

@@ -69,6 +69,16 @@ func (m *Model) ScanCache() *DetCache { return m.cache }
 func (m *Model) WeightsVersion() [sha256.Size]byte {
 	h := sha256.New()
 	fmt.Fprintf(h, "%+v", m.Config)
+	// The numeric path is part of the output contract: int8 and fp32
+	// results for one raster differ (within the accuracy gate's budget)
+	// and must never share a cache entry. The calibration signature —
+	// each quantized conv's input scale and zero point — folds in too,
+	// since two int8 models with equal weights but different calibration
+	// data produce different detections.
+	fmt.Fprintf(h, ";precision=%s", m.Precision())
+	if m.Precision() == PrecisionInt8 && m.quant != nil {
+		m.quant.WriteSignature(h)
+	}
 	var buf [4096]byte
 	n := 0
 	for _, p := range m.Params() {

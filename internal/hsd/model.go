@@ -85,6 +85,14 @@ type Model struct {
 	// all consult one instance; see SetScanCache.
 	cache *DetCache
 
+	// precision is the trunk's numeric path (PrecisionFP32 default) and
+	// quant the armed int8 calibration state, nil until CalibrateInt8.
+	// Both propagate to clones and cached scan replicas; quantized plans
+	// are immutable at inference time and shared by reference. See
+	// quant.go.
+	precision string
+	quant     *nn.Quantizer
+
 	// scanWorkers caps the goroutines (and replicas) one layout scan may
 	// use; 0 means parallel.Workers(). See SetScanWorkers.
 	scanWorkers int
@@ -363,6 +371,9 @@ func (m *Model) Clone() (*Model, error) {
 	// rather than fragment per replica.
 	r.ins = m.ins
 	r.cache = m.cache
+	if err := r.adoptQuantFrom(m); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -374,6 +385,13 @@ func (m *Model) syncReplica(r *Model) {
 	src, dst := m.Params(), r.Params()
 	for i, p := range src {
 		copy(dst[i].W.Data(), p.W.Data())
+	}
+	// Precision and calibration ride along with the weights: plans are
+	// weight-derived, and the copy above just made the replica's weights
+	// equal to m's, so sharing m's plans by reference stays exact. The
+	// trees are clones of one configuration, so Mirror cannot fail.
+	if err := r.adoptQuantFrom(m); err != nil {
+		panic(fmt.Sprintf("hsd: syncReplica quant mirror: %v", err))
 	}
 }
 
@@ -437,14 +455,14 @@ func (m *Model) InferBase(x *tensor.Tensor) *BaseOutput {
 	}
 	m.ws.Reset()
 	sp := m.stageSpan(StageBackbone)
-	fine := m.Stem.Infer(x, m.ws)
-	feat := m.Backbone.Infer(fine, m.ws)
+	fine := m.stageInfer(m.Stem, x)
+	feat := m.stageInfer(m.Backbone, fine)
 	sp.End()
 	sp = m.stageSpan(StageEncDec)
-	feat = m.EncDec.Infer(feat, m.ws)
+	feat = m.stageInfer(m.EncDec, feat)
 	sp.End()
 	sp = m.stageSpan(StageInception)
-	feat = m.Inception.Infer(feat, m.ws)
+	feat = m.stageInfer(m.Inception, feat)
 	sp.End()
 	sp = m.stageSpan(StageCPN)
 	trunk := m.RPNTrunk.Infer(feat, m.ws)

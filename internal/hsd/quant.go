@@ -1,0 +1,117 @@
+package hsd
+
+import (
+	"errors"
+	"fmt"
+
+	"rhsd/internal/nn"
+	"rhsd/internal/tensor"
+)
+
+// Numeric precision of the detection trunk. The default is float32;
+// int8 must be armed by CalibrateInt8 before it can be selected.
+const (
+	PrecisionFP32 = "fp32"
+	PrecisionInt8 = "int8"
+)
+
+// quantRoots lists the stages the int8 path covers: the convolutional
+// trunk from the stem through the inception chain. The CPN heads and
+// the refinement stage stay float32 — their outputs are scores and box
+// offsets, where quantization error moves detections directly rather
+// than washing out across channels.
+func (m *Model) quantRoots() []nn.Layer {
+	return []nn.Layer{m.Stem, m.Backbone, m.EncDec, m.Inception}
+}
+
+// CalibrateInt8 calibrates the int8 trunk on the given rasters
+// (typically oracle-labeled clip regions drawn from training layouts —
+// see eval.CalibrationRasters): each raster runs a float32 pass that
+// records every trunk conv's input activation range, then the trunk
+// weights are quantized per output channel and the dequantization plans
+// frozen. Calibration does not switch the model to int8; call
+// SetPrecision(PrecisionInt8) after. Re-calibrating replaces the
+// previous state. The model's weights must not change afterwards (Load
+// or a training step invalidates the plans); recalibrate after any
+// weight mutation.
+func (m *Model) CalibrateInt8(rasters []*tensor.Tensor) error {
+	if len(rasters) == 0 {
+		return errors.New("hsd: CalibrateInt8 needs at least one calibration raster")
+	}
+	q := nn.NewQuantizer()
+	for _, x := range rasters {
+		if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != InputChannels ||
+			x.Dim(2) <= 0 || x.Dim(2)%FeatureStride != 0 ||
+			x.Dim(3) <= 0 || x.Dim(3)%FeatureStride != 0 {
+			return fmt.Errorf("hsd: calibration raster %v, want [1 %d 8k 8k]",
+				x.Shape(), InputChannels)
+		}
+		m.ws.Reset()
+		out := q.Observe(m.Stem, x, m.ws)
+		out = q.Observe(m.Backbone, out, m.ws)
+		out = q.Observe(m.EncDec, out, m.ws)
+		q.Observe(m.Inception, out, m.ws)
+	}
+	q.Freeze()
+	if !q.Calibrated() {
+		return errors.New("hsd: calibration produced no quantized convolutions")
+	}
+	m.quant = q
+	return nil
+}
+
+// SetPrecision selects the trunk's numeric path: PrecisionFP32 (or "")
+// restores float32, PrecisionInt8 requires a prior CalibrateInt8.
+// Cached scan replicas pick the change up at their next sync.
+func (m *Model) SetPrecision(p string) error {
+	switch p {
+	case "", PrecisionFP32:
+		m.precision = PrecisionFP32
+	case PrecisionInt8:
+		if m.quant == nil || !m.quant.Calibrated() {
+			return errors.New("hsd: int8 precision requires CalibrateInt8 first")
+		}
+		m.precision = PrecisionInt8
+	default:
+		return fmt.Errorf("hsd: unknown precision %q (want %q or %q)", p, PrecisionFP32, PrecisionInt8)
+	}
+	return nil
+}
+
+// Precision returns the trunk's active numeric path.
+func (m *Model) Precision() string {
+	if m.precision == "" {
+		return PrecisionFP32
+	}
+	return m.precision
+}
+
+// Int8Calibrated reports whether the int8 path is armed (CalibrateInt8
+// has run), regardless of the currently selected precision.
+func (m *Model) Int8Calibrated() bool { return m.quant != nil && m.quant.Calibrated() }
+
+// stageInfer runs one trunk stage on the active numeric path.
+func (m *Model) stageInfer(s *nn.Sequential, x *tensor.Tensor) *tensor.Tensor {
+	if m.precision == PrecisionInt8 && m.quant != nil {
+		return m.quant.Infer(s, x, m.ws)
+	}
+	return s.Infer(x, m.ws)
+}
+
+// adoptQuantFrom mirrors src's precision and calibration state onto m,
+// a structurally identical replica whose weights were copied from src.
+// Quantized plans are immutable at inference time and are shared by
+// reference; only the conv-pointer mapping is rebuilt.
+func (m *Model) adoptQuantFrom(src *Model) error {
+	m.precision = src.precision
+	if src.quant == nil {
+		m.quant = nil
+		return nil
+	}
+	q, err := src.quant.Mirror(src.quantRoots(), m.quantRoots())
+	if err != nil {
+		return err
+	}
+	m.quant = q
+	return nil
+}

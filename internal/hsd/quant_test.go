@@ -1,0 +1,200 @@
+package hsd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rhsd/internal/parallel"
+	"rhsd/internal/tensor"
+)
+
+func quantTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func quantTestRasters(c Config, n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	rs := make([]*tensor.Tensor, n)
+	for i := range rs {
+		rs[i] = tensor.New(1, InputChannels, c.InputSize, c.InputSize)
+		rs[i].RandUniform(rng, 0, 1)
+	}
+	return rs
+}
+
+// TestSetPrecisionGate pins the arming contract: int8 is rejected until
+// CalibrateInt8 has run, unknown names are rejected always.
+func TestSetPrecisionGate(t *testing.T) {
+	m := quantTestModel(t)
+	if m.Precision() != PrecisionFP32 {
+		t.Fatalf("default precision %q, want %q", m.Precision(), PrecisionFP32)
+	}
+	if err := m.SetPrecision(PrecisionInt8); err == nil {
+		t.Fatal("SetPrecision(int8) accepted before calibration")
+	}
+	if err := m.SetPrecision("fp16"); err == nil {
+		t.Fatal("SetPrecision accepted an unknown precision")
+	}
+	if err := m.CalibrateInt8(nil); err == nil {
+		t.Fatal("CalibrateInt8 accepted zero rasters")
+	}
+	if err := m.CalibrateInt8(quantTestRasters(m.Config, 2, 31)); err != nil {
+		t.Fatalf("CalibrateInt8: %v", err)
+	}
+	if !m.Int8Calibrated() {
+		t.Fatal("Int8Calibrated false after successful calibration")
+	}
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatalf("SetPrecision(int8): %v", err)
+	}
+	if m.Precision() != PrecisionInt8 {
+		t.Fatalf("precision %q after SetPrecision(int8)", m.Precision())
+	}
+	if err := m.SetPrecision(""); err != nil {
+		t.Fatalf("SetPrecision(\"\"): %v", err)
+	}
+	if m.Precision() != PrecisionFP32 {
+		t.Fatalf("precision %q after SetPrecision(\"\")", m.Precision())
+	}
+}
+
+// TestInferBaseInt8CloseToFP32 checks the int8 trunk tracks the float32
+// trunk: feature-map RMSE within a few percent of the float32 RMS, and
+// CPN head outputs (computed in fp32 from the quantized features) finite.
+func TestInferBaseInt8CloseToFP32(t *testing.T) {
+	m := quantTestModel(t)
+	x := quantTestRasters(m.Config, 1, 41)[0]
+	want := append([]float32(nil), m.InferBase(x).Feat.Data()...)
+
+	if err := m.CalibrateInt8(quantTestRasters(m.Config, 3, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	out := m.InferBase(x)
+	got := out.Feat.Data()
+	if len(got) != len(want) {
+		t.Fatalf("feature size %d vs %d", len(got), len(want))
+	}
+	var rms, refRMS float64
+	for i := range want {
+		d := float64(got[i]) - float64(want[i])
+		rms += d * d
+		refRMS += float64(want[i]) * float64(want[i])
+	}
+	rms = math.Sqrt(rms / float64(len(want)))
+	refRMS = math.Sqrt(refRMS / float64(len(want)))
+	if refRMS == 0 {
+		t.Fatal("degenerate fp32 features")
+	}
+	if rms > 0.06*refRMS {
+		t.Fatalf("int8 feature RMSE %v vs fp32 RMS %v (>6%%)", rms, refRMS)
+	}
+	for _, v := range out.ClsMap.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite CPN logits on the int8 path")
+		}
+	}
+}
+
+// TestWeightsVersionTracksPrecision pins the cache-safety contract: the
+// weights version must differ between fp32 and int8, and between two
+// int8 states calibrated on different data.
+func TestWeightsVersionTracksPrecision(t *testing.T) {
+	m := quantTestModel(t)
+	vFP32 := m.WeightsVersion()
+	if err := m.CalibrateInt8(quantTestRasters(m.Config, 2, 51)); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated but still fp32: version must be unchanged (the int8
+	// state is inert until selected).
+	if m.WeightsVersion() != vFP32 {
+		t.Fatal("weights version changed by calibration alone")
+	}
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	vInt8 := m.WeightsVersion()
+	if vInt8 == vFP32 {
+		t.Fatal("weights version identical across fp32 and int8")
+	}
+	// Recalibrate on very different activation ranges: version must move.
+	big := quantTestRasters(m.Config, 2, 52)
+	for _, r := range big {
+		d := r.Data()
+		for i := range d {
+			d[i] *= 40
+		}
+	}
+	if err := m.CalibrateInt8(big); err != nil {
+		t.Fatal(err)
+	}
+	if m.WeightsVersion() == vInt8 {
+		t.Fatal("weights version identical across different calibrations")
+	}
+}
+
+// TestCloneCarriesInt8 checks clones inherit precision and calibration
+// and produce bit-identical int8 features (shared plans, copied weights).
+func TestCloneCarriesInt8(t *testing.T) {
+	m := quantTestModel(t)
+	if err := m.CalibrateInt8(quantTestRasters(m.Config, 2, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	x := quantTestRasters(m.Config, 1, 62)[0]
+	want := append([]float32(nil), m.InferBase(x).Feat.Data()...)
+
+	r, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Precision() != PrecisionInt8 {
+		t.Fatalf("clone precision %q, want int8", r.Precision())
+	}
+	got := r.InferBase(x).Feat.Data()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("element %d: clone %v vs source %v", i, got[i], want[i])
+		}
+	}
+	if r.WeightsVersion() != m.WeightsVersion() {
+		t.Fatal("clone weights version differs from source")
+	}
+}
+
+// TestDetectInt8SteadyStateAllocs extends the steady-state allocation
+// guarantee to the quantized path: after warm-up, an int8 Detect stays
+// within the same budget as the float32 guard (the quantized conv draws
+// its byte buffers and packed panels from pools).
+func TestDetectInt8SteadyStateAllocs(t *testing.T) {
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	m := quantTestModel(t)
+	if err := m.CalibrateInt8(quantTestRasters(m.Config, 2, 71)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPrecision(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	x := quantTestRasters(m.Config, 1, 72)[0]
+	m.Detect(x) // warm-up: sizes the workspace, scratch and int8 pools
+
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Detect(x)
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("steady-state int8 Detect allocated %.0f times per run, want ≤ %d", allocs, budget)
+	}
+}

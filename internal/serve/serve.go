@@ -47,6 +47,7 @@ import (
 	"rhsd/internal/layout"
 	"rhsd/internal/parallel"
 	"rhsd/internal/telemetry"
+	"rhsd/internal/tensor"
 )
 
 // Config tunes one Server. The zero value of every field selects a
@@ -84,6 +85,16 @@ type Config struct {
 	// ScoreThreshold overrides the model's reporting threshold when
 	// non-negative (an explicit 0 is honored); negative = model default.
 	ScoreThreshold float64
+	// Precision selects the trunk numeric path every pooled clone starts
+	// with: hsd.PrecisionFP32 (default, "" included) or hsd.PrecisionInt8.
+	// Int8 requires Calibration.
+	Precision string
+	// Calibration rasters arm the int8 trunk at startup: the model
+	// sweeps its activation ranges over them and quantizes its weights
+	// before the pool is cloned. Required when Precision is int8, and
+	// for per-request ?precision=int8 overrides; empty leaves the int8
+	// path unarmed (requests asking for it answer 400).
+	Calibration []*tensor.Tensor
 	// IdleTrim is how long the server must sit idle before per-clone
 	// workspaces are trimmed (0 = 1 min; negative = never trim).
 	IdleTrim time.Duration
@@ -135,8 +146,8 @@ func (c Config) withDefaults() Config {
 // /statusz reads these same instruments, so JSON status and Prometheus
 // exposition always agree.
 type serveMetrics struct {
-	requests   *telemetry.Counter   // every admitted /detect request
-	respOK     *telemetry.Counter   // responses by class
+	requests   *telemetry.Counter // every admitted /detect request
+	respOK     *telemetry.Counter // responses by class
 	respClient *telemetry.Counter
 	respServer *telemetry.Counter
 	shed       *telemetry.Counter   // 429s from a full queue
@@ -244,6 +255,12 @@ type Server struct {
 	met *serveMetrics
 	log *slog.Logger
 
+	// defaultPrecision is the pool-wide numeric path (cfg.Precision
+	// normalized); int8Armed records whether startup calibration ran, the
+	// precondition for per-request ?precision=int8 overrides.
+	defaultPrecision string
+	int8Armed        bool
+
 	// cache is the shared megatile result cache (nil = disabled); hist
 	// retains recent scan results for /detect?since= incremental rescans
 	// (nil when the scan path is per-tile).
@@ -306,6 +323,19 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 	if cfg.MegatileFactor >= 0 {
 		s.hist = newScanHistory(scanHistoryDepth)
 	}
+	// Arm and select the numeric path before cloning: clones inherit the
+	// calibration (plans are shared by reference) and the precision, so
+	// the whole pool serves one consistent configuration.
+	if len(cfg.Calibration) > 0 {
+		if err := m.CalibrateInt8(cfg.Calibration); err != nil {
+			return nil, fmt.Errorf("serve: int8 calibration: %w", err)
+		}
+	}
+	if err := m.SetPrecision(cfg.Precision); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.defaultPrecision = m.Precision()
+	s.int8Armed = m.Int8Calibrated()
 	for i := 0; i < cfg.Pool; i++ {
 		cm := m
 		if i > 0 {
@@ -416,6 +446,9 @@ type DetectResponse struct {
 	TilesScanned int             `json:"tiles_scanned,omitempty"`
 	TilesReused  int             `json:"tiles_reused,omitempty"`
 	Incremental  bool            `json:"incremental,omitempty"`
+	// Precision is the numeric path this scan ran under ("fp32" or
+	// "int8"): the pool default, or the request's ?precision= override.
+	Precision string `json:"precision,omitempty"`
 }
 
 // ErrorResponse is every non-2xx payload.
@@ -442,6 +475,10 @@ type Status struct {
 	LatencyAvgMS   float64 `json:"latency_avg_ms"`
 	LatencyMaxMS   float64 `json:"latency_max_ms"`
 	Draining       bool    `json:"draining"`
+	// Precision is the pool-wide numeric path; Int8Armed reports whether
+	// per-request ?precision=int8 overrides are available.
+	Precision string `json:"precision"`
+	Int8Armed bool   `json:"int8_armed"`
 	// Cache* mirror the rhsd_scancache_* series when the megatile result
 	// cache is enabled; CacheHitRate is hits / (hits + misses + shared).
 	CacheEnabled   bool    `json:"cache_enabled"`
@@ -500,6 +537,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Shed:           m.shed.Value(),
 		Timeouts:       m.timeouts.Value(),
 		Detections:     m.detections.Value(),
+		Precision:      s.defaultPrecision,
+		Int8Armed:      s.int8Armed,
 	}
 	if n := m.latency.Count(); n > 0 {
 		st.LatencyAvgMS = m.latency.Sum() / float64(n) * 1e3
@@ -576,6 +615,26 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		since = v
 	}
 
+	// ?precision= overrides the pool default for this request only; the
+	// override is applied to the exclusively-held worker and restored
+	// before it rejoins the pool.
+	precision := s.defaultPrecision
+	if q := r.URL.Query().Get("precision"); q != "" {
+		switch q {
+		case hsd.PrecisionFP32, hsd.PrecisionInt8:
+			precision = q
+		default:
+			s.fail(w, http.StatusBadRequest, "invalid precision=%q: want %q or %q",
+				q, hsd.PrecisionFP32, hsd.PrecisionInt8)
+			return
+		}
+		if precision == hsd.PrecisionInt8 && !s.int8Armed {
+			s.fail(w, http.StatusBadRequest,
+				"precision=int8 unavailable: the server started without int8 calibration")
+			return
+		}
+	}
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	l, err := layout.ParseChecked(body, s.cfg.Limits)
 	if err != nil {
@@ -623,6 +682,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			if s.testHook != nil {
 				s.testHook()
 			}
+			if prev := wk.m.Precision(); precision != prev {
+				if perr := wk.m.SetPrecision(precision); perr != nil {
+					panic(perr) // validated at admission: unreachable
+				}
+				defer wk.m.SetPrecision(prev)
+			}
 			out = s.scan(wk.m, l, since)
 		})
 		wk.footprint.Store(int64(wk.m.TotalWorkspaceFootprint()) * 4)
@@ -659,6 +724,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			TilesScanned: res.out.tilesScanned,
 			TilesReused:  res.out.tilesReused,
 			Incremental:  res.out.incremental,
+			Precision:    precision,
 		}
 		for i, d := range dets {
 			out.Detections[i] = DetectionJSON{

@@ -31,7 +31,7 @@ import (
 //
 // Within a family every kernel produces bit-identical results for the
 // whole packed GEMM: the per-element accumulation order (k ascending,
-// KC-blocked with KC equal across kernels) does not depend on MR/NR,
+// KC-blocked with KC equal across the family's kernels) does not depend on MR/NR,
 // only the per-step rounding differs between families. Across families
 // results agree to rounding, not to the bit — pinned by the kernel
 // parity suites and the hsd cross-kernel scan test.
@@ -66,7 +66,7 @@ type gemmKernel struct {
 	ref  microKind // portable bit-reference implementation
 	mr   int       // register tile rows; A packs into mr-wide panels
 	nr   int       // register tile cols; B packs into nr-wide panels
-	kc   int       // k-block depth (equal across kernels: keeps families bit-stable)
+	kc   int       // k-block depth (equal within a family: keeps it bit-stable)
 	nc   int       // column-block width (multiple of nr)
 	fma  bool      // rounding family: true = fused multiply-add
 }
@@ -93,7 +93,7 @@ func (kr *gemmKernel) refTwin() *gemmKernel {
 // the AVX2/AVX-512 scan bits on any machine.
 var portableKernels = []*gemmKernel{
 	{name: "go", kind: microGo4x8, ref: microGo4x8, mr: 4, nr: 8, kc: 256, nc: 128},
-	{name: "go-fma", kind: microGoFMA, ref: microGoFMA, mr: 6, nr: 16, kc: 256, nc: 128, fma: true},
+	{name: "go-fma", kind: microGoFMA, ref: microGoFMA, mr: 6, nr: 16, kc: 192, nc: 128, fma: true},
 }
 
 // gemmActive is the kernel Gemm dispatches to; set at init, replaced by

@@ -306,3 +306,31 @@ func TestGemmKernelDispatchRace(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestGemmKernelGeometry pins the registry invariants the packed sweep
+// relies on: nc a multiple of nr (pack buffers hold a block's panels
+// exactly), tiles within gemmMaxTile, and KC equal across every kernel
+// of one rounding family — the KC grouping of the k-sum is part of each
+// family's bit-stability contract, so retuning KC for one family member
+// (see BenchmarkGemmBlockSweep) must retune all of them together.
+func TestGemmKernelGeometry(t *testing.T) {
+	familyKC := map[string]int{}
+	for _, kr := range allGemmKernels() {
+		if kr.nc%kr.nr != 0 {
+			t.Errorf("%s: nc=%d not a multiple of nr=%d", kr.name, kr.nc, kr.nr)
+		}
+		if kr.mr*kr.nr > gemmMaxTile {
+			t.Errorf("%s: tile %dx%d exceeds gemmMaxTile", kr.name, kr.mr, kr.nr)
+		}
+		if kr.mr > gemmMaxMR || kr.nr > gemmMaxNR {
+			t.Errorf("%s: mr=%d nr=%d exceed declared maxima", kr.name, kr.mr, kr.nr)
+		}
+		if kc, ok := familyKC[kr.family()]; ok {
+			if kc != kr.kc {
+				t.Errorf("%s: kc=%d differs from its %s-family peers' kc=%d", kr.name, kr.kc, kr.family(), kc)
+			}
+		} else {
+			familyKC[kr.family()] = kr.kc
+		}
+	}
+}

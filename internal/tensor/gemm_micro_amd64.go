@@ -13,12 +13,15 @@ import "rhsd/internal/cpu"
 //   - avx512 8×32: 16 ZMM accumulators (8 rows × two 16-lane vectors),
 //     using Z16–Z18 for loads/broadcast (EVEX gives 32 registers).
 //
-// KC is identical across kernels so the two rounding families stay
-// internally bit-stable (see gemm_kernel.go).
+// KC is identical across kernels of one rounding family so each family
+// stays internally bit-stable (see gemm_kernel.go): muladd (go, sse)
+// uses 256, fma (go-fma, avx2, avx512) uses 192. NC is numerics-free
+// and tuned per kernel; both come from the measured cache-block sweep
+// (BenchmarkGemmBlockSweep) at the backbone GEMM shapes.
 var archKernels = []*gemmKernel{
 	{name: "sse", kind: microSSE4x8, ref: microGo4x8, mr: 4, nr: 8, kc: 256, nc: 128},
-	{name: "avx2", kind: microAVX2x6x16, ref: microGoFMA, mr: 6, nr: 16, kc: 256, nc: 128, fma: true},
-	{name: "avx512", kind: microAVX512x8x32, ref: microGoFMA, mr: 8, nr: 32, kc: 256, nc: 128, fma: true},
+	{name: "avx2", kind: microAVX2x6x16, ref: microGoFMA, mr: 6, nr: 16, kc: 192, nc: 512, fma: true},
+	{name: "avx512", kind: microAVX512x8x32, ref: microGoFMA, mr: 8, nr: 32, kc: 192, nc: 128, fma: true},
 }
 
 // archPreferred orders the default selection widest-first.

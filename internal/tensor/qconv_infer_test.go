@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQConv2DInferMatchesFloat checks the quantized conv against the
+// float32 conv within the quantization error budget, across geometries
+// with padding (exercising the zero-point padding correction) and
+// strides, for every available kernel — whose outputs must also be
+// bit-identical to each other (activations are in-domain by
+// construction).
+func TestQConv2DInferMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ws := NewWorkspace()
+	cases := []struct {
+		n, c, h, w, oc int
+		o              ConvOpts
+	}{
+		{1, 3, 16, 16, 8, ConvOpts{Kernel: 3, Stride: 1, Padding: 1}},
+		{2, 4, 13, 11, 6, ConvOpts{Kernel: 3, Stride: 2, Padding: 1}},
+		{1, 8, 20, 20, 16, ConvOpts{Kernel: 5, Stride: 1, Padding: 2}},
+		{1, 2, 9, 9, 4, ConvOpts{Kernel: 1, Stride: 1, Padding: 0}},
+	}
+	orig := QGemmKernel()
+	defer SetQGemmKernel(orig)
+	for ci, tc := range cases {
+		x := New(tc.n, tc.c, tc.h, tc.w)
+		wgt := New(tc.oc, tc.c, tc.o.Kernel, tc.o.Kernel)
+		bias := New(tc.oc)
+		fillRand(x, rng)
+		fillRand(wgt, rng)
+		fillRand(bias, rng)
+
+		ws.Reset()
+		want := Conv2DInfer(ws, x, wgt, tc.o, Epilogue{Bias: bias, Act: true, Slope: 0.05})
+
+		var r QuantRange
+		r.ObserveSlice(x.data)
+		kk := tc.c * tc.o.Kernel * tc.o.Kernel
+		plan := NewQConvWeights(wgt.data, tc.oc, kk).Plan(r.Params())
+
+		// Error budget: each of the kk products carries at most half an
+		// activation step times the weight magnitude (and vice versa);
+		// a loose per-element bound of kk·(actStep·maxW + wStep·maxAct)
+		// covers accumulation comfortably.
+		actStep := float64(plan.In.Scale)
+		var maxW, wStep float64
+		for r := 0; r < tc.oc; r++ {
+			if s := float64(plan.W.Scales[r]); s*WeightQMax > maxW {
+				maxW = s * WeightQMax
+				wStep = s
+			}
+		}
+		var maxAct float64
+		for _, v := range x.data {
+			if a := math.Abs(float64(v)); a > maxAct {
+				maxAct = a
+			}
+		}
+		tol := float64(kk) * (actStep*maxW + wStep*maxAct)
+
+		var ref []float32
+		for _, kr := range availableQKernels(t) {
+			if _, err := SetQGemmKernel(kr.name); err != nil {
+				t.Fatalf("SetQGemmKernel(%s): %v", kr.name, err)
+			}
+			qws := NewWorkspace()
+			got := QConv2DInfer(qws, x, plan, tc.o, Epilogue{Bias: bias, Act: true, Slope: 0.05})
+			gs, wsh := got.Shape(), want.Shape()
+			for i := range wsh {
+				if gs[i] != wsh[i] {
+					t.Fatalf("case %d: shape %v vs %v", ci, gs, wsh)
+				}
+			}
+			for i, v := range want.data {
+				if math.Abs(float64(got.data[i])-float64(v)) > tol {
+					t.Fatalf("case %d kernel %s: element %d: int8 %v vs fp32 %v (tol %v)",
+						ci, kr.name, i, got.data[i], v, tol)
+				}
+			}
+			if ref == nil {
+				ref = append([]float32(nil), got.data...)
+				continue
+			}
+			for i := range ref {
+				if math.Float32bits(ref[i]) != math.Float32bits(got.data[i]) {
+					t.Fatalf("case %d: kernel %s diverges from first kernel at %d: %v vs %v",
+						ci, kr.name, i, got.data[i], ref[i])
+				}
+			}
+			ref = nil
+			ref = append(ref, got.data...)
+		}
+	}
+}
+
+// TestQConv2DInferZeroInput pins the padding identity: an all-zero
+// input quantizes to the zero point everywhere, the correction cancels
+// it exactly, and the output is exactly bias (after activation).
+func TestQConv2DInferZeroInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	o := ConvOpts{Kernel: 3, Stride: 1, Padding: 1}
+	x := New(1, 3, 8, 8) // zeros
+	wgt := New(4, 3, 3, 3)
+	bias := New(4)
+	fillRand(wgt, rng)
+	fillRand(bias, rng)
+
+	var r QuantRange
+	r.Observe(-1)
+	r.Observe(1)
+	plan := NewQConvWeights(wgt.data, 4, 27).Plan(r.Params())
+	ws := NewWorkspace()
+	got := QConv2DInfer(ws, x, plan, o, Epilogue{Bias: bias})
+	oh, ow := o.OutDim(8), o.OutDim(8)
+	for ch := 0; ch < 4; ch++ {
+		for i := 0; i < oh*ow; i++ {
+			if v := got.data[ch*oh*ow+i]; v != bias.data[ch] {
+				t.Fatalf("channel %d element %d = %v, want exact bias %v", ch, i, v, bias.data[ch])
+			}
+		}
+	}
+}
+
+// TestQConvWeightsPackedForAllKernels checks weights pre-pack for every
+// usable kernel so SetQGemmKernel swaps never need repacking.
+func TestQConvWeightsPackedForAllKernels(t *testing.T) {
+	w := make([]float32, 8*36)
+	for i := range w {
+		w[i] = float32(i%11) - 5
+	}
+	qw := NewQConvWeights(w, 8, 36)
+	for _, kr := range availableQKernels(t) {
+		if qw.packed[kr.name] == nil {
+			t.Errorf("no packed panels for usable kernel %q", kr.name)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Int8 GEMM micro-kernel registry and runtime dispatch, the quantized
+// sibling of gemm_kernel.go. The packed int8 GEMM (qgemm_packed.go) is
+// parameterised the same way — MR×NR register tile, KC/NC cache
+// blocking — but accumulates in int32 over k-groups of 4 bytes, the
+// granule both VPMADDUBSW/VPMADDWD (AVX2) and VPDPBUSD (AVX-512 VNNI)
+// consume.
+//
+// Numerics: integer accumulation is exact, so unlike the float32
+// registry there is no rounding-order concern — kernels of the "exact"
+// family are bit-identical for any geometry. The AVX2 kernel is its own
+// "sat16" family: VPMADDUBSW saturates the per-k-group pair sum to
+// int16, which can differ from the exact sum only when an activation
+// byte exceeds ActQMax (127) — impossible for values produced by
+// QuantParams.Quantize, so inside the calibrated domain every kernel
+// returns identical int32 sums (pinned by TestQGemmKernelDomainAgreement).
+// The saturating semantics are still part of the kernel's contract and
+// the qavx2 parity suite pins them against a portable twin that emulates
+// the saturation exactly, over full-range u8 inputs.
+const (
+	qgemmMaxMR   = 8
+	qgemmMaxNR   = 32
+	qgemmMaxTile = qgemmMaxMR * qgemmMaxNR
+)
+
+// qmicroKind names a concrete int8 micro-kernel implementation; static
+// switch dispatch for the same escape-analysis reason as microKind.
+type qmicroKind uint8
+
+const (
+	qmicroGoExact qmicroKind = iota // portable exact int32 reference
+	qmicroGoSat16                   // portable VPMADDUBSW-saturation reference
+	qmicroAVX2x4x16
+	qmicroVNNI8x32
+)
+
+// qgemmKernel describes one registered int8 micro-kernel. kc must be a
+// multiple of 4 (the k-group granule) and nc a multiple of nr.
+type qgemmKernel struct {
+	name string
+	kind qmicroKind
+	ref  qmicroKind // portable bit-reference implementation
+	mr   int
+	nr   int
+	kc   int
+	nc   int
+	sat  bool // int16-saturating family (VPMADDUBSW semantics)
+}
+
+func (kr *qgemmKernel) family() string {
+	if kr.sat {
+		return "sat16"
+	}
+	return "exact"
+}
+
+// refTwin returns a same-geometry copy running the portable reference —
+// the comparison arm of the int8 bit-parity suites.
+func (kr *qgemmKernel) refTwin() *qgemmKernel {
+	twin := *kr
+	twin.name = kr.name + "-ref"
+	twin.kind = kr.ref
+	return &twin
+}
+
+// qportableKernels are available on every architecture.
+var qportableKernels = []*qgemmKernel{
+	{name: "qgo", kind: qmicroGoExact, ref: qmicroGoExact, mr: 4, nr: 16, kc: 256, nc: 128},
+}
+
+// qgemmActive is the kernel quantized GEMMs dispatch to.
+var qgemmActive atomic.Pointer[qgemmKernel]
+
+// qgemmEnvRequest records the RHSD_QGEMM_KERNEL override, mirroring
+// gemmEnvRequest for the quantized kernel matrix.
+var qgemmEnvRequest struct {
+	name    string
+	present bool
+	honored bool
+}
+
+func allQGemmKernels() []*qgemmKernel {
+	ks := append([]*qgemmKernel(nil), qportableKernels...)
+	return append(ks, qarchKernels...)
+}
+
+func lookupQGemmKernel(name string) *qgemmKernel {
+	for _, kr := range allQGemmKernels() {
+		if kr.name == name {
+			return kr
+		}
+	}
+	return nil
+}
+
+// QGemmKernels lists every registered int8 kernel name, available or
+// not, sorted for stable output.
+func QGemmKernels() []string {
+	var names []string
+	for _, kr := range allQGemmKernels() {
+		names = append(names, kr.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// QGemmKernelAvailable reports whether the named int8 kernel is
+// registered and safe to execute on this machine.
+func QGemmKernelAvailable(name string) bool {
+	kr := lookupQGemmKernel(name)
+	return kr != nil && qarchKernelUsable(kr)
+}
+
+// QGemmKernel returns the name of the active int8 kernel.
+func QGemmKernel() string { return qgemmActive.Load().name }
+
+// QGemmKernelFamily returns "exact" or "sat16" for a registered int8
+// kernel, "" when unknown. Exact-family kernels produce bit-identical
+// int32 sums on any input; the sat16 family matches them everywhere
+// inside the calibrated activation domain (bytes ≤ ActQMax).
+func QGemmKernelFamily(name string) string {
+	kr := lookupQGemmKernel(name)
+	if kr == nil {
+		return ""
+	}
+	return kr.family()
+}
+
+// SetQGemmKernel makes the quantized GEMM dispatch to the named kernel
+// and returns the previously active name; unknown or unsupported names
+// error and leave dispatch unchanged. The swap is atomic, like
+// SetGemmKernel. Note layers pre-pack their quantized weights for every
+// usable kernel, so a swap needs no repacking (nn/quant.go).
+func SetQGemmKernel(name string) (prev string, err error) {
+	kr := lookupQGemmKernel(name)
+	if kr == nil {
+		return QGemmKernel(), fmt.Errorf("tensor: unknown int8 GEMM kernel %q (have %v)", name, QGemmKernels())
+	}
+	if !qarchKernelUsable(kr) {
+		return QGemmKernel(), fmt.Errorf("tensor: int8 GEMM kernel %q unsupported on this CPU", name)
+	}
+	old := qgemmActive.Swap(kr)
+	return old.name, nil
+}
+
+// RequestedQGemmKernel reports the RHSD_QGEMM_KERNEL override: requested
+// name, whether the variable was set, and whether it was honored.
+func RequestedQGemmKernel() (name string, present, honored bool) {
+	return qgemmEnvRequest.name, qgemmEnvRequest.present, qgemmEnvRequest.honored
+}
+
+func init() {
+	var pick *qgemmKernel
+	for _, name := range qarchPreferred {
+		if kr := lookupQGemmKernel(name); kr != nil && qarchKernelUsable(kr) {
+			pick = kr
+			break
+		}
+	}
+	if pick == nil {
+		pick = lookupQGemmKernel("qgo")
+	}
+	qgemmActive.Store(pick)
+
+	if env, ok := os.LookupEnv("RHSD_QGEMM_KERNEL"); ok {
+		qgemmEnvRequest.name = env
+		qgemmEnvRequest.present = true
+		if _, err := SetQGemmKernel(env); err != nil {
+			fmt.Fprintf(os.Stderr, "tensor: RHSD_QGEMM_KERNEL: %v; using %q\n", err, QGemmKernel())
+		} else {
+			qgemmEnvRequest.honored = true
+		}
+	}
+}
+
+// qgemmMicroGoExact is the portable exact reference:
+//
+//	acc[r*nr+s] = Σ_g Σ_{j<4} pa[(g*mr+r)*4+j] · pb[(g*nr+s)*4+j]
+//
+// over kc4 k-groups, with unsigned activation bytes (pb) and signed
+// weight bytes (pa) widened to int32 before the multiply — the
+// VPDPBUSD semantics.
+func qgemmMicroGoExact(mr, nr, kc4 int, pa []int8, pb []uint8, acc *[qgemmMaxTile]int32) {
+	tile := acc[:mr*nr]
+	for i := range tile {
+		tile[i] = 0
+	}
+	pa = pa[:kc4*mr*4]
+	pb = pb[:kc4*nr*4]
+	for g := 0; g < kc4; g++ {
+		ag := pa[g*mr*4 : (g*mr+mr)*4]
+		bg := pb[g*nr*4 : (g*nr+nr)*4]
+		for r := 0; r < mr; r++ {
+			a0 := int32(ag[r*4])
+			a1 := int32(ag[r*4+1])
+			a2 := int32(ag[r*4+2])
+			a3 := int32(ag[r*4+3])
+			row := tile[r*nr : r*nr+nr]
+			for s := 0; s < nr; s++ {
+				row[s] += a0*int32(bg[s*4]) + a1*int32(bg[s*4+1]) +
+					a2*int32(bg[s*4+2]) + a3*int32(bg[s*4+3])
+			}
+		}
+	}
+}
+
+// qgemmMicroGoSat16 is the portable reference for the AVX2 kernel: per
+// k-group, byte pairs are combined into int16 with saturation
+// (VPMADDUBSW), then the two pair sums are added exactly (VPMADDWD
+// against ones cannot overflow: |sum| ≤ 2·32768). Identical to the
+// exact reference whenever every activation byte is ≤ ActQMax.
+func qgemmMicroGoSat16(mr, nr, kc4 int, pa []int8, pb []uint8, acc *[qgemmMaxTile]int32) {
+	tile := acc[:mr*nr]
+	for i := range tile {
+		tile[i] = 0
+	}
+	pa = pa[:kc4*mr*4]
+	pb = pb[:kc4*nr*4]
+	for g := 0; g < kc4; g++ {
+		ag := pa[g*mr*4 : (g*mr+mr)*4]
+		bg := pb[g*nr*4 : (g*nr+nr)*4]
+		for r := 0; r < mr; r++ {
+			a0 := int32(ag[r*4])
+			a1 := int32(ag[r*4+1])
+			a2 := int32(ag[r*4+2])
+			a3 := int32(ag[r*4+3])
+			row := tile[r*nr : r*nr+nr]
+			for s := 0; s < nr; s++ {
+				lo := sat16(int32(bg[s*4])*a0 + int32(bg[s*4+1])*a1)
+				hi := sat16(int32(bg[s*4+2])*a2 + int32(bg[s*4+3])*a3)
+				row[s] += lo + hi
+			}
+		}
+	}
+}
+
+func sat16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+package tensor
+
+import "rhsd/internal/cpu"
+
+// amd64 int8 micro-kernel registrations.
+//
+// Geometry notes:
+//   - qavx2 4×16: 8 YMM accumulators (4 rows × two 8-dword vectors),
+//     VPMADDUBSW → VPMADDWD(ones) → VPADDD per k-group; the int16
+//     saturation of VPMADDUBSW makes this its own "sat16" family.
+//   - qvnni 8×32: 16 ZMM accumulators (8 rows × two 16-dword vectors),
+//     one VPDPBUSD per row per k-group — exact int32 accumulation.
+//
+// KC is a multiple of 4 for every kernel (the packers emit 4-deep byte
+// groups). Integer accumulation is exact, so KC/NC need not match
+// across kernels for bit-stability — each kernel carries the blocking
+// the measured sweep (BenchmarkQGemmBlockSweep) preferred. KC=768
+// additionally makes the dominant backbone shapes (kk ≤ 768) a single
+// k-block, which skips the int32 carry buffer entirely.
+var qarchKernels = []*qgemmKernel{
+	{name: "qavx2", kind: qmicroAVX2x4x16, ref: qmicroGoSat16, mr: 4, nr: 16, kc: 768, nc: 512, sat: true},
+	{name: "qvnni", kind: qmicroVNNI8x32, ref: qmicroGoExact, mr: 8, nr: 32, kc: 768, nc: 128},
+}
+
+// qarchPreferred orders the default selection widest-first.
+var qarchPreferred = []string{"qvnni", "qavx2", "qgo"}
+
+func qarchKernelUsable(kr *qgemmKernel) bool {
+	switch kr.kind {
+	case qmicroAVX2x4x16:
+		return cpu.X86.AVX2
+	case qmicroVNNI8x32:
+		return cpu.X86.HasAVX512VNNI()
+	default:
+		return true
+	}
+}
+
+// qgemmMicroRun executes one int8 micro-kernel invocation:
+// acc[r*nr+s] = Σ over kc4 4-deep k-groups of pa·pb products,
+// overwriting the mr×nr tile prefix of acc. Static switch dispatch for
+// the same escape-analysis reason as gemmMicroRun.
+func qgemmMicroRun(kind qmicroKind, mr, nr, kc4 int, pa []int8, pb []uint8, acc *[qgemmMaxTile]int32) {
+	if kc4 <= 0 {
+		tile := acc[:mr*nr]
+		for i := range tile {
+			tile[i] = 0
+		}
+		return
+	}
+	switch kind {
+	case qmicroGoExact:
+		qgemmMicroGoExact(mr, nr, kc4, pa, pb, acc)
+	case qmicroGoSat16:
+		qgemmMicroGoSat16(mr, nr, kc4, pa, pb, acc)
+	case qmicroAVX2x4x16:
+		_ = pa[kc4*16-1]
+		_ = pb[kc4*64-1]
+		qgemmMicroAVX2(kc4, &pa[0], &pb[0], acc)
+	case qmicroVNNI8x32:
+		_ = pa[kc4*32-1]
+		_ = pb[kc4*128-1]
+		qgemmMicroVNNI(kc4, &pa[0], &pb[0], acc)
+	default:
+		panic("tensor: unknown int8 micro-kernel kind")
+	}
+}
+
+// Assembly micro-kernels (qgemm_micro_amd64.s). Each overwrites the
+// leading mr×nr int32s of acc.
+//
+//go:noescape
+func qgemmMicroAVX2(kc4 int, pa *int8, pb *uint8, acc *[qgemmMaxTile]int32)
+
+//go:noescape
+func qgemmMicroVNNI(kc4 int, pa *int8, pb *uint8, acc *[qgemmMaxTile]int32)
+
+// qinterleaveRows writes dst[s*4+j] = rj[s] for s < n — the 4-deep
+// k-group interleave the packed-B layout wants — 16 columns per SSE2
+// step. Packing was the quantized GEMM's hot spot as a scalar loop
+// (stride-4 byte scatters), not the dot products.
+func qinterleaveRows(dst []uint8, r0, r1, r2, r3 []uint8, n int) {
+	if n <= 0 {
+		return
+	}
+	_ = dst[n*4-1]
+	_, _, _, _ = r0[n-1], r1[n-1], r2[n-1], r3[n-1]
+	qinterleave4(&dst[0], &r0[0], &r1[0], &r2[0], &r3[0], n)
+}
+
+//go:noescape
+func qinterleave4(dst *uint8, r0, r1, r2, r3 *uint8, n int)

@@ -1,0 +1,258 @@
+// AVX2 int8 micro-kernel for the packed quantized GEMM: a 4×16 int32
+// register tile accumulated over kc4 4-deep k-groups.
+//
+//   acc[r*16+s] = Σ_g Σ_{j<4} pa[(g*4+r)*4+j] · pb[(g*16+s)*4+j]
+//
+// pb holds unsigned activation bytes, pa signed weight bytes, both laid
+// out in 4-byte k-groups (one dword per column / row). Each step loads
+// one 16-column B slice (Y12, Y13), broadcasts the 4 rows' weight
+// dwords in turn (Y14) and runs the classic pre-VNNI dot-product
+// sequence: VPMADDUBSW (u8·s8 pairs → int16, SATURATING), VPMADDWD
+// against word-ones (int16 pairs → exact int32), VPADDD into the
+// accumulators. The int16 saturation is the kernel's contract and is
+// emulated exactly by qgemmMicroGoSat16; it is unreachable while every
+// activation byte is ≤ 127 (see quant.go).
+//
+// func qgemmMicroAVX2(kc4 int, pa *int8, pb *uint8, acc *[256]int32)
+#include "textflag.h"
+
+TEXT ·qgemmMicroAVX2(SB), NOSPLIT, $0-32
+	MOVQ kc4+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	// Y15 = 16 int16 ones, the VPMADDWD pair-sum multiplier.
+	VPCMPEQW Y15, Y15, Y15
+	VPSRLW   $15, Y15, Y15
+
+qavx2loop:
+	VMOVDQU (DI), Y12        // columns 0..7, one k-group dword each
+	VMOVDQU 32(DI), Y13      // columns 8..15
+
+	VPBROADCASTD (SI), Y14   // row 0 weight k-group
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDWD     Y15, Y10, Y10
+	VPADDD       Y10, Y0, Y0
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y11, Y1, Y1
+
+	VPBROADCASTD 4(SI), Y14  // row 1
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDWD     Y15, Y10, Y10
+	VPADDD       Y10, Y2, Y2
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y11, Y3, Y3
+
+	VPBROADCASTD 8(SI), Y14  // row 2
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDWD     Y15, Y10, Y10
+	VPADDD       Y10, Y4, Y4
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y11, Y5, Y5
+
+	VPBROADCASTD 12(SI), Y14 // row 3
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDWD     Y15, Y10, Y10
+	VPADDD       Y10, Y6, Y6
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y11, Y7, Y7
+
+	ADDQ $16, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  qavx2loop
+
+	VMOVDQU Y0, (DX)
+	VMOVDQU Y1, 32(DX)
+	VMOVDQU Y2, 64(DX)
+	VMOVDQU Y3, 96(DX)
+	VMOVDQU Y4, 128(DX)
+	VMOVDQU Y5, 160(DX)
+	VMOVDQU Y6, 192(DX)
+	VMOVDQU Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// AVX-512 VNNI int8 micro-kernel: an 8×32 int32 register tile
+// accumulated over kc4 4-deep k-groups.
+//
+//   acc[r*32+s] = Σ_g Σ_{j<4} pa[(g*8+r)*4+j] · pb[(g*32+s)*4+j]
+//
+// The tile lives in Z0–Z15 (two 16-dword vectors per row); Z16/Z17 hold
+// the current 32-column B slice and Z18 the broadcast weight k-group.
+// One VPDPBUSD per row-vector fuses the whole
+// multiply-widen-pairwise-add-accumulate chain with exact int32
+// arithmetic — same results as the portable exact reference on every
+// input, saturation-free by construction.
+//
+// func qgemmMicroVNNI(kc4 int, pa *int8, pb *uint8, acc *[256]int32)
+TEXT ·qgemmMicroVNNI(SB), NOSPLIT, $0-32
+	MOVQ kc4+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+	VPXORQ Z8, Z8, Z8
+	VPXORQ Z9, Z9, Z9
+	VPXORQ Z10, Z10, Z10
+	VPXORQ Z11, Z11, Z11
+	VPXORQ Z12, Z12, Z12
+	VPXORQ Z13, Z13, Z13
+	VPXORQ Z14, Z14, Z14
+	VPXORQ Z15, Z15, Z15
+
+qvnniloop:
+	VMOVDQU32 (DI), Z16      // columns 0..15
+	VMOVDQU32 64(DI), Z17    // columns 16..31
+
+	VPBROADCASTD (SI), Z18   // row 0 weight k-group (signed operand)
+	VPDPBUSD     Z18, Z16, Z0
+	VPDPBUSD     Z18, Z17, Z1
+
+	VPBROADCASTD 4(SI), Z18  // row 1
+	VPDPBUSD     Z18, Z16, Z2
+	VPDPBUSD     Z18, Z17, Z3
+
+	VPBROADCASTD 8(SI), Z18  // row 2
+	VPDPBUSD     Z18, Z16, Z4
+	VPDPBUSD     Z18, Z17, Z5
+
+	VPBROADCASTD 12(SI), Z18 // row 3
+	VPDPBUSD     Z18, Z16, Z6
+	VPDPBUSD     Z18, Z17, Z7
+
+	VPBROADCASTD 16(SI), Z18 // row 4
+	VPDPBUSD     Z18, Z16, Z8
+	VPDPBUSD     Z18, Z17, Z9
+
+	VPBROADCASTD 20(SI), Z18 // row 5
+	VPDPBUSD     Z18, Z16, Z10
+	VPDPBUSD     Z18, Z17, Z11
+
+	VPBROADCASTD 24(SI), Z18 // row 6
+	VPDPBUSD     Z18, Z16, Z12
+	VPDPBUSD     Z18, Z17, Z13
+
+	VPBROADCASTD 28(SI), Z18 // row 7
+	VPDPBUSD     Z18, Z16, Z14
+	VPDPBUSD     Z18, Z17, Z15
+
+	ADDQ $32, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  qvnniloop
+
+	VMOVDQU32 Z0, (DX)
+	VMOVDQU32 Z1, 64(DX)
+	VMOVDQU32 Z2, 128(DX)
+	VMOVDQU32 Z3, 192(DX)
+	VMOVDQU32 Z4, 256(DX)
+	VMOVDQU32 Z5, 320(DX)
+	VMOVDQU32 Z6, 384(DX)
+	VMOVDQU32 Z7, 448(DX)
+	VMOVDQU32 Z8, 512(DX)
+	VMOVDQU32 Z9, 576(DX)
+	VMOVDQU32 Z10, 640(DX)
+	VMOVDQU32 Z11, 704(DX)
+	VMOVDQU32 Z12, 768(DX)
+	VMOVDQU32 Z13, 832(DX)
+	VMOVDQU32 Z14, 896(DX)
+	VMOVDQU32 Z15, 960(DX)
+	VZEROUPPER
+	RET
+
+// qinterleave4 writes dst[s*4+j] = rj[s] for s < n — the 4-deep k-group
+// interleave of four source rows that the packed-B layout wants. The
+// main loop transposes 16 columns per step with SSE2 byte/word unpacks
+// (baseline on amd64, no feature probe needed); the scalar tail handles
+// n%16. Sources must each hold n readable bytes, dst 4n writable bytes.
+//
+// func qinterleave4(dst *uint8, r0, r1, r2, r3 *uint8, n int)
+TEXT ·qinterleave4(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), R8
+	MOVQ r2+24(FP), R9
+	MOVQ r3+32(FP), R10
+	MOVQ n+40(FP), CX
+
+qil16:
+	CMPQ CX, $16
+	JLT  qiltail
+	MOVOU (SI), X0
+	MOVOU (R8), X1
+	MOVOU (R9), X2
+	MOVOU (R10), X3
+
+	MOVO      X0, X4
+	PUNPCKLBW X1, X4 // r0,r1 byte pairs, columns 0..7
+	PUNPCKHBW X1, X0 // columns 8..15
+	MOVO      X2, X5
+	PUNPCKLBW X3, X5 // r2,r3 byte pairs, columns 0..7
+	PUNPCKHBW X3, X2 // columns 8..15
+
+	MOVO      X4, X6
+	PUNPCKLWL X5, X6 // r0r1r2r3 dwords, columns 0..3
+	PUNPCKHWL X5, X4 // columns 4..7
+	MOVO      X0, X7
+	PUNPCKLWL X2, X7 // columns 8..11
+	PUNPCKHWL X2, X0 // columns 12..15
+
+	MOVOU X6, (DI)
+	MOVOU X4, 16(DI)
+	MOVOU X7, 32(DI)
+	MOVOU X0, 48(DI)
+
+	ADDQ $16, SI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	ADDQ $64, DI
+	SUBQ $16, CX
+	JMP  qil16
+
+qiltail:
+	TESTQ CX, CX
+	JZ    qildone
+
+qiltailloop:
+	MOVB (SI), AX
+	MOVB AX, (DI)
+	MOVB (R8), AX
+	MOVB AX, 1(DI)
+	MOVB (R9), AX
+	MOVB AX, 2(DI)
+	MOVB (R10), AX
+	MOVB AX, 3(DI)
+	INCQ SI
+	INCQ R8
+	INCQ R9
+	INCQ R10
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  qiltailloop
+
+qildone:
+	RET
