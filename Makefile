@@ -59,7 +59,7 @@ kernel-matrix:
 	for k in go go-fma sse avx2 avx512; do \
 		echo "== RHSD_GEMM_KERNEL=$$k =="; \
 		RHSD_GEMM_KERNEL=$$k $(GO) test -count=1 \
-			-run 'Gemm|Conv|Infer|Kernel' ./internal/tensor ./internal/nn || exit 1; \
+			-run 'Gemm|Conv|Infer|Kernel|Quantize' ./internal/tensor ./internal/nn || exit 1; \
 	done
 	for q in qgo qavx2 qvnni; do \
 		echo "== RHSD_QGEMM_KERNEL=$$q =="; \

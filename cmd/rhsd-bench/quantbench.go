@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"rhsd/internal/eval"
 	"rhsd/internal/hsd"
@@ -25,6 +26,21 @@ type quantKernelEntry struct {
 	DetectVsFP32    float64 `json:"detect_speedup_vs_fp32"`
 	DetectAllocs    int64   `json:"detect_allocs_per_op"`
 	GemmAllocsPerOp int64   `json:"gemm_allocs_per_op"`
+
+	StageProfile []quantStageEntry `json:"stage_profile"`
+}
+
+// quantStageEntry is one tensor-layer stage of the per-Detect profile:
+// CPU time spent in the stage per Detect call and its share of the
+// detect wall time (on a single-CPU host CPU time ≈ wall time; with
+// workers the shares can sum past 100%). The gemm_rows share is the
+// number the small-shape routing work is judged by — it is the scalar
+// residue the packed/prepacked/fused paths are supposed to claim.
+type quantStageEntry struct {
+	Stage       string  `json:"stage"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	CallsPerOp  float64 `json:"calls_per_op"`
+	PctOfDetect float64 `json:"pct_of_detect"`
 }
 
 // quantGateEntry summarizes the accuracy-delta gate run embedded in the
@@ -57,8 +73,59 @@ type quantBenchReport struct {
 	FP32GFlops      float64 `json:"fp32_gflops"`
 	FP32DetectNs    float64 `json:"fp32_detect_ns_per_op"`
 
+	FP32StageProfile []quantStageEntry `json:"fp32_stage_profile"`
+
 	Kernels []quantKernelEntry `json:"kernels"`
 	Gate    quantGateEntry     `json:"gate"`
+}
+
+// profileDetect runs Detect under the tensor stage profiler and returns
+// the per-stage breakdown normalized per call. The iteration count is
+// sized from the measured detect time so the profiled window covers
+// roughly a quarter second regardless of host speed; shares are taken
+// against the wall time of the profiled loop itself, so the profiling
+// overhead (two clock reads per instrumented call) deflates every
+// stage's share uniformly instead of inflating one.
+func profileDetect(m *hsd.Model, raster *tensor.Tensor, detNsPerOp float64) []quantStageEntry {
+	iters := 3
+	if detNsPerOp > 0 {
+		if n := int(250e6 / detNsPerOp); n > iters {
+			iters = n
+		}
+	}
+	m.Detect(raster) // steady state before counters start
+	tensor.ResetProfile()
+	prev := tensor.SetProfiling(true)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		m.Detect(raster)
+	}
+	wall := time.Since(t0).Nanoseconds()
+	tensor.SetProfiling(prev)
+	snap := tensor.ProfileSnapshot()
+	out := make([]quantStageEntry, 0, len(snap))
+	for _, s := range snap {
+		e := quantStageEntry{
+			Stage:      s.Stage,
+			NsPerOp:    float64(s.Ns) / float64(iters),
+			CallsPerOp: float64(s.Calls) / float64(iters),
+		}
+		if wall > 0 {
+			e.PctOfDetect = 100 * float64(s.Ns) / float64(wall)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// stagePct picks one stage's share out of a profile, 0 if absent.
+func stagePct(prof []quantStageEntry, stage string) float64 {
+	for _, e := range prof {
+		if e.Stage == stage {
+			return e.PctOfDetect
+		}
+	}
+	return 0
 }
 
 // runQuantBench measures every int8 GEMM kernel available on this host
@@ -145,8 +212,17 @@ func runQuantBench(p eval.Profile, workers int, outPath string, progress func(st
 
 	// End-to-end detection fixture: the fp32 baseline first, then each
 	// int8 kernel on a trunk calibrated over oracle-labeled synthetic
-	// regions.
-	cfg := p.HSD
+	// regions. The fixture model is the paper-nominal config, not the
+	// evaluation profile's shrunken one: the int8-vs-fp32 claim is about
+	// the backbone shape population this bench's own GemmShape comes
+	// from ([64 × 576 × 3136] is PaperConfig's dominant conv lowering),
+	// and a toy backbone systematically undersells the dot-product
+	// kernels — its GEMMs are small enough that quantize/dequantize
+	// boundary costs cancel the kernel win. Weights are untrained
+	// (throughput does not depend on them); calibration still runs the
+	// real oracle-labeled envelope sweep so the quantized path is the
+	// shipping one.
+	cfg := hsd.PaperConfig()
 	m, err := hsd.NewModel(cfg)
 	if err != nil {
 		return err
@@ -166,7 +242,9 @@ func runQuantBench(p eval.Profile, workers int, outPath string, progress func(st
 		}
 	})
 	report.FP32DetectNs = fdet.NsPerOp
-	progress(fmt.Sprintf("quant bench fp32 detect %6.2f ms/op", fdet.NsPerOp/1e6))
+	report.FP32StageProfile = profileDetect(m, raster, fdet.NsPerOp)
+	progress(fmt.Sprintf("quant bench fp32 detect %6.2f ms/op (gemm_rows %.1f%%)",
+		fdet.NsPerOp/1e6, stagePct(report.FP32StageProfile, "gemm_rows")))
 
 	cal := eval.SyntheticCalibration(cfg, 4)
 	if err := m.CalibrateInt8(cal); err != nil {
@@ -205,9 +283,11 @@ func runQuantBench(p eval.Profile, workers int, outPath string, progress func(st
 			DetectAllocs:    det.AllocsPerOp,
 			GemmAllocsPerOp: gemm.AllocsPerOp,
 		}
+		e.StageProfile = profileDetect(m, raster, det.NsPerOp)
 		report.Kernels = append(report.Kernels, e)
-		progress(fmt.Sprintf("quant bench %-6s %7.2f Gmac/s (%.2fx fp32)  detect %6.2f ms/op (%.2fx, %d allocs/op)",
-			name, e.GOps, e.SpeedupVsFP32, det.NsPerOp/1e6, e.DetectVsFP32, det.AllocsPerOp))
+		progress(fmt.Sprintf("quant bench %-6s %7.2f Gmac/s (%.2fx fp32)  detect %6.2f ms/op (%.2fx, %d allocs/op, gemm_rows %.1f%%)",
+			name, e.GOps, e.SpeedupVsFP32, det.NsPerOp/1e6, e.DetectVsFP32, det.AllocsPerOp,
+			stagePct(e.StageProfile, "gemm_rows")))
 	}
 	if err := m.SetPrecision(hsd.PrecisionFP32); err != nil {
 		return err

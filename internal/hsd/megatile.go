@@ -206,7 +206,8 @@ func (m *Model) scanOneMegatile(mw *Model, l *layout.Layout, t megatile, spec Me
 	var clips []ScoredClip
 	slack := ownershipSlackNM(c)
 	for _, d := range m.cachedDetect(mw, raster, version, useCache) {
-		clipNM := d.Clip.Scale(c.PitchNM).Translate(float64(t.x), float64(t.y))
+		scaled := d.Clip.Scale(c.PitchNM)
+		clipNM := scaled.Translate(float64(t.x), float64(t.y))
 		// Halo ownership: clips centred past the overlap midpoint (plus
 		// the boundary slack band) are deferred to the neighbouring
 		// megatile, which computes them with at least a halo of real
@@ -215,8 +216,14 @@ func (m *Model) scanOneMegatile(mw *Model, l *layout.Layout, t megatile, spec Me
 		if !keptBy(xb, clipNM.CX(), t.ix, slack) || !keptBy(yb, clipNM.CY(), t.iy, slack) {
 			continue
 		}
-		clipNM = clipNM.Translate(float64(-window.X0), float64(-window.Y0))
-		clips = append(clips, ScoredClip{Clip: clipNM, Score: d.Score})
+		// Window-relative coordinates are produced with ONE float add per
+		// axis from the exact integer offset t.x−window.X0, matching the
+		// per-tile path (detect.go) to the bit. Translating the
+		// chip-absolute clipNM by −window.X0 instead would round twice
+		// ((clip+t.x)+(−window.X0) vs clip+(t.x−window.X0)) and drift an
+		// ulp apart from the per-tile scan on odd-origin windows.
+		clipWin := scaled.Translate(float64(t.x-window.X0), float64(t.y-window.Y0))
+		clips = append(clips, ScoredClip{Clip: clipWin, Score: d.Score})
 	}
 	return clips
 }

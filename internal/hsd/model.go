@@ -210,7 +210,26 @@ func NewModel(c Config) (*Model, error) {
 	m.RefineReg = nn.NewDense("ref.reg", c.RefineFC, 4, rng)
 
 	m.Anchors = GenerateAnchors(c)
+	m.packInferWeights()
 	return m, nil
+}
+
+// packInferWeights (re)builds the prepacked weight views the dense
+// inference layers multiply against (tensor.PackB). The packs are
+// derived caches of the parameters, so this must run at every point
+// the weights mutate in place — model construction, Load, Clone,
+// syncReplica and the end of a training run (Backward drops stale packs
+// mid-training; DESIGN §17). That is the same set of points
+// WeightsVersion observes fresh weights at, so a cached scan never
+// infers against stale panels.
+func (m *Model) packInferWeights() {
+	for _, l := range m.RefineFC.Layers {
+		if d, ok := l.(*nn.Dense); ok {
+			d.PackWeights()
+		}
+	}
+	m.RefineCls.PackWeights()
+	m.RefineReg.PackWeights()
 }
 
 // anchorsFor returns the anchor grid for an fh×fw feature map, generating
@@ -374,6 +393,9 @@ func (m *Model) Clone() (*Model, error) {
 	if err := r.adoptQuantFrom(m); err != nil {
 		return nil, err
 	}
+	// The in-place parameter copy above invalidated the packs NewModel
+	// built from the fresh initialization.
+	r.packInferWeights()
 	return r, nil
 }
 
@@ -393,6 +415,7 @@ func (m *Model) syncReplica(r *Model) {
 	if err := r.adoptQuantFrom(m); err != nil {
 		panic(fmt.Sprintf("hsd: syncReplica quant mirror: %v", err))
 	}
+	r.packInferWeights()
 }
 
 // Save writes all model parameters to a checkpoint file.
@@ -400,7 +423,13 @@ func (m *Model) Save(path string) error { return nn.SaveParamsFile(path, m.Param
 
 // Load restores model parameters from a checkpoint written by Save for an
 // identically-configured model.
-func (m *Model) Load(path string) error { return nn.LoadParamsFile(path, m.Params()) }
+func (m *Model) Load(path string) error {
+	if err := nn.LoadParamsFile(path, m.Params()); err != nil {
+		return err
+	}
+	m.packInferWeights()
+	return nil
+}
 
 // BaseOutput bundles the activations of the shared trunk and RPN heads
 // for one region.

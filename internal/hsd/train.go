@@ -310,6 +310,9 @@ func (t *Trainer) Run(samples []Sample, progress func(step int, st StepStats)) [
 			progress(step, st)
 		}
 	}
+	// Training dropped the prepacked inference weights (Dense.Backward);
+	// re-arm them so post-training inference runs prepacked again.
+	t.Model.packInferWeights()
 	return history
 }
 

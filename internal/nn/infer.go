@@ -67,11 +67,18 @@ func (l *Flatten) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
 	return ws.View(x.Data(), n, x.Size()/n)
 }
 
-// Infer computes x·W + b into workspace memory.
+// Infer computes x·W + b into workspace memory. When PackWeights has
+// armed the prepacked weight view it multiplies against that —
+// bit-identical to the per-call Gemm (tensor.GemmPreB's contract), just
+// without repacking the constant W every call.
 func (l *Dense) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
 	n := x.Dim(0)
 	y := ws.Tensor(n, l.Out)
-	tensor.Gemm(false, false, n, l.Out, l.In, 1, x.Data(), l.Weight.W.Data(), 0, y.Data())
+	if l.packed != nil {
+		tensor.GemmPreB(false, n, l.Out, l.In, 1, x.Data(), l.packed, 0, y.Data())
+	} else {
+		tensor.Gemm(false, false, n, l.Out, l.In, 1, x.Data(), l.Weight.W.Data(), 0, y.Data())
+	}
 	bd := l.Bias.W.Data()
 	for i := 0; i < n; i++ {
 		row := y.Data()[i*l.Out : (i+1)*l.Out]

@@ -219,6 +219,13 @@ type Dense struct {
 	Bias    *Param // [Out]
 
 	x *tensor.Tensor
+
+	// packed is the prepacked weight view Infer multiplies against
+	// (tensor.PackB); nil until PackWeights arms it. It is a derived
+	// cache of Weight.W: Backward — the first step of every weight
+	// mutation — drops it, and the model-level owner re-arms it at each
+	// mutation point (see hsd.Model.packInferWeights, DESIGN §17).
+	packed *tensor.PackedB
 }
 
 // NewDense creates a He-initialized fully-connected layer.
@@ -251,6 +258,9 @@ func (l *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 func (l *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	// Training mutates the weights right after this, so any prepacked
+	// view is about to go stale.
+	l.packed = nil
 	// dW += xᵀ·gy ; db += column sums ; dx = gy·Wᵀ
 	n := gy.Dim(0)
 	dw := tensor.MatMulTransA(l.x, gy)
@@ -265,6 +275,18 @@ func (l *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
 }
 
 func (l *Dense) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// PackWeights (re)builds the prepacked weight view Infer uses. Call it
+// after any in-place weight mutation (load, clone, optimizer step);
+// calling it redundantly is cheap relative to inference but not free,
+// so owners batch it at their mutation points rather than per call.
+func (l *Dense) PackWeights() {
+	l.packed = tensor.PackB(false, l.In, l.Out, l.Weight.W.Data())
+}
+
+// InvalidatePackedWeights drops the prepacked view; Infer falls back to
+// the per-call Gemm until PackWeights runs again.
+func (l *Dense) InvalidatePackedWeights() { l.packed = nil }
 
 // ---------------------------------------------------------------------------
 // Composition

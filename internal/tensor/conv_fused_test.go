@@ -6,8 +6,8 @@ import (
 )
 
 // convFusedShape is a Conv2DInfer problem instance used by the fused
-// im2col tests. Every shape must be fused-eligible (oc·oh·ow·kk ≥
-// gemmPackedMinFlops), otherwise both toggle settings run the
+// im2col tests. Every shape must be fused-eligible (its GEMM must route
+// to the packed sweep), otherwise both toggle settings run the
 // materialized path and the comparison is vacuous.
 type convFusedShape struct {
 	n, c, h, w, oc int
@@ -34,7 +34,7 @@ func convFusedShapes() []convFusedShape {
 func (s convFusedShape) eligible() bool {
 	oh, ow := s.o.OutDim(s.h), s.o.OutDim(s.w)
 	kk := s.c * s.o.Kernel * s.o.Kernel
-	return s.oc*oh*ow*kk >= gemmPackedMinFlops
+	return gemmUsesPacked(s.oc, oh*ow, kk)
 }
 
 // TestConvInferFusedMatchesMaterialized pins the fused im2col→packB
@@ -152,5 +152,73 @@ func TestConvInferFusedWorkspaceFootprint(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("fused Conv2DInfer steady state allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestConvInferFusedRefinementShapes covers the refinement-stage conv
+// population: small 7×7/4×4 spatial extents whose GEMMs sat below the
+// old 2^17 routing cliff and therefore ran materialized im2col through
+// the scalar row kernel. With the measured small-shape routing
+// (gemmUsesPacked) they are fused-eligible, so the refinement path
+// never materializes a column matrix: results stay bit-identical to the
+// materialized path, the workspace never allocates the column size
+// class, and steady-state passes are allocation-free.
+func TestConvInferFusedRefinementShapes(t *testing.T) {
+	const oldCliff = 1 << 17 // the pre-routing-rework packed cutoff
+	rng := rand.New(rand.NewSource(59))
+	shapes := []convFusedShape{
+		// Inception 1×1 branch reductions on the 7×7 RoI grid.
+		{4, 64, 7, 7, 32, ConvOpts{Kernel: 1, Stride: 1, Padding: 0}},
+		{1, 64, 7, 7, 16, ConvOpts{Kernel: 1, Stride: 1, Padding: 0}},
+		// 3×3 branch on the halved 4×4 grid.
+		{1, 48, 4, 4, 16, ConvOpts{Kernel: 3, Stride: 1, Padding: 1}},
+		// The profiled refinement trunk conv (m=12, n=16, k=108):
+		// eligible only through the wide-m routing term — its 20736
+		// flops sit below even the reworked unconditional cutoff.
+		{1, 12, 4, 4, 12, ConvOpts{Kernel: 3, Stride: 1, Padding: 1}},
+	}
+	prev := SetConvFusedIm2col(true)
+	defer SetConvFusedIm2col(prev)
+	for _, sh := range shapes {
+		oh, ow := sh.o.OutDim(sh.h), sh.o.OutDim(sh.w)
+		kk := sh.c * sh.o.Kernel * sh.o.Kernel
+		if !sh.eligible() {
+			t.Fatalf("refinement shape %+v not fused-eligible", sh)
+		}
+		if flops := sh.oc * oh * ow * kk; flops >= oldCliff {
+			t.Fatalf("refinement shape %+v (%d flops) was already above the old cliff; pick a smaller one", sh, flops)
+		}
+		x := New(sh.n, sh.c, sh.h, sh.w)
+		wgt := New(sh.oc, sh.c, sh.o.Kernel, sh.o.Kernel)
+		bias := New(sh.oc)
+		fillRand(x, rng)
+		fillRand(wgt, rng)
+		fillRand(bias, rng)
+		ep := Epilogue{Bias: bias, Act: true, Slope: 0.1}
+
+		SetConvFusedIm2col(false)
+		want := Conv2DInfer(nil, x, wgt, sh.o, ep)
+		SetConvFusedIm2col(true)
+		got := Conv2DInfer(nil, x, wgt, sh.o, ep)
+		assertTensorBits(t, "refinement fused conv", want, got)
+
+		colSize := sh.n * kk * oh * ow
+		ws := NewWorkspace()
+		for pass := 0; pass < 2; pass++ {
+			ws.Reset()
+			Conv2DInfer(ws, x, wgt, sh.o, ep)
+		}
+		if fp := ws.Footprint(); fp >= colSize {
+			t.Fatalf("shape %+v: fused footprint %d floats ≥ col size %d: column class allocated", sh, fp, colSize)
+		}
+		allocs := runAtWorkers(1, func() float64 {
+			return testing.AllocsPerRun(10, func() {
+				ws.Reset()
+				Conv2DInfer(ws, x, wgt, sh.o, ep)
+			})
+		})
+		if allocs != 0 {
+			t.Fatalf("shape %+v: steady state allocates %.1f times per run, want 0", sh, allocs)
+		}
 	}
 }

@@ -66,14 +66,17 @@ func epilogueSweep(t *Tensor, ep Epilogue) {
 // called directly — no closure is created, keeping serial inference
 // allocation-free (see gemmPacked for the rationale).
 func im2colInto(xd []float32, c, h, w int, o ConvOpts, cd []float32) {
+	on, t0 := profStart()
 	if parallel.Workers() == 1 {
 		im2colChans(xd, h, w, o, cd, 0, c)
+		profEnd(on, profIm2col, t0)
 		return
 	}
 	perChan := o.Kernel * o.Kernel * o.OutDim(h) * o.OutDim(w)
 	parallel.For(c, parallel.GrainFor(perChan, convMinChunkWork), func(c0, c1 int) {
 		im2colChans(xd, h, w, o, cd, c0, c1)
 	})
+	profEnd(on, profIm2col, t0)
 }
 
 // im2colChans lowers channels [c0, c1).
@@ -219,12 +222,16 @@ func SetConvFusedIm2col(on bool) (prev bool) {
 	return convFusedEnabled.Swap(on)
 }
 
-// convFusedEligible mirrors Gemm's packed-path cutoff: below it the
-// product runs the unblocked row kernel, which needs the materialized
-// column matrix. The condition depends only on the problem shape, so
-// fused and materialized dispatch stay bit-identical per shape.
+// convFusedEligible mirrors Gemm's routing decision exactly: a conv
+// whose GEMM routes to the packed sweep packs B straight from the image
+// (never materializing columns), one that routes to the row kernel
+// materializes — the row kernel walks op(B) by rows and needs the
+// lowered matrix. Sharing gemmUsesPacked keeps fused and materialized
+// dispatch bit-identical per shape and extends fusion to the small
+// refinement-stage convs the old 2^17 flop cliff kept on the
+// materialized scalar path.
 func convFusedEligible(m, n, k int) bool {
-	return convFusedEnabled.Load() && m*n*k >= gemmPackedMinFlops
+	return convFusedEnabled.Load() && gemmUsesPacked(m, n, k)
 }
 
 // conv2dInferItemsFused multiplies batch items [n0, n1) with B panels

@@ -277,6 +277,7 @@ func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32,
 // source; the parity suites use it to pin asm kernels against their
 // portable reference twins on identical geometry.
 func gemmPackedWith(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a []float32, bs bSource, beta float32, c []float32) {
+	on, t0 := profStart()
 	mPanels := (m + kr.mr - 1) / kr.mr
 	kBlocks := (k + kr.kc - 1) / kr.kc
 	nBlocks := (n + kr.nc - 1) / kr.nc
@@ -305,19 +306,18 @@ func gemmPackedWith(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a [
 
 	packBufPut(pbAll)
 	packBufPut(pa)
+	profEnd(on, profGemmPacked, t0)
 }
 
 // gemmPackedBlocks sweeps column blocks [b0, b1) using the private pack
 // buffer pb for B panels.
 func gemmPackedBlocks(kr *gemmKernel, bs bSource, m, n, k int, beta float32, c, pa, pb []float32, kBlocks, mPanels, b0, b1 int) {
-	mr, nr := kr.mr, kr.nr
 	for blk := b0; blk < b1; blk++ {
 		jc := blk * kr.nc
 		nc := n - jc
 		if nc > kr.nc {
 			nc = kr.nc
 		}
-		nPanels := (nc + nr - 1) / nr
 		for kb := 0; kb < kBlocks; kb++ {
 			pc := kb * kr.kc
 			kc := k - pc
@@ -325,25 +325,35 @@ func gemmPackedBlocks(kr *gemmKernel, bs bSource, m, n, k int, beta float32, c, 
 				kc = kr.kc
 			}
 			bs.pack(kr, pb, jc, nc, pc, kc)
-			first := kb == 0
-			for mp := 0; mp < mPanels; mp++ {
-				paPanel := pa[(kb*mPanels+mp)*kr.kc*mr:]
-				i0 := mp * mr
-				mi := m - i0
-				if mi > mr {
-					mi = mr
-				}
-				for np := 0; np < nPanels; np++ {
-					j0 := jc + np*nr
-					nj := jc + nc - j0
-					if nj > nr {
-						nj = nr
-					}
-					var acc [gemmMaxTile]float32
-					gemmMicroRun(kr.kind, mr, nr, kc, paPanel, pb[np*kr.kc*nr:], &acc)
-					storeTile(c, n, i0, j0, mi, nj, nr, &acc, first, beta)
-				}
+			gemmPackedBlockTiles(kr, m, n, kc, beta, c, pa, pb, kb, mPanels, jc, nc)
+		}
+	}
+}
+
+// gemmPackedBlockTiles sweeps the micro-kernel over one (column block,
+// k-block) pair whose B panels are already packed in pb — shared by the
+// per-call packers above and the prepacked-B driver (gemm_prepack.go),
+// so both consume panel data through identical tile arithmetic.
+func gemmPackedBlockTiles(kr *gemmKernel, m, n, kc int, beta float32, c, pa, pb []float32, kb, mPanels, jc, nc int) {
+	mr, nr := kr.mr, kr.nr
+	nPanels := (nc + nr - 1) / nr
+	first := kb == 0
+	for mp := 0; mp < mPanels; mp++ {
+		paPanel := pa[(kb*mPanels+mp)*kr.kc*mr:]
+		i0 := mp * mr
+		mi := m - i0
+		if mi > mr {
+			mi = mr
+		}
+		for np := 0; np < nPanels; np++ {
+			j0 := jc + np*nr
+			nj := jc + nc - j0
+			if nj > nr {
+				nj = nr
 			}
+			var acc [gemmMaxTile]float32
+			gemmMicroRun(kr.kind, mr, nr, kc, paPanel, pb[np*kr.kc*nr:], &acc)
+			storeTile(c, n, i0, j0, mi, nj, nr, &acc, first, beta)
 		}
 	}
 }

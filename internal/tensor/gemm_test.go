@@ -28,7 +28,7 @@ func TestGemmZeroTimesNaNPropagates(t *testing.T) {
 	// cutoff, so the packed path is exercised too.
 	shapes := []struct{ m, n, k int }{
 		{2, 3, 2},
-		{64, 64, 64}, // 64^3 = 262144 ≥ gemmPackedMinFlops
+		{64, 64, 64}, // 64^3 = 262144, comfortably on the packed path
 	}
 
 	for _, kr := range kernels {
@@ -119,9 +119,8 @@ func TestGemmPackedMatchesUnblocked(t *testing.T) {
 	}
 	for _, sh := range shapes {
 		m, n, k := sh.m, sh.n, sh.k
-		if m*n*k < gemmPackedMinFlops {
-			// Force the packed path regardless of the dispatch cutoff.
-			t.Fatalf("shape %v below packed cutoff; pick a bigger one", sh)
+		if !gemmUsesPacked(m, n, k) {
+			t.Fatalf("shape %v routes to the row kernel; pick a bigger one", sh)
 		}
 		for _, transA := range []bool{false, true} {
 			for _, transB := range []bool{false, true} {

@@ -50,25 +50,82 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // parallel.For degrades to the serial path.
 const gemmMinChunkFlops = 1 << 15
 
-// gemmPackedMinFlops is the multiply-add count below which Gemm skips the
-// packed kernel: for small products the pack/store traffic costs more
-// than the cache blocking saves, so the unblocked row kernel runs
-// serially instead. The cutoff depends only on the problem shape, never
-// on the worker count, so results stay bit-identical across pools.
-const gemmPackedMinFlops = 1 << 17
+// gemmRowsMaxFlops is the multiply-add count above which Gemm always
+// runs the packed sweep regardless of the other routing terms: past it
+// the SIMD micro-kernel's advantage dwarfs any packing overhead.
+// Measured by BenchmarkGemmSmallShapeSweep on the reference host: at
+// 2^14 multiply-adds in a skinny-A shape (m4n16k256) the row kernel
+// still wins 2× against the per-call packed sweep, while at ~2^15.2
+// (m6n196k32) the packed sweep wins 3×, so the unconditional cutoff
+// sits at 2^15 — a quarter of the old 2^17 cliff, which routed the CPN
+// 1×1 heads at small grids and every refinement-sized product to
+// scalar code.
+const gemmRowsMaxFlops = 1 << 15
+
+// gemmRowsMinN is the narrowest op(B) the packed sweep accepts: below
+// it the NR-wide register tile is mostly padding (the narrowest
+// registered kernel is 8 columns wide) and the row kernel is faster
+// regardless of the flop count. Like the flop cutoff this is a pure
+// shape test, not a kernel property, so routing cannot differ between
+// kernels of one rounding family.
+const gemmRowsMinN = 8
+
+// Below gemmRowsMaxFlops the winner is decided by m, not by the flop
+// count: the per-call packing traffic is k·n + m·k floats ≈ flops/m
+// when m ≤ n·k, so wide-A products amortize the pack over m rows while
+// skinny-A products never recoup it. The sweep's m-series at n=16
+// pins the boundary — at m=4 the row kernel wins at every k up to
+// 2^14 flops, at m=6 it still wins (m6n16k128), at m=8 the packed
+// sweep wins from ~2^11 flops up (m8n16k32 onward; 2^10, m8n16k8, is
+// a wash). Hence: m ≥ 8 products take the packed sweep from 2^10
+// flops, everything else falls back to the row kernel until the
+// unconditional 2^15 cutoff.
+const (
+	gemmPackedMinM          = 8
+	gemmPackedWideMMinFlops = 1 << 10
+)
+
+// gemmUsesPacked is the routing decision shared by Gemm, GemmPreB and
+// the fused-conv eligibility test (convFusedEligible): true routes the
+// product to the packed cache-blocked sweep, false to the scalar row
+// kernel. The decision depends only on the problem shape, never on the
+// worker count or the selected kernel, so results stay bit-identical
+// across pools and the fma-family kernels keep routing identically.
+// The flop estimate is computed in int64 so a huge product can never
+// wrap on 32-bit platforms and fall into (or negative-index) the
+// scalar path.
+func gemmUsesPacked(m, n, k int) bool {
+	if n < gemmRowsMinN {
+		return false
+	}
+	flops := int64(m) * int64(n) * int64(k)
+	if flops >= gemmRowsMaxFlops {
+		return true
+	}
+	return m >= gemmPackedMinM && flops >= gemmPackedWideMMinFlops
+}
 
 // Gemm computes c = alpha·op(a)·op(b) + beta·c where op optionally
 // transposes. Dimensions follow BLAS convention: op(a) is m×k, op(b) is
 // k×n and c is m×n.
 //
-// Large products run through the packed cache-blocked kernel
-// (gemm_packed.go): A and B are packed into cache-resident panels and a
-// register-blocked 4×8 micro-kernel sweeps them, with column blocks
-// fanned out over the parallel worker pool. Small products fall back to
-// the unblocked row kernel, serially. In both regimes every output
+// Most products run through the packed cache-blocked sweep
+// (gemm_packed.go): A and B are repacked into cache-resident panels and
+// swept by the register-blocked micro-kernel of the runtime-selected
+// gemmKernel (gemm_kernel.go) — MR×NR register tile and KC/NC cache
+// blocking are per-kernel properties (4×8 for go/sse, 6×16 for
+// go-fma/avx2, 8×32 for avx512), with NC-wide column blocks fanned out
+// over the parallel worker pool. Only genuinely tiny or pathologically
+// narrow products (see gemmUsesPacked) fall back to the serial
+// unblocked row kernel, where scalar code beats the packing overhead
+// and the register tile's padding waste. In both regimes every output
 // element is produced by exactly one worker with a fixed k-ascending
-// accumulation order determined only by the problem shape, so the result
-// is bit-identical for every worker count.
+// accumulation order determined only by the problem shape, so the
+// result is bit-identical for every worker count.
+//
+// For repeated products against one constant B (layer weights), PackB
+// once and call GemmPreB: identical routing and bits, minus the
+// per-call B packing (gemm_prepack.go).
 //
 // Zero entries in a do not short-circuit the update: 0·x follows IEEE
 // semantics, so NaN and Inf in b propagate into c (pinned by
@@ -87,8 +144,10 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 		scaleRows(c, m*n, beta)
 		return
 	}
-	if m*n*k < gemmPackedMinFlops {
+	if !gemmUsesPacked(m, n, k) {
+		on, t0 := profStart()
 		gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, beta, c)
+		profEnd(on, profGemmRows, t0)
 		return
 	}
 	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c)

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-stage profiling counters for the inference hot path. The quant
+// bench (`rhsd-bench -exp quant`) uses them to report where an int8
+// Detect actually spends its time — so a claim like "gemmRows no longer
+// dominates" is measured from stage counters, not asserted from kernel
+// microbenchmarks.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when off: every instrumented site pays one atomic bool
+//     load and a predictable branch, nothing else. No timestamps are
+//     taken and no allocation ever happens on either setting.
+//   - Safe under the worker pool: counters are atomic adds, so stages
+//     that run inside parallel.For (packed GEMM column blocks, batched
+//     conv items) aggregate correctly. Consequently a stage's time is
+//     CPU time summed across workers, which can exceed wall time on
+//     multi-worker hosts; the bench reports shares of the summed
+//     profile, which stays meaningful either way.
+//   - Stages never nest: gemm_rows/gemm_packed/qgemm are leaf compute
+//     sweeps, im2col instruments only the materialized lowering (the
+//     fused path has no separate lowering to time) and quantize is the
+//     int8 entry boundary. Shares therefore add up.
+
+// profStage indexes one instrumented stage.
+type profStage int
+
+const (
+	profGemmRows   profStage = iota // scalar row-kernel fp32 GEMM
+	profGemmPacked                  // packed cache-blocked fp32 GEMM
+	profQGemm                       // packed int8 GEMM sweep
+	profIm2col                      // materialized im2col lowering
+	profQuantize                    // fp32→uint8 activation quantization
+	profStageCount
+)
+
+// profStageNames are the external names, in profStage order.
+var profStageNames = [profStageCount]string{
+	"gemm_rows",
+	"gemm_packed",
+	"qgemm",
+	"im2col",
+	"quantize",
+}
+
+var profEnabled atomic.Bool
+
+// profCounters holds the accumulated nanoseconds and call counts per
+// stage.
+var profCounters [profStageCount]struct {
+	ns    atomic.Int64
+	calls atomic.Int64
+}
+
+// SetProfiling enables or disables stage profiling, returning the
+// previous setting. Off is the default and costs one atomic load per
+// instrumented call; on adds two monotonic clock reads per call.
+func SetProfiling(on bool) (prev bool) {
+	return profEnabled.Swap(on)
+}
+
+// ResetProfile zeroes all stage counters.
+func ResetProfile() {
+	for i := range profCounters {
+		profCounters[i].ns.Store(0)
+		profCounters[i].calls.Store(0)
+	}
+}
+
+// ProfileEntry is one stage's accumulated time and call count.
+type ProfileEntry struct {
+	Stage string
+	Ns    int64
+	Calls int64
+}
+
+// ProfileSnapshot returns the current per-stage counters in stable
+// (profStage) order, including stages with zero accumulated time.
+func ProfileSnapshot() []ProfileEntry {
+	out := make([]ProfileEntry, profStageCount)
+	for i := range profCounters {
+		out[i] = ProfileEntry{
+			Stage: profStageNames[i],
+			Ns:    profCounters[i].ns.Load(),
+			Calls: profCounters[i].calls.Load(),
+		}
+	}
+	return out
+}
+
+// profStart samples the monotonic clock when profiling is on. The
+// (enabled, t0) pair keeps the off-path to a single atomic load and
+// lets profEnd skip the second clock read; time.Time stays on the
+// caller's stack, so instrumentation never allocates.
+func profStart() (bool, time.Time) {
+	if !profEnabled.Load() {
+		return false, time.Time{}
+	}
+	return true, time.Now()
+}
+
+// profEnd accumulates the elapsed time into a stage's counters.
+func profEnd(on bool, st profStage, t0 time.Time) {
+	if !on {
+		return
+	}
+	profCounters[st].ns.Add(int64(time.Since(t0)))
+	profCounters[st].calls.Add(1)
+}

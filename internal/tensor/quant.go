@@ -1,6 +1,9 @@
 package tensor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Int8 quantization primitives for the quantized inference path.
 //
@@ -60,9 +63,42 @@ func (p QuantParams) Dequantize(q uint8) float32 {
 	return p.Scale * float32(int32(q)-int32(p.Zero))
 }
 
-// QuantizeSlice quantizes src into dst (lengths must match).
+// QuantizeSlice quantizes src into dst. Lengths must match exactly —
+// a longer dst almost always means the caller sized the buffer for the
+// wrong tensor, so the mismatch panics instead of being silently
+// resliced.
+//
+// For the calibrated scales the int8 path produces (normal float32,
+// reciprocal representable as a normal float32) the division is
+// computed as a float32 multiply by the precomputed reciprocal with
+// round-to-nearest-even to integer — the vectorizable form, run by the
+// AVX2 kernel where available and by its bit-identical portable twin
+// everywhere else. On inputs within half an ulp of a rounding boundary
+// the reciprocal-multiply can land on the other side of the boundary
+// than the exact division, moving the result by at most one quantized
+// step — bounded by TestQuantizeSliceFastVsExactTolerance, covered
+// end-to-end by the accuracy-delta gate, and documented in DESIGN §17.
+// Degenerate scales (zero range ⇒ Scale 1 is still normal; underflowed
+// envelopes ⇒ SmallestNonzeroFloat32, whose reciprocal overflows) fall
+// back to the exact float64 path, so no scale produces garbage.
 func (p QuantParams) QuantizeSlice(dst []uint8, src []float32) {
-	dst = dst[:len(src)]
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: QuantizeSlice dst length %d != src length %d", len(dst), len(src)))
+	}
+	on, t0 := profStart()
+	if rcp, ok := quantRecip(p.Scale); ok {
+		quantizeSliceFast(dst, src, rcp, p.Zero)
+	} else {
+		p.quantizeSliceExact(dst, src)
+	}
+	profEnd(on, profQuantize, t0)
+}
+
+// quantizeSliceExact is the historic scalar path: exact float64
+// division, round-to-nearest-even, saturate. It is the semantic
+// reference the fast path is tolerance-gated against, and the fallback
+// for scales outside the fast path's contract.
+func (p QuantParams) quantizeSliceExact(dst []uint8, src []float32) {
 	scale, zero := float64(p.Scale), float64(p.Zero)
 	for i, x := range src {
 		if x != x {

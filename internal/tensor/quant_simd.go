@@ -1,0 +1,104 @@
+package tensor
+
+import "math"
+
+// Vectorizable activation quantization (the fp32→uint8 boundary every
+// quantized conv crosses, DESIGN §17).
+//
+// The scalar reference (quant.go) divides in float64 and rounds to
+// nearest even — exact, but a hard shape for SIMD: there is no packed
+// float64 division worth its latency here and the per-element branch
+// structure defeats vectorization. The fast path restates the same
+// computation in the form VCVTPS2DQ evaluates natively:
+//
+//	q   = x · (1/Scale)          // float32 multiply, reciprocal hoisted
+//	r   = roundToEven(q) + Zero  // float32 RNE → int32, then zero point
+//	out = clamp(r, 0, ActQMax)   // NaN lanes forced to the zero point
+//
+// Before rounding, q is clamped to ±2^22: every float32 of magnitude
+// ≥ 2^23 is already an integer (rounding would be the identity), the
+// clamp gives ±Inf a finite path to the saturation ends, and 2^22
+// keeps q + Zero comfortably inside int32. The portable twin below and
+// the AVX2 kernel (quant_simd_amd64.s) are bit-identical over the full
+// float32 domain — NaN payloads, ±Inf, denormals, ±0 and rounding
+// boundaries included — pinned by TestQuantizeSliceFastParity.
+//
+// What changes versus the scalar reference is only the division: one
+// float32 reciprocal-multiply (two roundings) in place of an exact
+// division. For inputs that land within half an ulp of a round-to-even
+// boundary the two can disagree by exactly one quantized step; the
+// bound is pinned by TestQuantizeSliceFastVsExactTolerance and the
+// end-to-end effect sits inside the int8 accuracy gate's budget.
+
+// quantRoundBound is the float-domain clamp applied before rounding:
+// beyond ±2^22 every representable float32 already exceeds the
+// quantized range by orders of magnitude, so clamping cannot change
+// results — it only bounds the int32 conversion and absorbs ±Inf.
+const quantRoundBound = 1 << 22
+
+// quantRecip returns the reciprocal the fast path multiplies by, and
+// whether the fast path's contract holds: Scale and its reciprocal must
+// both be normal float32 values, so the multiply introduces no
+// denormal-precision loss beyond the documented one-step tolerance.
+func quantRecip(scale float32) (float32, bool) {
+	const minNormal = 0x1p-126
+	a := scale
+	if a < 0 {
+		a = -a
+	}
+	if !(a >= minNormal) || math.IsInf(float64(a), 0) { // non-normal, NaN or Inf scale
+		return 0, false
+	}
+	rcp := 1 / scale
+	r := rcp
+	if r < 0 {
+		r = -r
+	}
+	if !(r >= minNormal) || math.IsInf(float64(r), 0) {
+		return 0, false
+	}
+	return rcp, true
+}
+
+// quantizeSliceFast quantizes src into dst with the reciprocal-multiply
+// formulation, dispatching to the AVX2 kernel when the host supports it
+// and finishing (or, off amd64, running entirely) with the portable
+// twin. The twin and the kernel are bit-identical, so the split point
+// never shows in the output.
+func quantizeSliceFast(dst []uint8, src []float32, rcp float32, zero uint8) {
+	i := 0
+	if n := len(src); n >= quantSIMDWidth && quantSIMDAvailable {
+		i = n &^ (quantSIMDWidth - 1)
+		quantizeSliceAVX2(&dst[0], &src[0], i, rcp, int32(zero))
+	}
+	quantizeSliceFastGo(dst[i:], src[i:], rcp, zero)
+}
+
+// quantizeSliceFastGo is the portable twin of the AVX2 kernel: same
+// multiply, same clamp, same round-to-nearest-even, same NaN and
+// saturation behavior, element by element.
+func quantizeSliceFastGo(dst []uint8, src []float32, rcp float32, zero uint8) {
+	zp := int32(zero)
+	for i, x := range src {
+		q := x * rcp
+		if q != q { // NaN input (rcp is finite, so q is NaN iff x is)
+			dst[i] = zero
+			continue
+		}
+		if q > quantRoundBound {
+			q = quantRoundBound
+		} else if q < -quantRoundBound {
+			q = -quantRoundBound
+		}
+		// Exact for |q| ≤ 2^22: rounding a float32 through float64 is
+		// lossless, and RoundToEven of the float64 value is precisely
+		// the RNE-to-integer conversion VCVTPS2DQ performs.
+		r := int32(math.RoundToEven(float64(q))) + zp
+		if r < 0 {
+			r = 0
+		} else if r > ActQMax {
+			r = ActQMax
+		}
+		dst[i] = uint8(r)
+	}
+}

@@ -1,0 +1,19 @@
+package tensor
+
+import "rhsd/internal/cpu"
+
+// quantSIMDWidth is the AVX2 quantize kernel's step: 32 floats in (four
+// YMM vectors), 32 bytes out (one YMM store).
+const quantSIMDWidth = 32
+
+// quantSIMDAvailable gates the assembly path. Only AVX2 itself is
+// required — the kernel uses no FMA — so it lights up on a strictly
+// wider set of hosts than the avx2 GEMM micro-kernel.
+var quantSIMDAvailable = cpu.X86.AVX2
+
+// quantizeSliceAVX2 (quant_simd_amd64.s) quantizes n floats (n > 0, a
+// multiple of quantSIMDWidth) from src into dst, bit-identical to
+// quantizeSliceFastGo over the full float32 domain.
+//
+//go:noescape
+func quantizeSliceAVX2(dst *uint8, src *float32, n int, rcp float32, zero int32)

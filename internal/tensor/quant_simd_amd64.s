@@ -1,0 +1,111 @@
+// AVX2 activation quantization kernel: 32 floats per iteration through
+// the reciprocal-multiply formulation pinned bit-identical to
+// quantizeSliceFastGo (quant_simd.go):
+//
+//   q = x·rcp                      VMULPS
+//   nan lanes of q remembered      VCMPPS $3 (unordered self-compare)
+//   q clamped to ±2^22             VMINPS / VMAXPS
+//   round-to-nearest-even → int32  VCVTPS2DQ (MXCSR default = RNE)
+//   + zero point                   VPADDD
+//   clamp to [0, ActQMax]          VPMAXSD / VPMINSD
+//   nan lanes → zero point         VBLENDVPS on the remembered mask
+//
+// VMINPS/VMAXPS return the second source when an input is NaN, so NaN
+// lanes flow through the clamp as ±2^22 garbage — harmless, because the
+// final blend overwrites exactly those lanes with the zero point.
+//
+// The four int32 result vectors narrow to one 32-byte store via
+// VPACKSSDW/VPACKUSWB (saturating packs are exact here: every value is
+// already in [0, 127]). Both packs interleave their sources per 128-bit
+// lane, so each is followed by a VPERMQ $0xD8 qword swizzle that
+// restores source order; three swizzles in total put all 32 bytes in
+// input order without an index-table load.
+//
+// func quantizeSliceAVX2(dst *uint8, src *float32, n int, rcp float32, zero int32)
+#include "textflag.h"
+
+TEXT ·quantizeSliceAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	VBROADCASTSS rcp+24(FP), Y15  // 1/scale in every lane
+	MOVL         zero+28(FP), AX  // zero point as int32
+	VMOVD        AX, X12
+	VPBROADCASTD X12, Y12
+
+	MOVL         $0x4A800000, AX  // 2^22 as float32
+	VMOVD        AX, X14
+	VPBROADCASTD X14, Y14
+	MOVL         $0xCA800000, AX  // -2^22
+	VMOVD        AX, X13
+	VPBROADCASTD X13, Y13
+	MOVL         $127, AX         // ActQMax
+	VMOVD        AX, X11
+	VPBROADCASTD X11, Y11
+	VPXOR        Y10, Y10, Y10    // int32 zero, the low clamp
+
+quantloop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+
+	VMULPS Y15, Y0, Y0
+	VMULPS Y15, Y1, Y1
+	VMULPS Y15, Y2, Y2
+	VMULPS Y15, Y3, Y3
+
+	VCMPPS $3, Y0, Y0, Y4 // unordered: all-ones where q is NaN
+	VCMPPS $3, Y1, Y1, Y5
+	VCMPPS $3, Y2, Y2, Y6
+	VCMPPS $3, Y3, Y3, Y7
+
+	VMINPS Y14, Y0, Y0
+	VMINPS Y14, Y1, Y1
+	VMINPS Y14, Y2, Y2
+	VMINPS Y14, Y3, Y3
+	VMAXPS Y13, Y0, Y0
+	VMAXPS Y13, Y1, Y1
+	VMAXPS Y13, Y2, Y2
+	VMAXPS Y13, Y3, Y3
+
+	VCVTPS2DQ Y0, Y0
+	VCVTPS2DQ Y1, Y1
+	VCVTPS2DQ Y2, Y2
+	VCVTPS2DQ Y3, Y3
+
+	VPADDD Y12, Y0, Y0
+	VPADDD Y12, Y1, Y1
+	VPADDD Y12, Y2, Y2
+	VPADDD Y12, Y3, Y3
+
+	VPMAXSD Y10, Y0, Y0
+	VPMAXSD Y10, Y1, Y1
+	VPMAXSD Y10, Y2, Y2
+	VPMAXSD Y10, Y3, Y3
+	VPMINSD Y11, Y0, Y0
+	VPMINSD Y11, Y1, Y1
+	VPMINSD Y11, Y2, Y2
+	VPMINSD Y11, Y3, Y3
+
+	VBLENDVPS Y4, Y12, Y0, Y0 // NaN lanes take the zero point
+	VBLENDVPS Y5, Y12, Y1, Y1
+	VBLENDVPS Y6, Y12, Y2, Y2
+	VBLENDVPS Y7, Y12, Y3, Y3
+
+	VPACKSSDW Y1, Y0, Y8      // words, lane-interleaved [v0lo v1lo v0hi v1hi]
+	VPACKSSDW Y3, Y2, Y9
+	VPERMQ    $0xD8, Y8, Y8   // words back in source order [v0 v1]
+	VPERMQ    $0xD8, Y9, Y9
+	VPACKUSWB Y9, Y8, Y8      // bytes, lane-interleaved [v0 v2 v1 v3]
+	VPERMQ    $0xD8, Y8, Y8   // bytes in input order [v0 v1 v2 v3]
+	VMOVDQU   Y8, (DI)
+
+	ADDQ $128, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ  quantloop
+
+	VZEROUPPER
+	RET

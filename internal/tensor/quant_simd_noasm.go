@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tensor
+
+// No assembly quantize kernel off amd64: quantizeSliceFast runs the
+// portable twin for the whole slice, which is bit-identical to the AVX2
+// kernel by contract, so results do not depend on the architecture.
+const quantSIMDWidth = 32
+
+var quantSIMDAvailable = false
+
+func quantizeSliceAVX2(dst *uint8, src *float32, n int, rcp float32, zero int32) {
+	panic("tensor: quantizeSliceAVX2 unreachable without amd64")
+}

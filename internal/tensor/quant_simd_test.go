@@ -1,0 +1,219 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// quantAdversarialInputs is the exhaustive edge-case table the fast
+// quantize path is pinned over: every IEEE special class, both signs,
+// denormals, last-ulp rounding boundaries and the clamp edges.
+func quantAdversarialInputs() []float32 {
+	nanPayload := math.Float32frombits(0x7FC00F0F) // quiet NaN, nonzero payload
+	nanNeg := math.Float32frombits(0xFFC00001)     // negative quiet NaN
+	nanSig := math.Float32frombits(0x7F800001)     // signalling-bit NaN
+	vals := []float32{
+		0, float32(math.Copysign(0, -1)),
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.NaN()), nanPayload, nanNeg, nanSig,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		0x1p-126, -0x1p-126, // smallest normals
+		math.Float32frombits(0x007FFFFF), // largest denormal
+		math.MaxFloat32, -math.MaxFloat32,
+		1 << 22, -(1 << 22), 1<<22 + 2, 1 << 23, -(1 << 23),
+	}
+	// Round-to-even boundaries: exact half-integers in both directions,
+	// and their one-ulp neighbors.
+	for _, h := range []float32{0.5, 1.5, 2.5, 63.5, 126.5, 127.5, 128.5} {
+		for _, s := range []float32{1, -1} {
+			v := s * h
+			vals = append(vals,
+				v,
+				math.Float32frombits(math.Float32bits(v)+1),
+				math.Float32frombits(math.Float32bits(v)-1))
+		}
+	}
+	// A dense ramp through the representable range plus random fill.
+	for i := -300; i <= 300; i++ {
+		vals = append(vals, float32(i)/2.374)
+	}
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 4096; i++ {
+		vals = append(vals, float32(rng.NormFloat64()*40))
+	}
+	return vals
+}
+
+func quantTestParams() []QuantParams {
+	return []QuantParams{
+		{Scale: 1, Zero: 0},
+		{Scale: 0.034, Zero: 17},
+		{Scale: 0.25, Zero: 127},
+		{Scale: 3.5, Zero: 64},
+		{Scale: 1e-6, Zero: 3},
+		{Scale: 1e6, Zero: 90},
+	}
+}
+
+// TestQuantizeSliceFastParity pins the AVX2 quantize kernel
+// bit-identical to its portable twin over the adversarial input table —
+// NaN payloads, infinities, denormals, rounding boundaries — at every
+// alignment of the 32-element SIMD split (so each edge case is seen by
+// both the vector body and the scalar tail).
+func TestQuantizeSliceFastParity(t *testing.T) {
+	if !quantSIMDAvailable {
+		t.Skip("no AVX2 quantize kernel on this host")
+	}
+	inputs := quantAdversarialInputs()
+	for _, p := range quantTestParams() {
+		rcp, ok := quantRecip(p.Scale)
+		if !ok {
+			t.Fatalf("params %+v unexpectedly outside the fast-path contract", p)
+		}
+		for _, off := range []int{0, 1, 7, 31} {
+			src := inputs[min(off, len(inputs)):]
+			want := make([]uint8, len(src))
+			got := make([]uint8, len(src))
+			quantizeSliceFastGo(want, src, rcp, p.Zero)
+			quantizeSliceFast(got, src, rcp, p.Zero)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("params %+v off %d: src[%d] = %x (bits %08x): asm %d vs twin %d",
+						p, off, i, src[i], math.Float32bits(src[i]), got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeSliceFastVsExactTolerance bounds the documented rounding
+// difference between the reciprocal-multiply fast path and the exact
+// float64-division reference: on any input the two may differ by at
+// most one quantized step, and on the adversarial table plus a large
+// random sample the difference must be rare.
+func TestQuantizeSliceFastVsExactTolerance(t *testing.T) {
+	inputs := quantAdversarialInputs()
+	for _, p := range quantTestParams() {
+		fast := make([]uint8, len(inputs))
+		exact := make([]uint8, len(inputs))
+		p.QuantizeSlice(fast, inputs)
+		p.quantizeSliceExact(exact, inputs)
+		diffs := 0
+		for i := range inputs {
+			d := int(fast[i]) - int(exact[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				t.Fatalf("params %+v: src[%d] = %v: fast %d vs exact %d differs by more than one step",
+					p, i, inputs[i], fast[i], exact[i])
+			}
+			if d == 1 {
+				diffs++
+			}
+		}
+		if diffs*100 > len(inputs) {
+			t.Fatalf("params %+v: %d/%d one-step differences (> 1%%): boundary drift is not rare",
+				p, diffs, len(inputs))
+		}
+	}
+}
+
+// TestQuantizeSliceMatchesScalarQuantize pins QuantizeSlice (whichever
+// path it takes) to the one-value Quantize reference within the
+// documented one-step tolerance, and exactly on specials: NaN must map
+// to the zero point and ±Inf to the range ends on both paths.
+func TestQuantizeSliceMatchesScalarQuantize(t *testing.T) {
+	inputs := quantAdversarialInputs()
+	for _, p := range quantTestParams() {
+		got := make([]uint8, len(inputs))
+		p.QuantizeSlice(got, inputs)
+		for i, x := range inputs {
+			want := p.Quantize(x)
+			d := int(got[i]) - int(want)
+			if d < 0 {
+				d = -d
+			}
+			special := x != x || math.IsInf(float64(x), 0)
+			if special && d != 0 {
+				t.Fatalf("params %+v: special src[%d] = %v: slice %d vs scalar %d", p, i, x, got[i], want)
+			}
+			if d > 1 {
+				t.Fatalf("params %+v: src[%d] = %v: slice %d vs scalar %d", p, i, x, got[i], want)
+			}
+		}
+	}
+}
+
+// TestQuantizeSliceExactFallback forces the scales outside the fast
+// path's contract — zero, NaN, Inf, denormal, and the underflowed
+// envelope's SmallestNonzeroFloat32 (whose reciprocal overflows) — and
+// checks QuantizeSlice still produces the exact-path answer.
+func TestQuantizeSliceExactFallback(t *testing.T) {
+	scales := []float32{
+		0,
+		math.SmallestNonzeroFloat32,
+		math.Float32frombits(0x007FFFFF), // largest denormal
+		float32(math.Inf(1)),
+		float32(math.NaN()),
+		math.MaxFloat32, // reciprocal is denormal
+	}
+	src := []float32{0, 1, -1, 50, 1e30, -1e30, float32(math.NaN())}
+	for _, s := range scales {
+		p := QuantParams{Scale: s, Zero: 5}
+		if _, ok := quantRecip(s); ok {
+			t.Fatalf("scale %v (bits %08x) unexpectedly inside the fast-path contract", s, math.Float32bits(s))
+		}
+		got := make([]uint8, len(src))
+		want := make([]uint8, len(src))
+		p.QuantizeSlice(got, src)
+		p.quantizeSliceExact(want, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("scale %v src[%d] = %v: QuantizeSlice %d vs exact %d", s, i, src[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQuantizeSliceLengthMismatchPanics pins the length contract: a dst
+// sized for a different tensor than src is a caller bug and must panic,
+// not silently quantize a prefix.
+func TestQuantizeSliceLengthMismatchPanics(t *testing.T) {
+	p := QuantParams{Scale: 1}
+	for _, sh := range []struct{ d, s int }{{4, 3}, {3, 4}, {0, 1}} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("dst %d src %d: no panic", sh.d, sh.s)
+				}
+				if msg, _ := r.(string); !strings.Contains(msg, "QuantizeSlice") {
+					t.Fatalf("dst %d src %d: unexpected panic %v", sh.d, sh.s, r)
+				}
+			}()
+			p.QuantizeSlice(make([]uint8, sh.d), make([]float32, sh.s))
+		}()
+	}
+}
+
+// TestQuantRecipContract pins the gate itself: normal scales with
+// normal reciprocals are accepted, everything else is not.
+func TestQuantRecipContract(t *testing.T) {
+	accept := []float32{1, 0.5, 0.034, 3.5, 1e-6, 1e6, -1, 0x1p-126 * 2}
+	for _, s := range accept {
+		if _, ok := quantRecip(s); !ok {
+			t.Errorf("scale %v rejected, want accepted", s)
+		}
+	}
+	reject := []float32{0, float32(math.Copysign(0, -1)), math.SmallestNonzeroFloat32,
+		math.Float32frombits(0x007FFFFF), float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.NaN()), math.MaxFloat32}
+	for _, s := range reject {
+		if rcp, ok := quantRecip(s); ok {
+			t.Errorf("scale %v (bits %08x) accepted with rcp %v, want rejected", s, math.Float32bits(s), rcp)
+		}
+	}
+}
