@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke kernel-matrix bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve bench-simd bench-quant
+.PHONY: build vet test race race-full verify serve-smoke obs-smoke cache-smoke trace-smoke kernel-matrix bench bench-smoke bench-parallel bench-alloc bench-scan bench-obs bench-serve bench-simd bench-quant
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,18 @@ cache-smoke:
 	$(GO) test -short -count=1 -run 'Cache|Rescan|Diff|Dirty|Adversarial|WeightChange' ./internal/hsd
 	$(GO) test -run='^$$' -fuzz=FuzzCacheKey -fuzztime=30x ./internal/hsd
 
+# Flight-recorder smoke: the span-tree unit suite (ring semantics, span
+# pooling, bounded drops, traceparent), the traced-scan shape and
+# per-span profile-parity tests, the concurrent hammer under -race, and
+# the serve selftest — which asserts end to end that a /detect request
+# produces a retrievable trace with queue-wait, scan, megatile and
+# correctly nested stage spans, joined to /statusz scan history.
+trace-smoke:
+	$(GO) test -count=1 ./internal/telemetry
+	$(GO) test -count=1 -run 'TestScanTraceTree|TestPerTileScanTrace|TestProfileScopeParity' ./internal/hsd
+	$(GO) test -race -count=1 -run 'TestTraceHammer' ./internal/telemetry
+	$(GO) run ./cmd/rhsd-serve -selftest -init-random -slow-scan 1ns
+
 # GEMM kernel matrix: re-run the numeric parity suites with each
 # registered micro-kernel forced via RHSD_GEMM_KERNEL, then the int8
 # parity suites with each quantized kernel forced via RHSD_QGEMM_KERNEL.
@@ -68,7 +80,7 @@ kernel-matrix:
 	done
 	$(GO) test -race -count=1 -run 'TestGemmKernelDispatchRace' ./internal/tensor
 
-verify: build vet test race serve-smoke obs-smoke cache-smoke kernel-matrix bench-quant
+verify: build vet test race serve-smoke obs-smoke cache-smoke trace-smoke kernel-matrix bench-quant
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

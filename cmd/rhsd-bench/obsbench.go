@@ -11,6 +11,7 @@ import (
 	"rhsd/internal/layout"
 	"rhsd/internal/parallel"
 	"rhsd/internal/telemetry"
+	"rhsd/internal/tensor"
 )
 
 // obsOverheadBudgetPct is the acceptance budget for the telemetry layer:
@@ -19,17 +20,25 @@ import (
 // baseline.
 const obsOverheadBudgetPct = 1.0
 
-// obsBenchReport is the BENCH_obs.json schema.
+// obsBenchReport is the BENCH_obs.json schema. The tracing_armed leg
+// runs the same loop with the flight recorder live: a span trace per
+// Detect (stage spans + tensor profiling), completed into the ring each
+// op. trace_overhead_pct compares it against the telemetry-off baseline,
+// under the same <1% budget; alloc_delta still compares the nil-trace
+// paths (telemetry on, no trace attached), which must stay at zero.
 type obsBenchReport struct {
-	Host         hostMeta        `json:"host"`
-	Workers      int             `json:"workers"`
-	Reps         int             `json:"reps"`
-	TelemetryOff allocBenchEntry `json:"telemetry_off"`
-	TelemetryOn  allocBenchEntry `json:"telemetry_on"`
-	OverheadPct  float64         `json:"overhead_pct"`
-	BudgetPct    float64         `json:"budget_pct"`
-	OverheadOK   bool            `json:"overhead_ok"`
-	AllocDelta   int64           `json:"alloc_delta"`
+	Host             hostMeta        `json:"host"`
+	Workers          int             `json:"workers"`
+	Reps             int             `json:"reps"`
+	TelemetryOff     allocBenchEntry `json:"telemetry_off"`
+	TelemetryOn      allocBenchEntry `json:"telemetry_on"`
+	TracingArmed     allocBenchEntry `json:"tracing_armed"`
+	OverheadPct      float64         `json:"overhead_pct"`
+	TraceOverheadPct float64         `json:"trace_overhead_pct"`
+	BudgetPct        float64         `json:"budget_pct"`
+	OverheadOK       bool            `json:"overhead_ok"`
+	TraceOverheadOK  bool            `json:"trace_overhead_ok"`
+	AllocDelta       int64           `json:"alloc_delta"`
 }
 
 // runObsBench measures the cost of the telemetry layer on the region
@@ -62,7 +71,22 @@ func runObsBench(p eval.Profile, workers int, outPath string, progress func(stri
 			m.Detect(raster)
 		}
 	}
-	var off, on allocBenchEntry
+	// The tracing leg records a full span trace per op into a live
+	// recorder, the way one served request does: stage spans parent under
+	// the trace root and tensor profiling is armed (that is what feeds
+	// per-span gemm/im2col attribution in real traces).
+	rec := telemetry.NewFlightRecorder(8)
+	traceLoop := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rec.StartTrace("bench", "bench", "")
+			m.SetTrace(tr, tr.Root())
+			m.Detect(raster)
+			m.SetTrace(nil, nil)
+			tr.Complete()
+		}
+	}
+
+	var off, on, traced allocBenchEntry
 	for rep := 0; rep < reps; rep++ {
 		parallel.DetachMetrics()
 		m.SetInstruments(nil)
@@ -73,14 +97,21 @@ func runObsBench(p eval.Profile, workers int, outPath string, progress func(stri
 		m.SetInstruments(hsd.NewInstruments(reg))
 		i := measure("detect_telemetry_on", detectLoop)
 
+		prevProf := tensor.SetProfiling(true)
+		t := measure("detect_tracing_armed", traceLoop)
+		tensor.SetProfiling(prevProf)
+
 		if rep == 0 || o.NsPerOp < off.NsPerOp {
 			off = o
 		}
 		if rep == 0 || i.NsPerOp < on.NsPerOp {
 			on = i
 		}
-		progress(fmt.Sprintf("obs bench rep %d/%d: off %.2f ms/op, on %.2f ms/op",
-			rep+1, reps, o.NsPerOp/1e6, i.NsPerOp/1e6))
+		if rep == 0 || t.NsPerOp < traced.NsPerOp {
+			traced = t
+		}
+		progress(fmt.Sprintf("obs bench rep %d/%d: off %.2f ms/op, on %.2f ms/op, traced %.2f ms/op",
+			rep+1, reps, o.NsPerOp/1e6, i.NsPerOp/1e6, t.NsPerOp/1e6))
 	}
 	parallel.DetachMetrics()
 	m.SetInstruments(nil)
@@ -91,17 +122,23 @@ func runObsBench(p eval.Profile, workers int, outPath string, progress func(stri
 		Reps:         reps,
 		TelemetryOff: off,
 		TelemetryOn:  on,
+		TracingArmed: traced,
 		BudgetPct:    obsOverheadBudgetPct,
 		AllocDelta:   on.AllocsPerOp - off.AllocsPerOp,
 	}
 	if off.NsPerOp > 0 {
 		report.OverheadPct = (on.NsPerOp/off.NsPerOp - 1) * 100
+		report.TraceOverheadPct = (traced.NsPerOp/off.NsPerOp - 1) * 100
 	}
 	report.OverheadOK = report.OverheadPct < obsOverheadBudgetPct
-	progress(fmt.Sprintf("obs bench: overhead %+.2f%% (budget %.1f%%), alloc delta %+d/op",
-		report.OverheadPct, obsOverheadBudgetPct, report.AllocDelta))
+	report.TraceOverheadOK = report.TraceOverheadPct < obsOverheadBudgetPct
+	progress(fmt.Sprintf("obs bench: telemetry %+.2f%%, tracing %+.2f%% (budget %.1f%%), alloc delta %+d/op",
+		report.OverheadPct, report.TraceOverheadPct, obsOverheadBudgetPct, report.AllocDelta))
 	if !report.OverheadOK {
 		progress("obs bench: WARNING — telemetry overhead exceeds the budget")
+	}
+	if !report.TraceOverheadOK {
+		progress("obs bench: WARNING — tracing-armed overhead exceeds the budget")
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")

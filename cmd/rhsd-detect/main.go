@@ -22,7 +22,9 @@
 // whole run, with every pipeline stage (backbone, enc-dec, inception,
 // CPN, pruning, h-NMS, refinement) annotated as a trace region — open it
 // with `go tool trace` to see where a scan's wall time goes across
-// goroutines.
+// goroutines. -trace-dump instead prints the scan's own span trace — the
+// same per-megatile timeline rhsd-serve's flight recorder retains — as
+// an aligned text tree on stderr, no tooling required.
 package main
 
 import (
@@ -38,6 +40,8 @@ import (
 	"rhsd/internal/layout"
 	"rhsd/internal/metrics"
 	"rhsd/internal/parallel"
+	"rhsd/internal/telemetry"
+	"rhsd/internal/tensor"
 	"rhsd/internal/viz"
 )
 
@@ -53,6 +57,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime/trace with per-stage regions to this file")
+	traceDump := flag.Bool("trace-dump", false, "print the scan's span trace (per-megatile timeline) to stderr after the run")
 	flag.Parse()
 
 	// 0 means "unset" for -workers and -megatile, so an explicitly passed
@@ -147,6 +152,16 @@ func main() {
 		fatal(err)
 	}
 
+	// -trace-dump records the scan into a one-slot flight recorder — the
+	// same span tree rhsd-serve retains per request — and prints it as an
+	// aligned text timeline, one line per megatile with its stage times.
+	var tr *telemetry.Trace
+	if *traceDump {
+		tensor.SetProfiling(true)
+		tr = telemetry.NewFlightRecorder(1).StartTrace("detect", "cli", "")
+		m.SetTrace(tr, tr.Root())
+	}
+
 	var dets []hsd.Detection
 	switch {
 	case *megatile < 0:
@@ -160,6 +175,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		m.SetTrace(nil, nil)
+		tr.Complete()
+		tr.Snapshot().RenderText(os.Stderr)
 	}
 	fmt.Println("cx_nm,cy_nm,w_nm,h_nm,score")
 	for _, d := range dets {

@@ -9,9 +9,20 @@
 //
 //	POST /detect   layout text (BOUNDS/RECT format) in, JSON detections out
 //	GET  /healthz  liveness; 503 while draining
-//	GET  /statusz  pool, queue, workspace and request counters as JSON
+//	GET  /statusz  pool, queue, workspace, build info and counters as JSON
 //	GET  /metrics  Prometheus text exposition (stage timings, pool, serve)
+//	GET  /traces   flight recorder: recent request span traces as JSON
+//	GET  /traces/{id}            one trace's span tree (?format=txt for text)
 //	GET  /debug/pprof/*  profiling handlers, only with -pprof
+//
+// Every /detect request records a span trace — queue wait, parse, scan,
+// one span per megatile with its cache outcome and per-stage timings —
+// into a fixed-size flight recorder (-flight-recorder traces retained).
+// The response carries the trace id (trace_id field, X-Trace-Id and W3C
+// traceparent headers; an inbound traceparent is adopted, so a
+// coordinator fanning one chip across workers sees a single trace).
+// Detections slower than -slow-scan additionally log a structured dump
+// naming the worst megatile and its dominant stage.
 //
 // The pool holds -pool model clones (default: one per compute worker),
 // each scanning with its share of the worker budget, so a saturated
@@ -55,6 +66,7 @@ import (
 	"rhsd/internal/layout"
 	"rhsd/internal/parallel"
 	"rhsd/internal/serve"
+	"rhsd/internal/telemetry"
 )
 
 func main() {
@@ -70,6 +82,8 @@ func main() {
 	cacheMem := flag.Int("cache-mem", 64, "content-addressed megatile result cache budget in MiB, shared by the pool (0 = disabled)")
 	workers := flag.Int("workers", 0, "compute worker pool size (0 = RHSD_WORKERS or NumCPU)")
 	precision := flag.String("precision", "fp32", "pool-wide trunk numeric path: fp32 or int8; per-request override via /detect?precision=")
+	flightRec := flag.Int("flight-recorder", 0, "completed request traces retained for GET /traces (0 = 32, negative = tracing off)")
+	slowScan := flag.Duration("slow-scan", 0, "log a structured trace dump for detections at least this slow (0 = off)")
 	idleTrim := flag.Duration("idle-trim", time.Minute, "trim per-clone workspaces after this much idle time (0 = never)")
 	initRandom := flag.Bool("init-random", false, "serve freshly initialized weights instead of loading -ckpt (smoke tests)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, run one end-to-end request against it, and exit")
@@ -125,6 +139,8 @@ func main() {
 		CacheMemMiB:    *cacheMem,
 		ScoreThreshold: *thresh,
 		IdleTrim:       *idleTrim,
+		FlightRecorder: *flightRec,
+		SlowScan:       *slowScan,
 		EnablePprof:    *pprofFlag,
 		Logger:         logger,
 		Precision:      *precision,
@@ -356,6 +372,7 @@ func runSelftest(c hsd.Config, cfg serve.Config, base string) error {
 		`rhsd_detect_stage_seconds_count{stage="backbone"}`,
 		"rhsd_pool_workers",
 		"rhsd_detect_passes_total",
+		"rhsd_build_info{",
 	}
 	if megatiles {
 		wants = append(wants, `rhsd_scan_tiles_total{kind="megatile_reused"}`)
@@ -372,8 +389,188 @@ func runSelftest(c hsd.Config, cfg serve.Config, base string) error {
 			return fmt.Errorf("metrics: exposition is missing %q", want)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "rhsd-serve: selftest scanned layout, %d detections, pool %d, cache hits %d\n",
-		cold.Count, st.Pool, st.CacheHits)
+
+	if err := selftestTraces(client, base, cold, st, megatiles, layoutText.Bytes()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rhsd-serve: selftest scanned layout, %d detections, pool %d, cache hits %d, trace %s\n",
+		cold.Count, st.Pool, st.CacheHits, cold.TraceID)
+	return nil
+}
+
+// selftestTraces checks the flight recorder end to end: the cold scan's
+// trace is retrievable by its id, its span tree has the right shape
+// (queue wait + scan + megatile spans with cache outcomes + stage
+// children nested within their parents), the text rendering works, the
+// scan history on /statusz joins scans to traces, and an inbound W3C
+// traceparent header is adopted as the trace id.
+func selftestTraces(client *http.Client, base string, cold serve.DetectResponse, st serve.Status, megatiles bool, layoutText []byte) error {
+	if len(cold.TraceID) != 32 {
+		return fmt.Errorf("traces: cold scan trace_id %q, want 32 hex digits", cold.TraceID)
+	}
+	if st.Build.GoVersion == "" || st.Build.GemmKernel == "" || st.Build.QGemmKernel == "" {
+		return fmt.Errorf("traces: statusz build info incomplete: %+v", st.Build)
+	}
+	if st.TraceCapacity < 1 || st.TracesRetained < 1 {
+		return fmt.Errorf("traces: statusz recorder retained=%d capacity=%d, want both >= 1",
+			st.TracesRetained, st.TraceCapacity)
+	}
+	if megatiles {
+		found := false
+		for _, e := range st.ScanHistory {
+			if e.ScanID == cold.ScanID && e.TraceID == cold.TraceID {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("traces: statusz scan history lacks scan %d with trace %s: %+v",
+				cold.ScanID, cold.TraceID, st.ScanHistory)
+		}
+	}
+
+	// The listing must contain the cold scan's trace.
+	resp, err := client.Get(base + "/traces")
+	if err != nil {
+		return fmt.Errorf("traces list: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traces list: status %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return fmt.Errorf("traces list: decoding %q: %w", body, err)
+	}
+	listed := false
+	for _, t := range list.Traces {
+		if t.TraceID == cold.TraceID {
+			listed = true
+		}
+	}
+	if !listed {
+		return fmt.Errorf("traces list: trace %s not retained (capacity %d, %d listed)",
+			cold.TraceID, list.Capacity, len(list.Traces))
+	}
+
+	// The full tree: root "detect" → queue_wait + parse + scan →
+	// megatile spans carrying a cache outcome → stage children whose
+	// spans nest within the megatile's interval.
+	resp, err = client.Get(base + "/traces/" + cold.TraceID)
+	if err != nil {
+		return fmt.Errorf("trace fetch: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace fetch: status %d: %s", resp.StatusCode, body)
+	}
+	var td telemetry.TraceData
+	if err := json.Unmarshal(body, &td); err != nil {
+		return fmt.Errorf("trace fetch: decoding %q: %w", body, err)
+	}
+	if !td.Complete || td.Root.Name != "detect" {
+		return fmt.Errorf("trace fetch: complete=%v root=%q, want a complete detect trace", td.Complete, td.Root.Name)
+	}
+	children := map[string]int{}
+	for _, c := range td.Root.Children {
+		children[c.Name]++
+	}
+	for _, want := range []string{"queue_wait", "parse", "scan"} {
+		if children[want] == 0 {
+			return fmt.Errorf("trace fetch: root has no %q span (children %v)", want, children)
+		}
+	}
+	workName := "tile"
+	if megatiles {
+		workName = "megatile"
+	}
+	workSpans, stageSpans := 0, 0
+	for _, c := range td.Root.Children {
+		if c.Name != "scan" {
+			continue
+		}
+		for _, mt := range c.Children {
+			if mt.Name != workName {
+				continue
+			}
+			workSpans++
+			cacheAttr := false
+			for _, a := range mt.Attrs {
+				if a.Key == "cache" && a.Str != "" {
+					cacheAttr = true
+				}
+			}
+			if !cacheAttr {
+				return fmt.Errorf("trace fetch: %s span lacks a cache outcome attr: %+v", workName, mt.Attrs)
+			}
+			for _, stg := range mt.Children {
+				stageSpans++
+				if stg.StartNs < mt.StartNs || stg.StartNs+stg.DurationNs > mt.StartNs+mt.DurationNs {
+					return fmt.Errorf("trace fetch: stage %q [%d,+%d] outside its %s span [%d,+%d]",
+						stg.Name, stg.StartNs, stg.DurationNs, workName, mt.StartNs, mt.DurationNs)
+				}
+			}
+		}
+	}
+	if workSpans < 1 || stageSpans < 1 {
+		return fmt.Errorf("trace fetch: %d %s spans with %d stage children, want >= 1 of each",
+			workSpans, workName, stageSpans)
+	}
+
+	// Text rendering, addressed by request id this time (both keys work).
+	resp, err = client.Get(base + "/traces/" + td.RequestID + "?format=txt")
+	if err != nil {
+		return fmt.Errorf("trace txt: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace txt: status %d: %s", resp.StatusCode, body)
+	}
+	txt := string(body)
+	if !strings.Contains(txt, "trace "+cold.TraceID) || !strings.Contains(txt, workName) {
+		return fmt.Errorf("trace txt: rendering lacks the header or %s spans:\n%s", workName, txt)
+	}
+
+	// An inbound W3C traceparent must be adopted: the response echoes the
+	// caller's trace id and the recorder retains the trace under it.
+	const inboundID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest(http.MethodPost, base+"/detect", bytes.NewReader(layoutText))
+	if err != nil {
+		return fmt.Errorf("traceparent detect: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("traceparent", "00-"+inboundID+"-00f067aa0ba902b7-01")
+	resp, err = client.Do(req)
+	if err != nil {
+		return fmt.Errorf("traceparent detect: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traceparent detect: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != inboundID {
+		return fmt.Errorf("traceparent detect: X-Trace-Id %q, want the inbound id %s", got, inboundID)
+	}
+	if tp := resp.Header.Get("Traceparent"); !strings.Contains(tp, inboundID) {
+		return fmt.Errorf("traceparent detect: response traceparent %q lacks the inbound id", tp)
+	}
+	resp, err = client.Get(base + "/traces/" + inboundID)
+	if err != nil {
+		return fmt.Errorf("traceparent fetch: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traceparent fetch: status %d, want the adopted trace retained", resp.StatusCode)
+	}
 	return nil
 }
 

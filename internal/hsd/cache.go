@@ -130,13 +130,15 @@ func RasterKey(raster *tensor.Tensor, version [sha256.Size]byte) scancache.Key {
 // cache: a content hit returns the stored detections (a private copy)
 // without touching the network; a miss runs Detect on the worker replica
 // mw and retains the result. useCache=false (detached cache, or a path
-// that skipped version hashing) is a plain Detect call.
-func (m *Model) cachedDetect(mw *Model, raster *tensor.Tensor, version [sha256.Size]byte, useCache bool) []Detection {
+// that skipped version hashing) is a plain Detect call. The second
+// return reports how the lookup was served (OutcomeNone when no cache
+// was consulted) — request traces stamp it on the megatile's span.
+func (m *Model) cachedDetect(mw *Model, raster *tensor.Tensor, version [sha256.Size]byte, useCache bool) ([]Detection, scancache.Outcome) {
 	if !useCache {
-		return mw.Detect(raster)
+		return mw.Detect(raster), scancache.OutcomeNone
 	}
 	key := RasterKey(raster, version)
-	return m.cache.GetOrCompute(key, func() []Detection {
+	return m.cache.GetOrComputeOutcome(key, func() []Detection {
 		return mw.Detect(raster)
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"rhsd/internal/geom"
 	"rhsd/internal/layout"
 	"rhsd/internal/parallel"
+	"rhsd/internal/telemetry"
 	"rhsd/internal/tensor"
 )
 
@@ -291,9 +292,27 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 		return clips
 	}
 
+	tr := m.trace
+	var scanSpan *telemetry.TraceSpan
+	if tr != nil {
+		scanSpan = tr.StartSpan(m.tspan, "scan")
+		scanSpan.SetAttr("tiles", int64(len(tiles)))
+		prev := m.tspan
+		m.tspan = scanSpan
+		defer func() {
+			m.tspan = prev
+			tr.EndSpan(scanSpan)
+		}()
+	}
+
 	perTile := make([][]ScoredClip, len(tiles))
-	m.scanReplicated(len(tiles), func(mw *Model, i int) {
-		perTile[i] = scanTile(mw, tiles[i])
+	m.scanReplicated(len(tiles), func(mw *Model, w, i int) {
+		t := tiles[i]
+		wt := beginWorkTrace(tr, scanSpan, mw, "tile", w)
+		wt.span.SetAttr("x_nm", int64(t.x))
+		wt.span.SetAttr("y_nm", int64(t.y))
+		perTile[i] = scanTile(mw, t)
+		wt.end(tr)
 	})
 
 	var all []ScoredClip
@@ -323,8 +342,10 @@ func (m *Model) DetectLayout(l *layout.Layout, window layout.Rect) []Detection {
 // re-building the network and re-growing workspaces on every scan. Work
 // items are claimed from a shared counter; callers store per-item results
 // in a slice indexed by i so output order — and therefore the final merge
-// — is identical for every worker count.
-func (m *Model) scanReplicated(n int, scan func(mw *Model, i int)) {
+// — is identical for every worker count. scan receives the worker slot w
+// driving it (0 = the primary model) so traced scans can attribute each
+// work item to the replica that ran it.
+func (m *Model) scanReplicated(n int, scan func(mw *Model, w, i int)) {
 	workers := parallel.Workers()
 	if m.scanWorkers > 0 && m.scanWorkers < workers {
 		workers = m.scanWorkers
@@ -352,24 +373,24 @@ func (m *Model) scanReplicated(n int, scan func(mw *Model, i int)) {
 	}
 	if len(replicas) == 1 {
 		for i := 0; i < n; i++ {
-			scan(m, i)
+			scan(m, 0, i)
 		}
 		return
 	}
 	var next int32
 	var wg sync.WaitGroup
 	wg.Add(len(replicas))
-	for _, r := range replicas {
-		go func(mw *Model) {
+	for w, r := range replicas {
+		go func(mw *Model, w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt32(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				scan(mw, i)
+				scan(mw, w, i)
 			}
-		}(r)
+		}(r, w)
 	}
 	wg.Wait()
 }

@@ -2,6 +2,7 @@ package hsd
 
 import (
 	"rhsd/internal/layout"
+	"rhsd/internal/telemetry"
 	"rhsd/internal/tensor"
 )
 
@@ -197,15 +198,25 @@ func megatileGrid(spec MegatileSpec, window layout.Rect) (xs, ys []int, xb, yb [
 
 // scanOneMegatile rasterizes one megatile, runs the forward pass (through
 // the cache when useCache), applies the halo-ownership filter and returns
-// the surviving clips in window-relative nanometre coordinates.
+// the surviving clips in window-relative nanometre coordinates. sp, when
+// non-nil, is the request-trace span for this megatile; it receives the
+// tile coordinates and the cache outcome as attributes.
 func (m *Model) scanOneMegatile(mw *Model, l *layout.Layout, t megatile, spec MegatileSpec,
-	window layout.Rect, xb, yb []float64, version [32]byte, useCache bool) []ScoredClip {
+	window layout.Rect, xb, yb []float64, version [32]byte, useCache bool, sp *telemetry.TraceSpan) []ScoredClip {
 	c := m.Config
 	sub := l.Window(t.tileRect(spec))
 	raster := RegionRaster(sub, c, spec.PxSize)
 	var clips []ScoredClip
 	slack := ownershipSlackNM(c)
-	for _, d := range m.cachedDetect(mw, raster, version, useCache) {
+	dets, outcome := m.cachedDetect(mw, raster, version, useCache)
+	if sp != nil {
+		sp.SetAttr("ix", int64(t.ix))
+		sp.SetAttr("iy", int64(t.iy))
+		sp.SetAttr("x_nm", int64(t.x))
+		sp.SetAttr("y_nm", int64(t.y))
+		sp.SetAttrStr("cache", outcome.String())
+	}
+	for _, d := range dets {
 		scaled := d.Clip.Scale(c.PitchNM)
 		clipNM := scaled.Translate(float64(t.x), float64(t.y))
 		// Halo ownership: clips centred past the overlap midpoint (plus
@@ -264,9 +275,25 @@ func (m *Model) scanMegatiles(res *ScanResult, l *layout.Layout, window layout.R
 		version = m.WeightsVersion()
 	}
 
+	tr := m.trace
+	var scanSpan *telemetry.TraceSpan
+	if tr != nil {
+		scanSpan = tr.StartSpan(m.tspan, "scan")
+		scanSpan.SetAttr("factor", int64(spec.Factor))
+		scanSpan.SetAttr("megatiles", int64(len(tiles)))
+		prev := m.tspan
+		m.tspan = scanSpan
+		defer func() {
+			m.tspan = prev
+			tr.EndSpan(scanSpan)
+		}()
+	}
+
 	perTile := make([][]ScoredClip, len(tiles))
-	m.scanReplicated(len(tiles), func(mw *Model, i int) {
-		perTile[i] = m.scanOneMegatile(mw, l, tiles[i], spec, window, xb, yb, version, useCache)
+	m.scanReplicated(len(tiles), func(mw *Model, w, i int) {
+		wt := beginWorkTrace(tr, scanSpan, mw, "megatile", w)
+		perTile[i] = m.scanOneMegatile(mw, l, tiles[i], spec, window, xb, yb, version, useCache, wt.span)
+		wt.end(tr)
 	})
 
 	res.Detections = m.mergeMegatiles(perTile)
@@ -378,9 +405,25 @@ func (m *Model) RescanLayoutMegatile(prev *ScanResult, l *layout.Layout, dirty [
 		}
 	}
 	useCache := m.cache != nil
-	m.scanReplicated(len(dirtyIdx), func(mw *Model, j int) {
+	tr := m.trace
+	var scanSpan *telemetry.TraceSpan
+	if tr != nil {
+		scanSpan = tr.StartSpan(m.tspan, "rescan")
+		scanSpan.SetAttr("factor", int64(spec.Factor))
+		scanSpan.SetAttr("megatiles_dirty", int64(len(dirtyIdx)))
+		scanSpan.SetAttr("megatiles_reused", int64(len(tiles)-len(dirtyIdx)))
+		prev := m.tspan
+		m.tspan = scanSpan
+		defer func() {
+			m.tspan = prev
+			tr.EndSpan(scanSpan)
+		}()
+	}
+	m.scanReplicated(len(dirtyIdx), func(mw *Model, w, j int) {
 		i := dirtyIdx[j]
-		res.perTile[i] = m.scanOneMegatile(mw, l, tiles[i], spec, window, xb, yb, version, useCache)
+		wt := beginWorkTrace(tr, scanSpan, mw, "megatile", w)
+		res.perTile[i] = m.scanOneMegatile(mw, l, tiles[i], spec, window, xb, yb, version, useCache, wt.span)
+		wt.end(tr)
 	})
 
 	res.Detections = m.mergeMegatiles(res.perTile)

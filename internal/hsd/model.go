@@ -7,6 +7,7 @@ import (
 
 	"rhsd/internal/geom"
 	"rhsd/internal/nn"
+	"rhsd/internal/telemetry"
 	"rhsd/internal/tensor"
 )
 
@@ -102,6 +103,20 @@ type Model struct {
 	// regrow per-clone workspaces — on every call. Parameters are synced
 	// from m at the start of each scan; see scanReplicated.
 	replicas []*Model
+
+	// trace/tspan are the active request trace and the span new stage
+	// and scan spans parent under (see SetTrace). Nil — the default —
+	// keeps every instrumented site on today's branch-only fast path.
+	// Replicas do not inherit them: a worker replica is handed the
+	// per-megatile span for exactly one work item at a time (trace.go),
+	// so spans parent under the megatile they time, not under whatever
+	// the replica scanned last.
+	trace *telemetry.Trace
+	tspan *telemetry.TraceSpan
+	// profScope is the reusable per-work-item tensor profile scope,
+	// lazily built the first time this model (as a scan worker) runs a
+	// traced work item and reset before each one.
+	profScope *tensor.ProfileScope
 }
 
 // NewModel builds and initializes an R-HSD network for the configuration.

@@ -75,7 +75,7 @@ func (l *Dense) Infer(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
 	n := x.Dim(0)
 	y := ws.Tensor(n, l.Out)
 	if l.packed != nil {
-		tensor.GemmPreB(false, n, l.Out, l.In, 1, x.Data(), l.packed, 0, y.Data())
+		tensor.GemmPreBScoped(ws.ProfileScope(), false, n, l.Out, l.In, 1, x.Data(), l.packed, 0, y.Data())
 	} else {
 		tensor.Gemm(false, false, n, l.Out, l.In, 1, x.Data(), l.Weight.W.Data(), 0, y.Data())
 	}

@@ -178,6 +178,40 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 // GetOrCompute (nothing is cached); waiting callers retry, so one
 // poisoned scan cannot wedge its neighbours.
 func (c *Cache[V]) GetOrCompute(k Key, compute func() V) V {
+	v, _ := c.GetOrComputeOutcome(k, compute)
+	return v
+}
+
+// Outcome classifies how one cache lookup was served, for per-request
+// trace attribution. The zero value OutcomeNone means "no cache was
+// consulted" (callers running with caching disabled).
+type Outcome uint8
+
+const (
+	OutcomeNone   Outcome = iota // no cache in play
+	OutcomeHit                   // served from a completed entry
+	OutcomeMiss                  // this caller ran compute
+	OutcomeShared                // joined another caller's in-flight compute
+)
+
+// String returns the attribute value traces carry for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeShared:
+		return "shared"
+	default:
+		return "none"
+	}
+}
+
+// GetOrComputeOutcome is GetOrCompute plus a report of how the lookup
+// was served. A caller that takes over a panicked flight reports the
+// miss it actually computed, not the shared wait it abandoned.
+func (c *Cache[V]) GetOrComputeOutcome(k Key, compute func() V) (V, Outcome) {
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[k]; ok {
@@ -185,7 +219,7 @@ func (c *Cache[V]) GetOrCompute(k Key, compute func() V) V {
 			v := c.clone(el.Value.(*entry[V]).value)
 			c.mu.Unlock()
 			c.hits.Inc()
-			return v
+			return v, OutcomeHit
 		}
 		if fl, ok := c.flights[k]; ok {
 			c.mu.Unlock()
@@ -201,7 +235,7 @@ func (c *Cache[V]) GetOrCompute(k Key, compute func() V) V {
 				continue // the computer panicked; take over the miss
 			}
 			c.shared.Inc()
-			return v
+			return v, OutcomeShared
 		}
 		fl := &flight[V]{done: make(chan struct{})}
 		c.flights[k] = fl
@@ -227,7 +261,7 @@ func (c *Cache[V]) GetOrCompute(k Key, compute func() V) V {
 		delete(c.flights, k)
 		c.insertLocked(k, fl.value)
 		c.mu.Unlock()
-		return v
+		return v, OutcomeMiss
 	}
 }
 

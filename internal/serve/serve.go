@@ -106,6 +106,15 @@ type Config struct {
 	// A registry must not be shared between Servers: the second New would
 	// panic on duplicate series.
 	Registry *telemetry.Registry
+	// FlightRecorder is how many completed request traces GET /traces
+	// retains (the span-tree flight recorder, DESIGN.md §18). 0 = 32;
+	// negative disables tracing entirely — requests then thread a nil
+	// trace and pay only nil checks on the hot path.
+	FlightRecorder int
+	// SlowScan, when positive, logs a structured trace dump (worst
+	// megatile chain included) for every detection whose scan takes at
+	// least this long. 0 disables slow-scan logging.
+	SlowScan time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints on a production port are a foot-gun.
 	EnablePprof bool
@@ -132,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTrim == 0 {
 		c.IdleTrim = time.Minute
+	}
+	if c.FlightRecorder == 0 {
+		c.FlightRecorder = 32
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
@@ -199,11 +211,14 @@ const scanHistoryDepth = 8
 
 // scanEntry is one retained scan: the layout served and its ScanResult
 // (both immutable once stored), addressable by the scan id echoed in the
-// response.
+// response. trace is the flight-recorder trace id of the request that
+// produced the scan ("" when tracing is off) — the join key between
+// /statusz scan history, /metrics exemplars and GET /traces/{id}.
 type scanEntry struct {
-	id  int64
-	l   *layout.Layout
-	res *hsd.ScanResult
+	id    int64
+	l     *layout.Layout
+	res   *hsd.ScanResult
+	trace string
 }
 
 // scanHistory is a small mutex-guarded ring of recent scans.
@@ -219,15 +234,42 @@ func newScanHistory(depth int) *scanHistory {
 }
 
 // add retains (l, res) and returns its scan id (ids start at 1).
-func (h *scanHistory) add(l *layout.Layout, res *hsd.ScanResult) int64 {
+func (h *scanHistory) add(l *layout.Layout, res *hsd.ScanResult, trace string) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.nextID++
-	h.entries = append(h.entries, scanEntry{id: h.nextID, l: l, res: res})
+	h.entries = append(h.entries, scanEntry{id: h.nextID, l: l, res: res, trace: trace})
 	if len(h.entries) > h.depth {
 		h.entries = append(h.entries[:0], h.entries[len(h.entries)-h.depth:]...)
 	}
 	return h.nextID
+}
+
+// ScanHistoryEntry is one retained scan in the /statusz listing.
+type ScanHistoryEntry struct {
+	ScanID       int64  `json:"scan_id"`
+	TraceID      string `json:"trace_id,omitempty"`
+	TilesScanned int    `json:"tiles_scanned"`
+	TilesReused  int    `json:"tiles_reused"`
+	Detections   int    `json:"detections"`
+}
+
+// list summarizes the retained scans, newest first.
+func (h *scanHistory) list() []ScanHistoryEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]ScanHistoryEntry, 0, len(h.entries))
+	for i := len(h.entries) - 1; i >= 0; i-- {
+		e := h.entries[i]
+		out = append(out, ScanHistoryEntry{
+			ScanID:       e.id,
+			TraceID:      e.trace,
+			TilesScanned: e.res.TilesScanned,
+			TilesReused:  e.res.TilesReused,
+			Detections:   len(e.res.Detections),
+		})
+	}
+	return out
 }
 
 // get returns the retained scan with the given id, if still present.
@@ -254,6 +296,10 @@ type Server struct {
 	reg *telemetry.Registry
 	met *serveMetrics
 	log *slog.Logger
+
+	// rec is the request-trace flight recorder behind GET /traces
+	// (nil = tracing disabled).
+	rec *telemetry.FlightRecorder
 
 	// defaultPrecision is the pool-wide numeric path (cfg.Precision
 	// normalized); int8Armed records whether startup calibration ran, the
@@ -309,6 +355,12 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 	}
 	s.met = newServeMetrics(s.reg)
 	parallel.RegisterMetrics(s.reg)
+	if cfg.FlightRecorder > 0 {
+		s.rec = telemetry.NewFlightRecorder(cfg.FlightRecorder)
+		// Per-span tensor stage attribution (gemm/im2col/quantize time on
+		// megatile spans) rides the tensor profiling counters.
+		tensor.SetProfiling(true)
+	}
 	if m.Instruments() == nil {
 		m.SetInstruments(hsd.NewInstruments(s.reg))
 	}
@@ -352,6 +404,9 @@ func New(m *hsd.Model, cfg Config) (*Server, error) {
 		s.workers = append(s.workers, wk)
 		s.pool <- wk
 	}
+	// Registered after precision arming so the labels report the path the
+	// pool actually serves.
+	registerBuildInfo(s.reg, s.buildInfo())
 	s.reg.NewGaugeFunc("rhsd_serve_workspace_bytes",
 		"Retained workspace bytes across all pooled model clones.", "",
 		s.workspaceBytes)
@@ -387,6 +442,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/detect", s.handleDetect)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/traces/", s.handleTrace)
 	mux.Handle("/metrics", s.reg.Handler())
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -449,6 +506,9 @@ type DetectResponse struct {
 	// Precision is the numeric path this scan ran under ("fp32" or
 	// "int8"): the pool default, or the request's ?precision= override.
 	Precision string `json:"precision,omitempty"`
+	// TraceID names this request's span trace, retrievable while retained
+	// at GET /traces/{trace_id} (empty when the flight recorder is off).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is every non-2xx payload.
@@ -489,6 +549,15 @@ type Status struct {
 	CacheBytes     int64   `json:"cache_bytes,omitempty"`
 	CacheEntries   int64   `json:"cache_entries,omitempty"`
 	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	// Build mirrors the rhsd_build_info gauge labels.
+	Build BuildInfo `json:"build"`
+	// TracesRetained/TraceCapacity describe the flight recorder; zero
+	// capacity means tracing is disabled and GET /traces answers 404.
+	TracesRetained int `json:"traces_retained"`
+	TraceCapacity  int `json:"trace_capacity"`
+	// ScanHistory lists the retained scans (?since= targets), newest
+	// first, each carrying the trace id that joins it to GET /traces.
+	ScanHistory []ScanHistoryEntry `json:"scan_history,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -557,6 +626,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			st.CacheHitRate = float64(cs.Hits) / float64(total)
 		}
 	}
+	st.Build = s.buildInfo()
+	if s.rec != nil {
+		st.TracesRetained = len(s.rec.Traces())
+		st.TraceCapacity = s.rec.Cap()
+	}
+	if s.hist != nil {
+		st.ScanHistory = s.hist.list()
+	}
 	s.mu.RLock()
 	st.Draining = s.closed
 	s.mu.RUnlock()
@@ -590,7 +667,25 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Done()
 
 	id := s.reqID.Add(1)
-	w.Header().Set("X-Request-Id", strconv.FormatInt(id, 10))
+	reqIDStr := strconv.FormatInt(id, 10)
+	w.Header().Set("X-Request-Id", reqIDStr)
+	// tr is nil when the flight recorder is off; every span operation
+	// below is nil-safe, so the untraced path stays branch-only. An
+	// inbound W3C traceparent header donates the trace id so a
+	// coordinator fanning a chip out over workers sees one trace.
+	tr := s.rec.StartTrace("detect", reqIDStr, r.Header.Get("traceparent"))
+	if tr != nil {
+		w.Header().Set("Traceparent", tr.TraceParent())
+		w.Header().Set("X-Trace-Id", tr.TraceID())
+	}
+	// The scan goroutine owns trace completion once launched (handed);
+	// until then early exits (shed, 4xx, wait timeout) complete it here.
+	handed := false
+	defer func() {
+		if !handed {
+			tr.Complete()
+		}
+	}()
 	s.log.Debug("detect request", "request_id", id, "remote", r.RemoteAddr)
 	s.met.requests.Inc()
 	s.met.inflight.Add(1)
@@ -636,7 +731,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ps := tr.StartSpan(tr.Root(), "parse")
 	l, err := layout.ParseChecked(body, s.cfg.Limits)
+	tr.EndSpan(ps)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -654,10 +751,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	waitStart := time.Now()
+	qs := tr.StartSpan(tr.Root(), "queue_wait")
 	var wk *worker
 	select {
 	case wk = <-s.pool:
 		s.met.queueWait.ObserveSince(waitStart)
+		tr.EndSpan(qs)
 	case <-ctx.Done():
 		s.met.timeouts.Inc()
 		s.fail(w, http.StatusServiceUnavailable, "no detection worker within the request deadline")
@@ -675,6 +774,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	done := make(chan result, 1)
 	s.inflight.Add(1)
+	// The scan goroutine now owns the trace: it must complete it even if
+	// the handler has long since answered 504, and completion must happen
+	// there — after the worker detaches — so no span operation can race
+	// Complete (span handles are invalid once the trace completes).
+	handed = true
 	go func() {
 		defer s.inflight.Done()
 		var out scanOutcome
@@ -688,10 +792,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 				}
 				defer wk.m.SetPrecision(prev)
 			}
-			out = s.scan(wk.m, l, since)
+			wk.m.SetTrace(tr, tr.Root())
+			out = s.scan(wk.m, l, since, tr.TraceID())
 		})
+		// Detach before the worker rejoins the pool: the next request
+		// must not inherit this trace, and Complete below invalidates
+		// every span handle the model still holds.
+		wk.m.SetTrace(nil, nil)
 		wk.footprint.Store(int64(wk.m.TotalWorkspaceFootprint()) * 4)
 		s.pool <- wk
+		s.finishTrace(tr, out, err, time.Since(start))
 		done <- result{out, err}
 	}()
 
@@ -725,6 +835,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			TilesReused:  res.out.tilesReused,
 			Incremental:  res.out.incremental,
 			Precision:    precision,
+			TraceID:      tr.TraceID(),
 		}
 		for i, d := range dets {
 			out.Detections[i] = DetectionJSON{
@@ -760,7 +871,7 @@ type scanOutcome struct {
 // stored scan whose window or weights no longer match, silently degrades
 // to a cold scan — incremental serving is an optimization, never a
 // correctness dependency (the hsd differential suite pins bit-identity).
-func (s *Server) scan(m *hsd.Model, l *layout.Layout, since int64) scanOutcome {
+func (s *Server) scan(m *hsd.Model, l *layout.Layout, since int64, traceID string) scanOutcome {
 	if s.cfg.MegatileFactor < 0 {
 		return scanOutcome{dets: m.DetectLayout(l, l.Bounds)}
 	}
@@ -781,7 +892,7 @@ func (s *Server) scan(m *hsd.Model, l *layout.Layout, since int64) scanOutcome {
 		}
 		res = m.ScanLayoutMegatile(l, l.Bounds, factor)
 	}
-	id := s.hist.add(l, res)
+	id := s.hist.add(l, res, traceID)
 	return scanOutcome{
 		dets:         res.Detections,
 		scanID:       id,

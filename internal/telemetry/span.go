@@ -19,6 +19,8 @@ type Span struct {
 	h      *Histogram
 	start  time.Time
 	region *trace.Region
+	tr     *Trace
+	ts     *TraceSpan
 }
 
 // StartSpan begins a span recording into h (nil h records nothing) and,
@@ -36,6 +38,20 @@ func StartSpan(h *Histogram, name string) Span {
 	return s
 }
 
+// StartSpanTraced is StartSpan that additionally opens a request-trace
+// child span under parent when tr is non-nil, so one stage boundary
+// feeds the Prometheus histogram, the runtime/trace region and the
+// flight-recorder tree from a single pair of clock reads. With tr nil
+// it is exactly StartSpan (still a value, still zero allocations).
+func StartSpanTraced(h *Histogram, name string, tr *Trace, parent *TraceSpan) Span {
+	s := StartSpan(h, name)
+	if tr != nil {
+		s.tr = tr
+		s.ts = tr.StartSpan(parent, name)
+	}
+	return s
+}
+
 // End completes the span: the elapsed seconds are observed into the
 // histogram and the trace region (if any) is closed. End on a zero Span
 // is a no-op, so callers can time optional stages unconditionally.
@@ -45,5 +61,8 @@ func (s Span) End() {
 	}
 	if s.region != nil {
 		s.region.End()
+	}
+	if s.tr != nil {
+		s.tr.EndSpan(s.ts)
 	}
 }

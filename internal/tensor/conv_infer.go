@@ -66,17 +66,22 @@ func epilogueSweep(t *Tensor, ep Epilogue) {
 // called directly — no closure is created, keeping serial inference
 // allocation-free (see gemmPacked for the rationale).
 func im2colInto(xd []float32, c, h, w int, o ConvOpts, cd []float32) {
+	im2colScoped(nil, xd, c, h, w, o, cd)
+}
+
+// im2colScoped is im2colInto with a profile-attribution scope.
+func im2colScoped(sc *ProfileScope, xd []float32, c, h, w int, o ConvOpts, cd []float32) {
 	on, t0 := profStart()
 	if parallel.Workers() == 1 {
 		im2colChans(xd, h, w, o, cd, 0, c)
-		profEnd(on, profIm2col, t0)
+		profEnd(on, sc, profIm2col, t0)
 		return
 	}
 	perChan := o.Kernel * o.Kernel * o.OutDim(h) * o.OutDim(w)
 	parallel.For(c, parallel.GrainFor(perChan, convMinChunkWork), func(c0, c1 int) {
 		im2colChans(xd, h, w, o, cd, c0, c1)
 	})
-	profEnd(on, profIm2col, t0)
+	profEnd(on, sc, profIm2col, t0)
 }
 
 // im2colChans lowers channels [c0, c1).
@@ -177,6 +182,7 @@ func Conv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tensor
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	kk := c * o.Kernel * o.Kernel
 	out := ws.Tensor(n, oc, oh, ow)
+	sc := ws.ProfileScope()
 	if convFusedEligible(oc, oh*ow, kk) {
 		// Fused path: B panels are packed straight from the image inside
 		// the packed GEMM (bSource.packIm2col), so the lowered column
@@ -184,10 +190,10 @@ func Conv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tensor
 		// kk·oh·ow floats per item is skipped, and the workspace never
 		// even allocates that size class.
 		if n == 1 || parallel.Workers() == 1 {
-			conv2dInferItemsFused(x.data, wgt.data, out.data, c, h, w, oc, kk, o, 0, n)
+			conv2dInferItemsFused(sc, x.data, wgt.data, out.data, c, h, w, oc, kk, o, 0, n)
 		} else {
 			parallel.For(n, 1, func(n0, n1 int) {
-				conv2dInferItemsFused(x.data, wgt.data, out.data, c, h, w, oc, kk, o, n0, n1)
+				conv2dInferItemsFused(sc, x.data, wgt.data, out.data, c, h, w, oc, kk, o, n0, n1)
 			})
 		}
 		epilogueSweep(out, ep)
@@ -197,10 +203,10 @@ func Conv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tensor
 	// calls must stay outside the parallel region.
 	colsAll := ws.Get(n * kk * oh * ow)
 	if n == 1 || parallel.Workers() == 1 {
-		conv2dInferItems(x.data, wgt.data, colsAll, out.data, c, h, w, oc, kk, o, 0, n)
+		conv2dInferItems(sc, x.data, wgt.data, colsAll, out.data, c, h, w, oc, kk, o, 0, n)
 	} else {
 		parallel.For(n, 1, func(n0, n1 int) {
-			conv2dInferItems(x.data, wgt.data, colsAll, out.data, c, h, w, oc, kk, o, n0, n1)
+			conv2dInferItems(sc, x.data, wgt.data, colsAll, out.data, c, h, w, oc, kk, o, n0, n1)
 		})
 	}
 	epilogueSweep(out, ep)
@@ -236,23 +242,23 @@ func convFusedEligible(m, n, k int) bool {
 
 // conv2dInferItemsFused multiplies batch items [n0, n1) with B panels
 // packed directly from each image.
-func conv2dInferItemsFused(xd, wd, od []float32, c, h, w, oc, kk int, o ConvOpts, n0, n1 int) {
+func conv2dInferItemsFused(sc *ProfileScope, xd, wd, od []float32, c, h, w, oc, kk int, o ConvOpts, n0, n1 int) {
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	for i := n0; i < n1; i++ {
 		bs := im2colB(xd[i*c*h*w:(i+1)*c*h*w], c, h, w, o)
 		dst := od[i*oc*oh*ow : (i+1)*oc*oh*ow]
-		gemmPackedWith(gemmActive.Load(), false, oc, oh*ow, kk, 1, wd, bs, 0, dst)
+		gemmPackedScoped(gemmActive.Load(), sc, false, oc, oh*ow, kk, 1, wd, bs, 0, dst)
 	}
 }
 
 // conv2dInferItems lowers and multiplies batch items [n0, n1).
-func conv2dInferItems(xd, wd, colsAll, od []float32, c, h, w, oc, kk int, o ConvOpts, n0, n1 int) {
+func conv2dInferItems(sc *ProfileScope, xd, wd, colsAll, od []float32, c, h, w, oc, kk int, o ConvOpts, n0, n1 int) {
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	for i := n0; i < n1; i++ {
 		col := colsAll[i*kk*oh*ow : (i+1)*kk*oh*ow]
-		im2colInto(xd[i*c*h*w:(i+1)*c*h*w], c, h, w, o, col)
+		im2colScoped(sc, xd[i*c*h*w:(i+1)*c*h*w], c, h, w, o, col)
 		dst := od[i*oc*oh*ow : (i+1)*oc*oh*ow]
-		Gemm(false, false, oc, oh*ow, kk, 1, wd, col, 0, dst)
+		GemmScoped(sc, false, false, oc, oh*ow, kk, 1, wd, col, 0, dst)
 	}
 }
 
@@ -273,11 +279,12 @@ func Deconv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tens
 	kk := oc * o.Kernel * o.Kernel
 	out := ws.Tensor(n, oc, oh, ow)
 	colsAll := ws.Get(n * kk * h * w)
+	sc := ws.ProfileScope()
 	if n == 1 || parallel.Workers() == 1 {
-		deconv2dInferItems(x.data, wgt.data, colsAll, out.data, c, h, w, oc, oh, ow, kk, o, 0, n)
+		deconv2dInferItems(sc, x.data, wgt.data, colsAll, out.data, c, h, w, oc, oh, ow, kk, o, 0, n)
 	} else {
 		parallel.For(n, 1, func(n0, n1 int) {
-			deconv2dInferItems(x.data, wgt.data, colsAll, out.data, c, h, w, oc, oh, ow, kk, o, n0, n1)
+			deconv2dInferItems(sc, x.data, wgt.data, colsAll, out.data, c, h, w, oc, oh, ow, kk, o, n0, n1)
 		})
 	}
 	epilogueSweep(out, ep)
@@ -285,11 +292,11 @@ func Deconv2DInfer(ws *Workspace, x, wgt *Tensor, o ConvOpts, ep Epilogue) *Tens
 }
 
 // deconv2dInferItems multiplies and scatters batch items [n0, n1).
-func deconv2dInferItems(xd, wd, colsAll, od []float32, c, h, w, oc, oh, ow, kk int, o ConvOpts, n0, n1 int) {
+func deconv2dInferItems(sc *ProfileScope, xd, wd, colsAll, od []float32, c, h, w, oc, oh, ow, kk int, o ConvOpts, n0, n1 int) {
 	for i := n0; i < n1; i++ {
 		xi := xd[i*c*h*w : (i+1)*c*h*w]
 		col := colsAll[i*kk*h*w : (i+1)*kk*h*w]
-		Gemm(true, false, kk, h*w, c, 1, wd, xi, 0, col)
+		GemmScoped(sc, true, false, kk, h*w, c, 1, wd, xi, 0, col)
 		col2imInto(col, oc, oh, ow, o, od[i*oc*oh*ow:(i+1)*oc*oh*ow])
 	}
 }

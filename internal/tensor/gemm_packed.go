@@ -269,14 +269,19 @@ func (bs bSource) packIm2col(kr *gemmKernel, pb []float32, jc, nc, pc, kc int) {
 	}
 }
 
-func gemmPacked(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
-	gemmPackedWith(gemmActive.Load(), transA, m, n, k, alpha, a, denseB(transB, k, n, b), beta, c)
+func gemmPacked(sc *ProfileScope, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	gemmPackedScoped(gemmActive.Load(), sc, transA, m, n, k, alpha, a, denseB(transB, k, n, b), beta, c)
 }
 
 // gemmPackedWith runs the packed sweep with an explicit kernel and B
 // source; the parity suites use it to pin asm kernels against their
 // portable reference twins on identical geometry.
 func gemmPackedWith(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a []float32, bs bSource, beta float32, c []float32) {
+	gemmPackedScoped(kr, nil, transA, m, n, k, alpha, a, bs, beta, c)
+}
+
+// gemmPackedScoped is gemmPackedWith with a profile-attribution scope.
+func gemmPackedScoped(kr *gemmKernel, sc *ProfileScope, transA bool, m, n, k int, alpha float32, a []float32, bs bSource, beta float32, c []float32) {
 	on, t0 := profStart()
 	mPanels := (m + kr.mr - 1) / kr.mr
 	kBlocks := (k + kr.kc - 1) / kr.kc
@@ -306,7 +311,7 @@ func gemmPackedWith(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a [
 
 	packBufPut(pbAll)
 	packBufPut(pa)
-	profEnd(on, profGemmPacked, t0)
+	profEnd(on, sc, profGemmPacked, t0)
 }
 
 // gemmPackedBlocks sweeps column blocks [b0, b1) using the private pack

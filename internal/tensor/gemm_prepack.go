@@ -99,6 +99,13 @@ func (pb *PackedB) packFor(kr *gemmKernel) []float32 {
 // B (see PackB). Semantics, routing and bits are identical to Gemm with
 // the original matrix; only the per-call B packing is skipped.
 func GemmPreB(transA bool, m, n, k int, alpha float32, a []float32, pb *PackedB, beta float32, c []float32) {
+	GemmPreBScoped(nil, transA, m, n, k, alpha, a, pb, beta, c)
+}
+
+// GemmPreBScoped is GemmPreB with an explicit profile-attribution
+// scope (see GemmScoped); the nn inference path threads the workspace's
+// scope through here.
+func GemmPreBScoped(sc *ProfileScope, transA bool, m, n, k int, alpha float32, a []float32, pb *PackedB, beta float32, c []float32) {
 	if pb.k != k || pb.n != n {
 		panic(fmt.Sprintf("tensor: GemmPreB packed for %dx%d, called with k=%d n=%d", pb.k, pb.n, k, n))
 	}
@@ -115,17 +122,17 @@ func GemmPreB(transA bool, m, n, k int, alpha float32, a []float32, pb *PackedB,
 	if !gemmUsesPacked(m, n, k) {
 		on, t0 := profStart()
 		gemmRows(transA, pb.trans, 0, m, m, n, k, alpha, a, pb.raw, beta, c)
-		profEnd(on, profGemmRows, t0)
+		profEnd(on, sc, profGemmRows, t0)
 		return
 	}
 	kr := gemmActive.Load()
-	gemmPackedPre(kr, transA, m, n, k, alpha, a, pb.ensure(kr), beta, c)
+	gemmPackedPre(kr, sc, transA, m, n, k, alpha, a, pb.ensure(kr), beta, c)
 }
 
 // gemmPackedPre is gemmPackedWith minus the B packing: A is packed per
 // call (it changes every call), the stored B panels are indexed by the
 // same (column block, k-block) walk the per-call sweep uses.
-func gemmPackedPre(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a []float32, pre []float32, beta float32, c []float32) {
+func gemmPackedPre(kr *gemmKernel, sc *ProfileScope, transA bool, m, n, k int, alpha float32, a []float32, pre []float32, beta float32, c []float32) {
 	on, t0 := profStart()
 	mPanels := (m + kr.mr - 1) / kr.mr
 	kBlocks := (k + kr.kc - 1) / kr.kc
@@ -145,7 +152,7 @@ func gemmPackedPre(kr *gemmKernel, transA bool, m, n, k int, alpha float32, a []
 	}
 
 	packBufPut(pa)
-	profEnd(on, profGemmPacked, t0)
+	profEnd(on, sc, profGemmPacked, t0)
 }
 
 // gemmPackedBlocksPre sweeps column blocks [b0, b1) over prepacked B

@@ -103,7 +103,7 @@ func TestGemmSmallShapePackedVsRows(t *testing.T) {
 					cP := append([]float32(nil), cR...)
 					alpha, beta := float32(0.75), float32(-0.5)
 					gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, beta, cR)
-					gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, cP)
+					gemmPacked(nil, transA, transB, m, n, k, alpha, a, b, beta, cP)
 					for i := range cP {
 						diff := float64(cP[i] - cR[i])
 						if diff < 0 {
@@ -259,14 +259,14 @@ func BenchmarkGemmSmallShapeSweep(b *testing.B) {
 		})
 		b.Run(name+"/packed", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				gemmPacked(false, false, m, n, k, 1, a, bm, 0, c)
+				gemmPacked(nil, false, false, m, n, k, 1, a, bm, 0, c)
 			}
 		})
 		pb := PackB(false, k, n, bm)
 		kr := gemmActive.Load()
 		b.Run(name+"/prepacked", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				gemmPackedPre(kr, false, m, n, k, 1, a, pb.ensure(kr), 0, c)
+				gemmPackedPre(kr, nil, false, m, n, k, 1, a, pb.ensure(kr), 0, c)
 			}
 		})
 	}

@@ -131,6 +131,14 @@ func gemmUsesPacked(m, n, k int) bool {
 // semantics, so NaN and Inf in b propagate into c (pinned by
 // TestGemmZeroTimesNaNPropagates).
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	GemmScoped(nil, transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+// GemmScoped is Gemm with an explicit profile-attribution scope: stage
+// time is added to sc (when profiling is on and sc is non-nil) as well
+// as to the global counters. The infer path threads the workspace's
+// scope through here; Gemm itself is GemmScoped with a nil scope.
+func GemmScoped(sc *ProfileScope, transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	if len(c) < m*n {
 		panic("tensor: Gemm output buffer too small")
 	}
@@ -147,10 +155,10 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta 
 	if !gemmUsesPacked(m, n, k) {
 		on, t0 := profStart()
 		gemmRows(transA, transB, 0, m, m, n, k, alpha, a, b, beta, c)
-		profEnd(on, profGemmRows, t0)
+		profEnd(on, sc, profGemmRows, t0)
 		return
 	}
-	gemmPacked(transA, transB, m, n, k, alpha, a, b, beta, c)
+	gemmPacked(sc, transA, transB, m, n, k, alpha, a, b, beta, c)
 }
 
 // GemmUnblocked is the PR-1 row-parallel triple-loop kernel, kept as the

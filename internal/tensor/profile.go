@@ -93,6 +93,48 @@ func ProfileSnapshot() []ProfileEntry {
 	return out
 }
 
+// ProfileScope accumulates the same per-stage counters as the global
+// profile, but for one attributable unit of work — in practice one
+// trace span (a megatile forward pass). The request tracer installs a
+// scope on the model's Workspace before a pass and snapshots it after,
+// so concurrent requests stop smearing each other's gemm/quantize time:
+// each instrumented site adds the identical elapsed value to the global
+// counters and to the lexically threaded scope, which makes per-scope
+// sums equal the global snapshot delta exactly (pinned by
+// TestProfileScopeParity).
+//
+// Counters are atomic because a scoped pass still fans batched conv
+// items out over the worker pool; the scope pointer itself is threaded
+// lexically (function arguments, captured by the parallel.For closures)
+// rather than held in any package global, so two models inferring
+// concurrently attribute to their own scopes with no cross-talk.
+type ProfileScope struct {
+	ns    [profStageCount]atomic.Int64
+	calls [profStageCount]atomic.Int64
+}
+
+// Reset zeroes the scope's counters for reuse across passes.
+func (s *ProfileScope) Reset() {
+	for i := range s.ns {
+		s.ns[i].Store(0)
+		s.calls[i].Store(0)
+	}
+}
+
+// Snapshot returns the scope's counters in the same stable order as
+// ProfileSnapshot.
+func (s *ProfileScope) Snapshot() []ProfileEntry {
+	out := make([]ProfileEntry, profStageCount)
+	for i := range s.ns {
+		out[i] = ProfileEntry{
+			Stage: profStageNames[i],
+			Ns:    s.ns[i].Load(),
+			Calls: s.calls[i].Load(),
+		}
+	}
+	return out
+}
+
 // profStart samples the monotonic clock when profiling is on. The
 // (enabled, t0) pair keeps the off-path to a single atomic load and
 // lets profEnd skip the second clock read; time.Time stays on the
@@ -104,11 +146,18 @@ func profStart() (bool, time.Time) {
 	return true, time.Now()
 }
 
-// profEnd accumulates the elapsed time into a stage's counters.
-func profEnd(on bool, st profStage, t0 time.Time) {
+// profEnd accumulates the elapsed time into a stage's counters, and
+// into sc when non-nil. One clock read feeds both, so a scope's totals
+// can never drift from the global profile's view of the same calls.
+func profEnd(on bool, sc *ProfileScope, st profStage, t0 time.Time) {
 	if !on {
 		return
 	}
-	profCounters[st].ns.Add(int64(time.Since(t0)))
+	d := int64(time.Since(t0))
+	profCounters[st].ns.Add(d)
 	profCounters[st].calls.Add(1)
+	if sc != nil {
+		sc.ns[st].Add(d)
+		sc.calls[st].Add(1)
+	}
 }

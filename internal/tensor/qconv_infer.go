@@ -31,7 +31,8 @@ func QConv2DInfer(ws *Workspace, x *Tensor, plan *QConvPlan, o ConvOpts, ep Epil
 	}
 
 	xq := qbytePool.get(n * c * h * w)
-	plan.In.QuantizeSlice(xq, x.data)
+	sc := ws.ProfileScope()
+	plan.In.quantizeSliceScoped(sc, xq, x.data)
 
 	var bias []float32
 	if ep.Bias != nil {
@@ -45,10 +46,10 @@ func QConv2DInfer(ws *Workspace, x *Tensor, plan *QConvPlan, o ConvOpts, ep Epil
 		slope:    ep.Slope,
 	}
 	if n == 1 || parallel.Workers() == 1 {
-		qconv2dInferItems(kr, xq, pa, out.data, c, h, w, oc, kk, o, plan.In.Zero, qep, 0, n)
+		qconv2dInferItems(kr, sc, xq, pa, out.data, c, h, w, oc, kk, o, plan.In.Zero, qep, 0, n)
 	} else {
 		parallel.For(n, 1, func(n0, n1 int) {
-			qconv2dInferItems(kr, xq, pa, out.data, c, h, w, oc, kk, o, plan.In.Zero, qep, n0, n1)
+			qconv2dInferItems(kr, sc, xq, pa, out.data, c, h, w, oc, kk, o, plan.In.Zero, qep, n0, n1)
 		})
 	}
 	qbytePool.put(xq)
@@ -57,11 +58,11 @@ func QConv2DInfer(ws *Workspace, x *Tensor, plan *QConvPlan, o ConvOpts, ep Epil
 
 // qconv2dInferItems multiplies batch items [n0, n1) with B panels
 // packed directly from each quantized image.
-func qconv2dInferItems(kr *qgemmKernel, xq []uint8, pa []int8, od []float32, c, h, w, oc, kk int, o ConvOpts, zero uint8, qep qepilogue, n0, n1 int) {
+func qconv2dInferItems(kr *qgemmKernel, sc *ProfileScope, xq []uint8, pa []int8, od []float32, c, h, w, oc, kk int, o ConvOpts, zero uint8, qep qepilogue, n0, n1 int) {
 	oh, ow := o.OutDim(h), o.OutDim(w)
 	for i := n0; i < n1; i++ {
 		bs := qim2colB(xq[i*c*h*w:(i+1)*c*h*w], c, h, w, o, zero)
 		dst := od[i*oc*oh*ow : (i+1)*oc*oh*ow]
-		qgemmPackedWith(kr, oc, oh*ow, kk, pa, bs, qep, dst)
+		qgemmPackedScoped(kr, sc, oc, oh*ow, kk, pa, bs, qep, dst)
 	}
 }

@@ -338,6 +338,11 @@ func qgemmPackedSize(kr *qgemmKernel, m, k int) int {
 // destination. The parity suites use it to pin the asm kernels against
 // their portable reference twins on identical packed bytes.
 func qgemmPackedWith(kr *qgemmKernel, m, n, k int, pa []int8, bs qbSource, ep qepilogue, c []float32) {
+	qgemmPackedScoped(kr, nil, m, n, k, pa, bs, ep, c)
+}
+
+// qgemmPackedScoped is qgemmPackedWith with a profile-attribution scope.
+func qgemmPackedScoped(kr *qgemmKernel, sc *ProfileScope, m, n, k int, pa []int8, bs qbSource, ep qepilogue, c []float32) {
 	on, t0 := profStart()
 	mPanels := (m + kr.mr - 1) / kr.mr
 	kBlocks := (k + kr.kc - 1) / kr.kc
@@ -375,7 +380,7 @@ func qgemmPackedWith(kr *qgemmKernel, m, n, k int, pa []int8, bs qbSource, ep qe
 		qcarryPool.put(cbAll)
 	}
 	qbytePool.put(pbAll)
-	profEnd(on, profQGemm, t0)
+	profEnd(on, sc, profQGemm, t0)
 }
 
 // qgemmPackedBlocks sweeps column blocks [b0, b1) with private B pack

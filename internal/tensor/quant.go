@@ -82,6 +82,12 @@ func (p QuantParams) Dequantize(q uint8) float32 {
 // envelopes ⇒ SmallestNonzeroFloat32, whose reciprocal overflows) fall
 // back to the exact float64 path, so no scale produces garbage.
 func (p QuantParams) QuantizeSlice(dst []uint8, src []float32) {
+	p.quantizeSliceScoped(nil, dst, src)
+}
+
+// quantizeSliceScoped is QuantizeSlice with a profile-attribution
+// scope; the int8 infer path threads the workspace's scope through.
+func (p QuantParams) quantizeSliceScoped(sc *ProfileScope, dst []uint8, src []float32) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("tensor: QuantizeSlice dst length %d != src length %d", len(dst), len(src)))
 	}
@@ -91,7 +97,7 @@ func (p QuantParams) QuantizeSlice(dst []uint8, src []float32) {
 	} else {
 		p.quantizeSliceExact(dst, src)
 	}
-	profEnd(on, profQuantize, t0)
+	profEnd(on, sc, profQuantize, t0)
 }
 
 // quantizeSliceExact is the historic scalar path: exact float64

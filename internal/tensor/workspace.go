@@ -27,6 +27,28 @@ type Workspace struct {
 	live    []wsBuf             // handed out since the last Reset
 	headers []*Tensor           // reusable Tensor headers
 	used    int                 // headers in use since the last Reset
+	scope   *ProfileScope       // per-pass profile attribution, nil = global only
+}
+
+// SetProfileScope installs the profile scope the infer kernels running
+// against this workspace attribute their stage time to (nil detaches).
+// The workspace is the natural carrier: it is per-model, owned by
+// exactly one goroutine per pass, and already threaded through every
+// inference entry point. Nil-receiver-safe like every Workspace method.
+func (ws *Workspace) SetProfileScope(sc *ProfileScope) {
+	if ws == nil {
+		return
+	}
+	ws.scope = sc
+}
+
+// ProfileScope returns the installed scope, or nil (including on a nil
+// workspace).
+func (ws *Workspace) ProfileScope() *ProfileScope {
+	if ws == nil {
+		return nil
+	}
+	return ws.scope
 }
 
 type wsBuf struct {
